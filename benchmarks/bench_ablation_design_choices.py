@@ -1,0 +1,113 @@
+"""Ablations for RECEIPT's design choices beyond the paper's Figs. 6/7.
+
+DESIGN.md calls out three design decisions whose effect is worth measuring
+separately from the headline HUC/DGM ablation:
+
+* **Adaptive range determination (Sec. 3.1.1)** — dynamic targets plus
+  overshoot scaling vs. a static ``total work / P`` target.  The adaptive
+  scheme should spread vertices over (close to) the requested number of
+  subsets instead of collapsing them into a few oversized ones.
+* **Workload-aware scheduling for FD** — LPT ordering vs. arrival ordering
+  of the subset task queue, evaluated with the cost model at 36 threads.
+* **HUC cost factor** — how the Python-specific recount cost multiplier
+  trades recount invocations against traversed wedges.
+
+Each row of the report carries the dataset, the design choice being ablated
+and a compact summary of the measured effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_DATASETS, BENCH_PARTITIONS, get_graph, get_receipt, side_label
+from repro.core.receipt import receipt_decomposition
+from repro.core.scheduling import greedy_schedule, lpt_schedule
+
+ABLATION_DATASETS = [key for key in ("it", "tr") if key in BENCH_DATASETS] or BENCH_DATASETS[:1]
+
+
+def _fd_work(result) -> np.ndarray:
+    return np.array(
+        [record.wedges_traversed for record in result.extra["subset_records"]], dtype=float
+    )
+
+
+@pytest.mark.parametrize("key", ABLATION_DATASETS)
+def bench_adaptive_vs_static_ranges(benchmark, report, key):
+    graph = get_graph(key)
+
+    def run_both():
+        adaptive = get_receipt(key, "U")
+        static = receipt_decomposition(
+            graph, "U", n_partitions=BENCH_PARTITIONS, adaptive_range_targets=False
+        )
+        return adaptive, static
+
+    adaptive, static = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert np.array_equal(adaptive.tip_numbers, static.tip_numbers)
+
+    adaptive_sizes = _fd_work(adaptive)
+    static_sizes = _fd_work(static)
+    adaptive_used = int(np.count_nonzero(adaptive_sizes > 0))
+    static_used = int(np.count_nonzero(static_sizes > 0))
+
+    report.add_row(
+        dataset=side_label(key, "U"),
+        choice="adaptive vs static range targets",
+        summary=(
+            f"subsets with work: adaptive={adaptive_used}, static={static_used}; "
+            f"largest-subset share: adaptive="
+            f"{adaptive_sizes.max() / max(adaptive_sizes.sum(), 1):.2f}, "
+            f"static={static_sizes.max() / max(static_sizes.sum(), 1):.2f}"
+        ),
+    )
+    # Adaptive targeting must not produce fewer usable subsets than the
+    # static scheme (its purpose is to avoid collapsing U into few subsets).
+    assert adaptive_used >= static_used
+
+
+@pytest.mark.parametrize("key", ABLATION_DATASETS)
+def bench_fd_scheduling_choice(benchmark, report, key):
+    result = get_receipt(key, "U")
+    work = _fd_work(result)
+    threads = 36
+
+    def schedules():
+        return greedy_schedule(work, threads), lpt_schedule(work, threads)
+
+    arrival, was = benchmark.pedantic(schedules, rounds=1, iterations=1)
+    report.add_row(
+        dataset=side_label(key, "U"),
+        choice="FD task ordering (36 threads)",
+        summary=(
+            f"makespan: arrival={arrival.makespan:.0f}, WaS={was.makespan:.0f}; "
+            f"imbalance: arrival={arrival.imbalance:.2f}, WaS={was.imbalance:.2f}"
+        ),
+    )
+    lower_bound = max(work.sum() / threads, work.max(initial=0.0))
+    assert was.makespan <= (4.0 / 3.0) * lower_bound + 1e-6
+
+
+@pytest.mark.parametrize("key", ABLATION_DATASETS)
+@pytest.mark.parametrize("factor", [1.0, 3.0, 8.0])
+def bench_huc_cost_factor(benchmark, report, key, factor):
+    graph = get_graph(key)
+
+    result = benchmark.pedantic(
+        lambda: receipt_decomposition(graph, "U", n_partitions=BENCH_PARTITIONS,
+                                      huc_cost_factor=factor),
+        rounds=1, iterations=1,
+    )
+    reference = get_receipt(key, "U")
+    assert np.array_equal(result.tip_numbers, reference.tip_numbers)
+    report.add_row(
+        dataset=side_label(key, "U"),
+        choice=f"HUC cost factor = {factor}",
+        summary=(
+            f"recounts={result.counters.recount_invocations}, "
+            f"wedges={result.counters.wedges_traversed:,}, "
+            f"time={result.counters.elapsed_seconds:.3f}s"
+        ),
+    )

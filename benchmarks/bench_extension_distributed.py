@@ -1,0 +1,45 @@
+"""Extension (paper Sec. 7): distributed-memory CD — communication profile.
+
+No figure in the paper corresponds to this bench; it quantifies the
+trade-off the paper's future-work section describes when RECEIPT CD runs on
+a distributed-memory system: support updates that cross process boundaries
+become network messages, and their share grows with the number of workers,
+while bulk-synchronous aggregation keeps the message count per round small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_DATASETS, BENCH_PARTITIONS, get_graph, side_label
+from repro.distributed.simulation import simulate_distributed_cd
+
+EXTENSION_DATASETS = [key for key in ("it", "tr") if key in BENCH_DATASETS] or BENCH_DATASETS[:1]
+WORKER_COUNTS = (2, 4, 16)
+
+
+@pytest.mark.parametrize("key", EXTENSION_DATASETS)
+@pytest.mark.parametrize("n_workers", WORKER_COUNTS)
+def bench_distributed_cd_profile(benchmark, report, key, n_workers):
+    graph = get_graph(key)
+
+    result = benchmark.pedantic(
+        lambda: simulate_distributed_cd(graph, BENCH_PARTITIONS, n_workers),
+        rounds=1, iterations=1,
+    )
+
+    report.add_row(
+        dataset=side_label(key, "U"),
+        workers=n_workers,
+        rounds=result.synchronization_rounds,
+        remote_update_pct=round(100 * result.remote_fraction, 1),
+        aggregated_messages=result.aggregated_messages,
+        load_imbalance=round(result.load_imbalance, 2),
+    )
+
+    # Aggregation keeps per-round messages bounded by the worker pairs.
+    assert result.aggregated_messages <= (
+        result.synchronization_rounds * n_workers * (n_workers - 1)
+    )
+    if n_workers == 1:
+        assert result.remote_updates == 0

@@ -1,0 +1,50 @@
+"""Fig. 10: projected parallel speedup of RECEIPT when peeling the U sides.
+
+The paper measures self-relative speedup on a 36-core machine for
+T = 1, 2, 4, 9, 18, 36 threads.  CPython's GIL makes real multi-threaded
+wall-clock measurements meaningless for the pure-Python kernels, so this
+bench replays the *measured* per-region work distributions of each RECEIPT
+run through the analytical cost model (see DESIGN.md, substitution table):
+per-iteration CD work, per-chunk counting work and per-subset FD work are
+all taken from the instrumented execution, so load imbalance and the
+round structure — the effects Fig. 10 illustrates — are preserved.
+
+The barrier cost is scaled to the stand-in graph sizes (the default value
+targets paper-scale wedge counts and would dwarf these small runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_DATASETS, get_receipt, side_label
+from repro.core.stats import build_cost_model
+
+THREAD_COUNTS = (1, 2, 4, 9, 18, 36)
+#: Barrier cost in wedge-traversal units, scaled for laptop-size stand-ins.
+BARRIER_COST = 50.0
+
+SIDE = "U"
+
+
+@pytest.mark.parametrize("key", BENCH_DATASETS)
+def bench_fig10_speedup_u_side(benchmark, report, key):
+    result = get_receipt(key, SIDE)
+
+    def project():
+        model = build_cost_model(result, barrier_cost=BARRIER_COST)
+        return {point.n_threads: point.speedup for point in model.speedup_curve(THREAD_COUNTS)}
+
+    speedups = benchmark.pedantic(project, rounds=1, iterations=1)
+
+    report.add_row(
+        dataset=side_label(key, SIDE),
+        **{f"T{threads}": round(speedups[threads], 2) for threads in THREAD_COUNTS},
+    )
+
+    # Shape: no super-linear artefacts, baseline is exactly 1, and the
+    # wedge-heavy U sides gain from parallelism at the paper's thread counts.
+    assert speedups[1] == pytest.approx(1.0)
+    for threads in THREAD_COUNTS:
+        assert speedups[threads] <= threads + 1e-9
+    assert max(speedups.values()) > 1.0

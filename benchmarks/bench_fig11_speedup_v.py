@@ -1,0 +1,49 @@
+"""Fig. 11: projected parallel speedup of RECEIPT when peeling the V sides.
+
+Same methodology as Fig. 10 (see ``bench_fig10_speedup_u.py``).  The paper's
+observation specific to this figure: the wedge-light V sides scale worse
+than the U sides because each synchronization round carries less work — the
+bench reports both so the comparison is visible, and asserts the direction
+for the tracker dataset where the asymmetry is largest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_DATASETS, get_graph, get_receipt, side_label
+from repro.core.stats import build_cost_model
+
+THREAD_COUNTS = (1, 2, 4, 9, 18, 36)
+BARRIER_COST = 50.0
+
+SIDE = "V"
+
+
+def _speedups(result):
+    model = build_cost_model(result, barrier_cost=BARRIER_COST)
+    return {point.n_threads: point.speedup for point in model.speedup_curve(THREAD_COUNTS)}
+
+
+@pytest.mark.parametrize("key", BENCH_DATASETS)
+def bench_fig11_speedup_v_side(benchmark, report, key):
+    result = get_receipt(key, SIDE)
+    speedups = benchmark.pedantic(lambda: _speedups(result), rounds=1, iterations=1)
+
+    u_speedups = _speedups(get_receipt(key, "U"))
+    report.add_row(
+        dataset=side_label(key, SIDE),
+        **{f"T{threads}": round(speedups[threads], 2) for threads in THREAD_COUNTS},
+        u_side_T36=round(u_speedups[36], 2),
+    )
+
+    assert speedups[1] == pytest.approx(1.0)
+    for threads in THREAD_COUNTS:
+        assert speedups[threads] <= threads + 1e-9
+
+    # Paper shape: wedge-light sides scale no better than their wedge-heavy
+    # counterparts at full thread count (checked where the work asymmetry is
+    # at least an order of magnitude).
+    graph = get_graph(key)
+    if graph.total_wedge_work("U") > 10 * graph.total_wedge_work("V"):
+        assert speedups[36] <= u_speedups[36] * 1.25

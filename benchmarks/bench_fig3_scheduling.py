@@ -1,0 +1,69 @@
+"""Fig. 3: benefit of workload-aware scheduling (WaS) for FD's task queue.
+
+The paper illustrates that sorting the subset queue by decreasing work
+(longest-processing-time order) lets dynamic allocation finish much earlier
+than arrival order.  This bench reproduces the effect twice:
+
+* on the literal 6-task / 2-thread example of Fig. 3, and
+* on the measured per-subset FD workloads of the cached RECEIPT runs,
+  comparing the simulated makespan with and without WaS for the paper's
+  thread count (36).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_DATASETS, get_receipt, side_label
+from repro.core.scheduling import greedy_schedule, lpt_schedule
+
+
+def bench_fig3_toy_example(benchmark, report):
+    """The exact workloads of Fig. 3 (t = 13, 4, 10, 20, 1, 2 on 2 threads)."""
+    work = np.array([13, 4, 10, 20, 1, 2], dtype=float)
+
+    def schedules():
+        return greedy_schedule(work, 2), lpt_schedule(work, 2)
+
+    original, aware = benchmark.pedantic(schedules, rounds=1, iterations=1)
+    assert original.makespan == 33
+    assert aware.makespan == 25
+    report.add_row(case="fig3-toy", threads=2,
+                   original_makespan=original.makespan,
+                   workload_aware_makespan=aware.makespan,
+                   improvement=round(original.makespan / aware.makespan, 2))
+
+
+@pytest.mark.parametrize("key", BENCH_DATASETS)
+def bench_fig3_fd_schedules(benchmark, report, key):
+    """WaS vs arrival order on the measured FD subset workloads.
+
+    The thread count is chosen below the subset count (as in the paper,
+    where P = 150 subsets are scheduled on 36 threads); with more threads
+    than subsets every task gets its own thread and ordering is irrelevant.
+    """
+    result = get_receipt(key, "U")
+    subset_work = np.array(
+        [record.wedges_traversed for record in result.extra["subset_records"]], dtype=float
+    )
+    n_threads = max(2, subset_work.size // 4)
+
+    def schedules():
+        return greedy_schedule(subset_work, n_threads), lpt_schedule(subset_work, n_threads)
+
+    original, aware = benchmark.pedantic(schedules, rounds=1, iterations=1)
+    # LPT carries Graham's 4/3 guarantee against the makespan lower bound
+    # (arrival order does not); instance-wise the two orders can land within
+    # a few percent of each other, so only the guarantee is asserted.
+    lower_bound = max(float(subset_work.sum()) / n_threads, float(subset_work.max(initial=0.0)))
+    assert aware.makespan <= (4.0 / 3.0) * lower_bound + 1e-6
+    report.add_row(
+        case=side_label(key, "U"),
+        threads=n_threads,
+        n_subsets=subset_work.size,
+        original_makespan=int(original.makespan),
+        workload_aware_makespan=int(aware.makespan),
+        improvement=round(original.makespan / max(aware.makespan, 1.0), 2),
+        imbalance_with_was=round(aware.imbalance, 2),
+    )

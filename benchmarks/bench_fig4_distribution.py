@@ -1,0 +1,58 @@
+"""Fig. 4: cumulative tip-number distribution of the Trackers graph (TrU, TrV).
+
+The paper observes that although maximum tip numbers are enormous, the
+overwhelming majority of vertices have tiny tip numbers (99.98% of TrU
+vertices lie below 0.027% of the maximum).  This bench computes the same
+cumulative distribution for the tracker stand-in (and the other datasets'
+U sides for context) and asserts the heavy skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_DATASETS, get_receipt, side_label
+from repro.analysis.distributions import tip_distribution
+
+# The series is reported for the Trackers graph (both sides) like the paper;
+# other datasets only contribute a skew summary row.
+_TRACKER_KEY = "tr" if "tr" in BENCH_DATASETS else BENCH_DATASETS[-1]
+
+
+@pytest.mark.parametrize("side", ["U", "V"])
+def bench_fig4_tracker_distribution(benchmark, report, side):
+    result = get_receipt(_TRACKER_KEY, side)
+    distribution = benchmark.pedantic(lambda: tip_distribution(result), rounds=1, iterations=1)
+
+    # Cumulative fraction at logarithmically spaced thresholds — the Fig. 4 series.
+    max_tip = max(distribution.max_tip, 1)
+    thresholds = np.unique(np.geomspace(1, max_tip, num=12).astype(np.int64))
+    series = {int(t): round(distribution.fraction_below(float(t)), 4) for t in thresholds}
+
+    report.add_row(
+        dataset=side_label(_TRACKER_KEY, side),
+        max_tip=distribution.max_tip,
+        p999_tip=round(distribution.percentile_99_9, 1),
+        skew_ratio=round(distribution.skew_ratio, 4),
+        cumulative_series=series,
+    )
+
+    # Shape: the distribution is heavily skewed — at half of the maximum tip
+    # number, (nearly) all vertices are already accounted for.
+    assert distribution.fraction_below(max_tip / 2) > 0.8
+    assert distribution.cumulative_fraction[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("key", BENCH_DATASETS)
+def bench_fig4_skew_summary(benchmark, report, key):
+    result = get_receipt(key, "U")
+    distribution = benchmark.pedantic(lambda: tip_distribution(result), rounds=1, iterations=1)
+    report.add_row(
+        dataset=side_label(key, "U"),
+        max_tip=distribution.max_tip,
+        p999_tip=round(distribution.percentile_99_9, 1),
+        skew_ratio=round(distribution.skew_ratio, 4),
+        cumulative_series="-",
+    )
+    assert distribution.max_tip >= distribution.percentile_99_9

@@ -1,0 +1,70 @@
+"""Fig. 5: RECEIPT execution time as a function of the partition count P.
+
+The paper sweeps P from 50 to 500 and observes a sweet spot around 150:
+too few partitions starve FD of parallelism and inflate the induced
+subgraphs, too many partitions add CD synchronization rounds.  At laptop
+scale the same U-shape appears over a proportionally smaller sweep.
+The bench records time, wedges and rounds per P for the wedge-heavy U sides
+and asserts the monotone relationship between P and CD rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import BENCH_DATASETS, get_graph, get_receipt, side_label
+
+#: Scaled-down stand-in for the paper's {50, 150, 250, 350, 450, 550} sweep.
+PARTITION_SWEEP = [4, 8, 16, 32, 64]
+
+#: The paper shows the large datasets; sweep a representative subset to keep
+#: the harness quick.
+SWEEP_DATASETS = [key for key in ("it", "en", "tr") if key in BENCH_DATASETS] or BENCH_DATASETS[:1]
+
+
+@pytest.mark.parametrize("key", SWEEP_DATASETS)
+@pytest.mark.parametrize("n_partitions", PARTITION_SWEEP)
+def bench_fig5_partition_sweep(benchmark, report, key, n_partitions):
+    get_graph(key)  # materialise outside the measured section
+
+    result = benchmark.pedantic(
+        lambda: get_receipt(key, "U", n_partitions=n_partitions), rounds=1, iterations=1
+    )
+    fd_records = result.extra["subset_records"]
+    report.add_row(
+        dataset=side_label(key, "U"),
+        partitions=n_partitions,
+        time_s=round(result.counters.elapsed_seconds, 3),
+        cd_rounds=result.counters.synchronization_rounds,
+        wedges=result.counters.wedges_traversed,
+        n_subsets=len(fd_records),
+        fd_wedges=result.phase_counters["fd"].wedges_traversed,
+    )
+
+    # Structural expectations: more partitions -> at least as many subsets,
+    # and the number of subsets never exceeds P + 1 (the leftover subset).
+    assert len(fd_records) <= n_partitions + 1
+    assert result.counters.synchronization_rounds >= 1
+
+
+@pytest.mark.parametrize("key", SWEEP_DATASETS)
+def bench_fig5_rounds_grow_with_partitions(benchmark, report, key):
+    """CD synchronization rounds increase with P (the cost of a finer split)."""
+
+    def collect():
+        return {
+            n_partitions: get_receipt(key, "U", n_partitions=n_partitions).counters.synchronization_rounds
+            for n_partitions in (PARTITION_SWEEP[0], PARTITION_SWEEP[-1])
+        }
+
+    rounds = benchmark.pedantic(collect, rounds=1, iterations=1)
+    assert rounds[PARTITION_SWEEP[-1]] >= rounds[PARTITION_SWEEP[0]]
+    report.add_row(
+        dataset=side_label(key, "U"),
+        partitions=f"{PARTITION_SWEEP[0]} vs {PARTITION_SWEEP[-1]}",
+        time_s="-",
+        cd_rounds=f"{rounds[PARTITION_SWEEP[0]]} -> {rounds[PARTITION_SWEEP[-1]]}",
+        wedges="-",
+        n_subsets="-",
+        fd_wedges="-",
+    )

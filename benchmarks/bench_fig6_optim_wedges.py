@@ -1,0 +1,62 @@
+"""Fig. 6: effect of the HUC and DGM optimizations on wedge traversal.
+
+Three RECEIPT configurations are compared on every dataset side, exactly as
+in the paper's ablation:
+
+* ``RECEIPT``   — both optimizations enabled,
+* ``RECEIPT-``  — DGM disabled,
+* ``RECEIPT--`` — DGM and HUC disabled.
+
+Wedge counts are reported normalised to RECEIPT-- (the paper's y-axis).
+The bench also reports the ratio ``r = peel wedges / counting wedges`` of
+Sec. 5.2.2, which predicts where HUC pays off (large ``r`` on the U sides).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import DATASET_SIDES, get_baseline, get_graph, get_receipt, side_label
+
+VARIANTS = ("receipt", "receipt-", "receipt--")
+
+
+@pytest.mark.parametrize("key,side", DATASET_SIDES, ids=[side_label(k, s) for k, s in DATASET_SIDES])
+def bench_fig6_wedge_ablation(benchmark, report, key, side):
+    graph = get_graph(key)
+
+    def run_variants():
+        return {variant: get_receipt(key, side, variant=variant) for variant in VARIANTS}
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    # All variants are exact (Theorem 2 does not depend on the optimizations).
+    reference = results["receipt--"].tip_numbers
+    for variant in VARIANTS:
+        assert np.array_equal(results[variant].tip_numbers, reference), variant
+
+    wedges = {variant: results[variant].counters.wedges_traversed for variant in VARIANTS}
+    baseline = max(wedges["receipt--"], 1)
+    peel_work = graph.total_wedge_work(side)
+    counting_work = graph.counting_wedge_bound()
+    r_ratio = peel_work / max(counting_work, 1)
+
+    report.add_row(
+        dataset=side_label(key, side),
+        r_ratio=round(r_ratio, 1),
+        receipt_minus_minus=1.0,
+        receipt_minus=round(wedges["receipt-"] / baseline, 3),
+        receipt=round(wedges["receipt"] / baseline, 3),
+        recounts=results["receipt"].counters.recount_invocations,
+        dgm_compactions=results["receipt"].counters.dgm_compactions,
+    )
+
+    # Shape: the fully optimised variant never traverses more wedges than the
+    # unoptimised one, and DGM can at best halve the traversal (Sec. 5.2.2).
+    assert wedges["receipt"] <= wedges["receipt--"]
+    assert wedges["receipt-"] <= wedges["receipt--"]
+    if results["receipt"].counters.recount_invocations == 0:
+        # Without recounting, the only difference between RECEIPT and
+        # RECEIPT- is DGM, which removes at most the stale half of each wedge.
+        assert wedges["receipt"] >= wedges["receipt-"] / 2 - 1

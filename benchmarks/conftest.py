@@ -1,0 +1,163 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every table and figure of the paper's evaluation section has a dedicated
+``bench_*`` module in this directory.  Common machinery lives here:
+
+* dataset-side enumeration (ItU, ItV, ..., TrU, TrV) over the registry of
+  synthetic stand-ins,
+* session-scoped caches so that expensive decompositions are run once and
+  reused by the figures that post-process them, and
+* a small reporter that prints each table / series and writes it to
+  ``benchmarks/results/*.json`` so EXPERIMENTS.md can reference the numbers.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SCALE``
+    Size multiplier for the generated stand-ins (default ``0.4``).  The full
+    ``1.0`` scale takes a few minutes for the complete harness.
+``REPRO_BENCH_DATASETS``
+    Comma-separated dataset keys to benchmark (default: all six).
+``REPRO_BENCH_PARTITIONS``
+    RECEIPT's ``P`` parameter for the comparison benches (default ``24``,
+    a scaled-down stand-in for the paper's 150).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core.receipt import ReceiptConfig, receipt_decomposition
+from repro.datasets.registry import dataset_names, load_dataset
+from repro.peeling.bup import bup_decomposition
+from repro.peeling.parbutterfly import parbutterfly_decomposition
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+BENCH_PARTITIONS = int(os.environ.get("REPRO_BENCH_PARTITIONS", "24"))
+_requested = os.environ.get("REPRO_BENCH_DATASETS", "")
+BENCH_DATASETS = [key.strip().lower() for key in _requested.split(",") if key.strip()] \
+    or dataset_names()
+
+#: (dataset key, side) pairs in the paper's Table 2 / Table 3 order.
+DATASET_SIDES = [(key, side) for key in BENCH_DATASETS for side in ("U", "V")]
+
+
+def side_label(key: str, side: str) -> str:
+    """The paper's per-side dataset label, e.g. ``ItU`` or ``TrV``."""
+    return key.capitalize() + side
+
+
+# ----------------------------------------------------------------------
+# Session-scoped lazy caches
+# ----------------------------------------------------------------------
+_graphs: dict[str, object] = {}
+_receipt_results: dict[tuple[str, str, str], object] = {}
+_baseline_results: dict[tuple[str, str, str], object] = {}
+
+
+def get_graph(key: str):
+    """Generate (once) and return the stand-in graph for a dataset key."""
+    if key not in _graphs:
+        _graphs[key] = load_dataset(key, scale=BENCH_SCALE)
+    return _graphs[key]
+
+
+def get_receipt(key: str, side: str, variant: str = "receipt", n_partitions: int | None = None):
+    """Run (once) and cache a RECEIPT variant on one dataset side."""
+    n_partitions = BENCH_PARTITIONS if n_partitions is None else n_partitions
+    cache_key = (key, side, f"{variant}-P{n_partitions}")
+    if cache_key not in _receipt_results:
+        config = ReceiptConfig.from_variant(variant, n_partitions=n_partitions)
+        _receipt_results[cache_key] = receipt_decomposition(
+            get_graph(key), side, config=config
+        )
+    return _receipt_results[cache_key]
+
+
+def get_baseline(key: str, side: str, algorithm: str):
+    """Run (once) and cache a baseline (``bup`` or ``parb``) on one side."""
+    cache_key = (key, side, algorithm)
+    if cache_key not in _baseline_results:
+        graph = get_graph(key)
+        if algorithm == "bup":
+            _baseline_results[cache_key] = bup_decomposition(graph, side)
+        elif algorithm == "parb":
+            _baseline_results[cache_key] = parbutterfly_decomposition(graph, side)
+        else:  # pragma: no cover - guarded by callers
+            raise ValueError(f"unknown baseline {algorithm!r}")
+    return _baseline_results[cache_key]
+
+
+# ----------------------------------------------------------------------
+# Reporting
+# ----------------------------------------------------------------------
+class BenchReport:
+    """Collects rows for one table / figure and emits them at teardown."""
+
+    def __init__(self, name: str, description: str):
+        self.name = name
+        self.description = description
+        self.rows: list[dict] = []
+
+    def add_row(self, **fields) -> None:
+        self.rows.append(fields)
+
+    def emit(self) -> None:
+        if not self.rows:
+            return
+        RESULTS_DIR.mkdir(exist_ok=True)
+        payload = {
+            "name": self.name,
+            "description": self.description,
+            "scale": BENCH_SCALE,
+            "partitions": BENCH_PARTITIONS,
+            "rows": self.rows,
+        }
+        with open(RESULTS_DIR / f"{self.name}.json", "wt", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+        columns = list(self.rows[0].keys())
+        widths = {
+            column: max(len(column), *(len(_format(row.get(column))) for row in self.rows))
+            for column in columns
+        }
+        lines = [
+            "",
+            f"=== {self.name}: {self.description} (scale={BENCH_SCALE}) ===",
+            "  ".join(column.rjust(widths[column]) for column in columns),
+        ]
+        for row in self.rows:
+            lines.append(
+                "  ".join(_format(row.get(column)).rjust(widths[column]) for column in columns)
+            )
+        print("\n".join(lines))
+
+
+def _format(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    """Module-scoped report: benches add rows, the table prints at teardown."""
+    name = request.module.__name__.replace("bench_", "")
+    description = (request.module.__doc__ or "").strip().splitlines()[0] if request.module.__doc__ else ""
+    bench_report = BenchReport(name, description)
+    yield bench_report
+    bench_report.emit()
+
+
+def pytest_report_header(config):
+    return (
+        f"repro benchmark harness: scale={BENCH_SCALE}, partitions={BENCH_PARTITIONS}, "
+        f"datasets={','.join(BENCH_DATASETS)} (results in {RESULTS_DIR})"
+    )

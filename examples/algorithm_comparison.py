@@ -1,0 +1,71 @@
+"""Compare BUP, ParB and RECEIPT on a paper-dataset stand-in.
+
+Reproduces, at laptop scale, the flavour of Table 3: execution time, wedges
+traversed and synchronization rounds for the three tip-decomposition
+algorithms, plus RECEIPT's projected multi-thread speedup (the Fig. 10
+series) derived from the analytical cost model.
+
+Run with::
+
+    python examples/algorithm_comparison.py [dataset] [scale]
+
+where ``dataset`` is one of it, de, or, lj, en, tr (default ``it``) and
+``scale`` shrinks or grows the generated stand-in (default 0.5).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro import (
+    bup_decomposition,
+    parbutterfly_decomposition,
+    receipt_decomposition,
+)
+from repro.core import projected_speedups, wedge_breakdown
+from repro.datasets import load_dataset
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "it"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    graph = load_dataset(dataset, scale=scale)
+    print(f"dataset {dataset} (scale {scale}): |U|={graph.n_u:,} |V|={graph.n_v:,} "
+          f"|E|={graph.n_edges:,}")
+    print(f"BUP peel work (wedges): U-side {graph.total_wedge_work('U'):,} / "
+          f"V-side {graph.total_wedge_work('V'):,}\n")
+
+    rows = []
+    for label, runner in (
+        ("BUP", lambda: bup_decomposition(graph, "U")),
+        ("ParB", lambda: parbutterfly_decomposition(graph, "U")),
+        ("RECEIPT", lambda: receipt_decomposition(graph, "U", n_partitions=24)),
+    ):
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        rows.append((label, elapsed, result))
+
+    reference = rows[0][2]
+    print(f"{'algorithm':>10} {'time (s)':>10} {'wedges':>14} {'sync rounds':>12} {'matches BUP':>12}")
+    for label, elapsed, result in rows:
+        agree = bool(np.array_equal(result.tip_numbers, reference.tip_numbers))
+        rounds = result.counters.synchronization_rounds if label != "BUP" else "-"
+        print(f"{label:>10} {elapsed:>10.2f} {result.counters.wedges_traversed:>14,} "
+              f"{str(rounds):>12} {str(agree):>12}")
+
+    receipt = rows[-1][2]
+    print("\nRECEIPT wedge breakdown (Fig. 8 style):")
+    for phase, fraction in wedge_breakdown(receipt).fraction.items():
+        print(f"  {phase:>8}: {100 * fraction:5.1f}%")
+
+    print("\nprojected self-relative speedup (Fig. 10 style, cost-model replay):")
+    for threads, speedup in projected_speedups(receipt).items():
+        print(f"  {threads:>3} threads: {speedup:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Mining research-group hierarchies from an author-paper network.
+
+The paper's first application example: in an author-paper bipartite graph,
+k-tips reveal groups of researchers with common affiliations, and the tip
+hierarchy exposes how tightly each group collaborates.  This example builds
+a synthetic author-paper network with nested lab / group / collaboration
+structure, decomposes the author side and prints the hierarchy, then
+verifies the result against sequential BUP.
+
+Run with::
+
+    python examples/author_affiliation_groups.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BipartiteGraph, bup_decomposition, receipt_decomposition
+from repro.analysis import TipHierarchy, compare_results
+
+
+def build_author_paper_graph(seed: int = 3) -> tuple[BipartiteGraph, dict[int, str]]:
+    """Authors x papers with a core lab, a wider group and casual co-authors."""
+    rng = np.random.default_rng(seed)
+    edges: list[tuple[int, int]] = []
+    roles: dict[int, str] = {}
+
+    paper_cursor = 0
+
+    # Core lab: 6 authors who co-sign almost every one of their 25 papers.
+    core = list(range(0, 6))
+    for author in core:
+        roles[author] = "core lab"
+    for _ in range(25):
+        signers = [author for author in core if rng.random() < 0.85]
+        edges.extend((author, paper_cursor) for author in signers)
+        paper_cursor += 1
+
+    # Wider group: 14 collaborators who join subsets of the lab's output and
+    # also write papers among themselves.
+    group = list(range(6, 20))
+    for author in group:
+        roles[author] = "research group"
+    for _ in range(40):
+        lab_signers = [author for author in core if rng.random() < 0.3]
+        group_signers = [author for author in group if rng.random() < 0.35]
+        signers = lab_signers + group_signers
+        if len(signers) >= 2:
+            edges.extend((author, paper_cursor) for author in signers)
+            paper_cursor += 1
+
+    # Casual co-authors: 80 researchers with one or two papers each, lightly
+    # touching the group.
+    casual = list(range(20, 100))
+    for author in casual:
+        roles[author] = "casual"
+        for _ in range(int(rng.integers(1, 3))):
+            if rng.random() < 0.2:
+                partner_paper = int(rng.integers(0, max(paper_cursor, 1)))
+                edges.append((author, partner_paper))
+            else:
+                edges.append((author, paper_cursor))
+                paper_cursor += 1
+
+    graph = BipartiteGraph(100, paper_cursor, np.unique(np.array(edges), axis=0),
+                           name="author-paper")
+    return graph, roles
+
+
+def main() -> None:
+    graph, roles = build_author_paper_graph()
+    print(f"author-paper network: {graph.n_u} authors, {graph.n_v} papers, {graph.n_edges} edges")
+
+    result = receipt_decomposition(graph, side="U", n_partitions=8)
+    reference = bup_decomposition(graph, "U")
+    agreement = compare_results(reference, result)
+    print(f"RECEIPT matches sequential BUP: {agreement.passed}")
+
+    # Average tip number per role: the nested structure shows up as
+    # increasing density from casual co-authors to the core lab.
+    tips = result.tip_numbers
+    print("\naverage tip number by role:")
+    for role in ("core lab", "research group", "casual"):
+        members = [author for author, author_role in roles.items() if author_role == role]
+        print(f"  {role:>15}: {np.mean(tips[members]):12.1f}  (n={len(members)})")
+
+    # Print a condensed view of the hierarchy: how many authors survive at
+    # exponentially spaced levels.
+    hierarchy = TipHierarchy(graph, result)
+    print("\nk-tip hierarchy (authors with tip number >= k):")
+    levels = np.unique(np.geomspace(1, max(result.max_tip_number, 1), num=8).astype(int))
+    for level in levels:
+        members = hierarchy.vertices_at(int(level))
+        core_members = sum(1 for author in members if roles[int(author)] == "core lab")
+        print(f"  k = {int(level):>6}: {members.size:>3} authors ({core_members} from the core lab)")
+
+    top_tip = hierarchy.strongest_tip()
+    print(f"\ndensest tip ({result.max_tip_number}): authors {sorted(int(a) for a in top_tip)} "
+          f"-> roles {sorted(set(roles[int(a)] for a in top_tip))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Detecting colluding spam reviewers with tip decomposition.
+
+The paper motivates tip decomposition with spam detection in user-rating
+graphs: groups of fake reviewers collaboratively rate the same set of
+products and therefore appear as butterfly-dense vertex sets.  This example
+
+1. generates a synthetic ratings graph with two planted fraud rings over an
+   organic background,
+2. tip-decomposes the reviewer side with RECEIPT, and
+3. shows that the highest tip-number levels recover the planted rings.
+
+Run with::
+
+    python examples/spam_review_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BipartiteGraph, receipt_decomposition
+from repro.analysis import TipHierarchy, tip_distribution
+
+
+def build_ratings_graph(seed: int = 7) -> tuple[BipartiteGraph, dict[str, set[int]]]:
+    """Synthetic user x product ratings with two planted collusion rings."""
+    rng = np.random.default_rng(seed)
+    n_users, n_products = 400, 150
+    edges: list[tuple[int, int]] = []
+
+    # Organic behaviour: every user rates a handful of popular-ish products.
+    popularity = np.linspace(3.0, 0.2, n_products)
+    popularity /= popularity.sum()
+    for user in range(n_users):
+        rated = rng.choice(n_products, size=int(rng.integers(1, 6)), replace=False, p=popularity)
+        edges.extend((user, int(product)) for product in rated)
+
+    # Fraud ring A: 12 reviewers each rate (almost) all of 10 target products.
+    ring_a_users = set(range(20, 32))
+    ring_a_products = list(range(120, 130))
+    for user in ring_a_users:
+        for product in ring_a_products:
+            if rng.random() < 0.95:
+                edges.append((user, product))
+
+    # Fraud ring B: a smaller, slightly sloppier ring.
+    ring_b_users = set(range(200, 208))
+    ring_b_products = list(range(135, 142))
+    for user in ring_b_users:
+        for product in ring_b_products:
+            if rng.random() < 0.85:
+                edges.append((user, product))
+
+    graph = BipartiteGraph(n_users, n_products, np.unique(np.array(edges), axis=0),
+                           name="ratings")
+    return graph, {"ring_a": ring_a_users, "ring_b": ring_b_users}
+
+
+def main() -> None:
+    graph, rings = build_ratings_graph()
+    planted = rings["ring_a"] | rings["ring_b"]
+    print(f"ratings graph: {graph.n_u} users x {graph.n_v} products, {graph.n_edges} ratings")
+    print(f"planted colluders: {len(planted)} users in two rings")
+
+    result = receipt_decomposition(graph, side="U", n_partitions=16)
+    distribution = tip_distribution(result)
+    print(f"max tip number: {distribution.max_tip}")
+    print(f"99.9% of users have tip number <= {distribution.percentile_99_9:.0f} "
+          f"({100 * distribution.skew_ratio:.2f}% of the maximum)")
+
+    # Flag the most suspicious users: those whose tip number is a sizeable
+    # fraction of the maximum.  Organic reviewers sit orders of magnitude
+    # below the collusion rings, so a coarse relative threshold is enough.
+    threshold = max(10.0, 0.15 * distribution.max_tip)
+    flagged = set(int(u) for u in np.flatnonzero(result.tip_numbers >= threshold))
+    true_positives = flagged & planted
+    precision = len(true_positives) / len(flagged) if flagged else 0.0
+    recall = len(true_positives) / len(planted)
+    print(f"\nflagged {len(flagged)} users above tip number {threshold:.0f}")
+    print(f"precision: {precision:.2f}   recall: {recall:.2f}")
+
+    # The hierarchy separates the two rings: they have no shared butterflies,
+    # so they appear as distinct butterfly-connected components.
+    hierarchy = TipHierarchy(graph, result)
+    strong_level = int(np.percentile(result.tip_numbers[list(planted)], 10))
+    components = hierarchy.tips_at(strong_level)
+    big_components = [set(component.tolist()) for component in components
+                      if component.size >= 5]
+    print(f"\nbutterfly-connected groups at level {strong_level}:")
+    for index, members in enumerate(sorted(big_components, key=len, reverse=True)):
+        overlap_a = len(members & rings["ring_a"])
+        overlap_b = len(members & rings["ring_b"])
+        print(f"  group {index}: {len(members)} users "
+              f"(ring A overlap {overlap_a}, ring B overlap {overlap_b})")
+
+
+if __name__ == "__main__":
+    main()

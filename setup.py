@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that editable installs keep working in offline environments where
+the ``wheel`` package (required by PEP 660 editable builds) is unavailable:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

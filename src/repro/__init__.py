@@ -1,0 +1,106 @@
+"""repro — a reproduction of RECEIPT: parallel tip decomposition of bipartite graphs.
+
+The library implements the full stack described in the VLDB 2020 paper
+*RECEIPT: REfine CoarsE-grained IndePendent Tasks for Parallel Tip
+decomposition of Bipartite Graphs* (Lakhotia, Kannan, Prasanna, De Rose):
+
+* a bipartite-graph substrate (:mod:`repro.graph`),
+* butterfly counting kernels (:mod:`repro.butterfly`),
+* the sequential (BUP) and level-synchronous parallel (ParB) peeling
+  baselines (:mod:`repro.peeling`),
+* the RECEIPT algorithm itself — coarse- and fine-grained decomposition
+  with the HUC and DGM optimizations (:mod:`repro.core`),
+* synthetic stand-ins for the paper's evaluation datasets
+  (:mod:`repro.datasets`),
+* hierarchy / distribution analysis and correctness verification
+  (:mod:`repro.analysis`), and
+* the wing-decomposition extension of Sec. 7 (:mod:`repro.wing`).
+
+Quickstart
+----------
+>>> from repro import datasets, receipt_decomposition
+>>> graph = datasets.load_dataset("it", scale=0.2)
+>>> result = receipt_decomposition(graph, side="U", n_partitions=16)
+>>> int(result.max_tip_number) >= 0
+True
+"""
+
+from . import analysis, butterfly, core, datasets, distributed, graph, parallel, peeling, wing
+from .butterfly import ButterflyCounts, count_per_edge, count_per_vertex, count_total_butterflies
+from .core import (
+    ReceiptConfig,
+    build_cost_model,
+    projected_speedups,
+    receipt_decomposition,
+    time_breakdown,
+    tip_decomposition,
+    wedge_breakdown,
+)
+from .errors import (
+    BudgetExceededError,
+    DatasetError,
+    DecompositionError,
+    GraphConstructionError,
+    GraphFormatError,
+    ReproError,
+    VertexSideError,
+)
+from .graph import BipartiteGraph, from_biadjacency, from_edge_list, from_labelled_edges, load_graph
+from .peeling import (
+    PeelingCounters,
+    TipDecompositionResult,
+    bup_decomposition,
+    parbutterfly_decomposition,
+)
+from .wing import WingDecompositionResult, receipt_wing_decomposition, wing_decomposition
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "analysis",
+    "butterfly",
+    "core",
+    "datasets",
+    "distributed",
+    "graph",
+    "parallel",
+    "peeling",
+    "wing",
+    # graphs
+    "BipartiteGraph",
+    "from_biadjacency",
+    "from_edge_list",
+    "from_labelled_edges",
+    "load_graph",
+    # counting
+    "ButterflyCounts",
+    "count_per_edge",
+    "count_per_vertex",
+    "count_total_butterflies",
+    # decomposition
+    "ReceiptConfig",
+    "receipt_decomposition",
+    "tip_decomposition",
+    "bup_decomposition",
+    "parbutterfly_decomposition",
+    "TipDecompositionResult",
+    "PeelingCounters",
+    "wedge_breakdown",
+    "time_breakdown",
+    "build_cost_model",
+    "projected_speedups",
+    # wing extension
+    "WingDecompositionResult",
+    "wing_decomposition",
+    "receipt_wing_decomposition",
+    # errors
+    "ReproError",
+    "GraphConstructionError",
+    "GraphFormatError",
+    "VertexSideError",
+    "DecompositionError",
+    "BudgetExceededError",
+    "DatasetError",
+]

@@ -1,0 +1,25 @@
+"""Post-decomposition analysis: hierarchies, distributions and verification."""
+
+from .distributions import TipDistribution, cumulative_fraction_below, tip_distribution
+from .hierarchy import TipHierarchy, butterfly_connected_components, k_tip_vertices
+from .verification import (
+    VerificationReport,
+    check_basic_invariants,
+    check_k_tip_property,
+    compare_results,
+    verify_against_bup,
+)
+
+__all__ = [
+    "TipDistribution",
+    "cumulative_fraction_below",
+    "tip_distribution",
+    "TipHierarchy",
+    "butterfly_connected_components",
+    "k_tip_vertices",
+    "VerificationReport",
+    "check_basic_invariants",
+    "check_k_tip_property",
+    "compare_results",
+    "verify_against_bup",
+]

@@ -1,0 +1,93 @@
+"""Tip-number distribution summaries (Fig. 4 of the paper).
+
+The paper observes that maximum tip numbers are enormous (a handful of
+high-degree vertices share huge neighbourhoods) while the overwhelming
+majority of vertices have comparatively tiny tip numbers — e.g. 99.98% of
+TrU vertices sit below 0.027% of the maximum.  These helpers compute the
+cumulative distribution behind that plot and the headline skew statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..peeling.base import TipDecompositionResult
+
+__all__ = ["TipDistribution", "tip_distribution", "cumulative_fraction_below"]
+
+
+@dataclass(frozen=True)
+class TipDistribution:
+    """Summary of a tip-number distribution.
+
+    Attributes
+    ----------
+    values:
+        Sorted distinct tip numbers.
+    vertex_counts:
+        Number of vertices per distinct value (aligned with ``values``).
+    cumulative_fraction:
+        Fraction of vertices with tip number less than or equal to each
+        value — the y-axis of Fig. 4.
+    max_tip:
+        The maximum tip number.
+    percentile_99_9:
+        Tip number below which 99.9% of vertices fall; the ratio
+        ``percentile_99_9 / max_tip`` quantifies the skew the paper
+        highlights.
+    """
+
+    values: np.ndarray
+    vertex_counts: np.ndarray
+    cumulative_fraction: np.ndarray
+    max_tip: int
+    percentile_99_9: float
+
+    @property
+    def skew_ratio(self) -> float:
+        """``percentile_99_9 / max_tip`` (tiny for the paper's datasets)."""
+        return float(self.percentile_99_9 / self.max_tip) if self.max_tip > 0 else 1.0
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of vertices with tip number <= threshold."""
+        position = np.searchsorted(self.values, threshold, side="right")
+        if position == 0:
+            return 0.0
+        return float(self.cumulative_fraction[position - 1])
+
+    def series(self) -> list[tuple[int, float]]:
+        """(tip number, cumulative fraction) pairs for plotting."""
+        return [
+            (int(value), float(fraction))
+            for value, fraction in zip(self.values, self.cumulative_fraction)
+        ]
+
+
+def tip_distribution(result: TipDecompositionResult) -> TipDistribution:
+    """Compute the cumulative tip-number distribution of a decomposition."""
+    tip_numbers = result.tip_numbers
+    if tip_numbers.size == 0:
+        return TipDistribution(
+            values=np.zeros(0, dtype=np.int64),
+            vertex_counts=np.zeros(0, dtype=np.int64),
+            cumulative_fraction=np.zeros(0, dtype=np.float64),
+            max_tip=0,
+            percentile_99_9=0.0,
+        )
+    values, counts = np.unique(tip_numbers, return_counts=True)
+    cumulative = np.cumsum(counts) / tip_numbers.size
+    return TipDistribution(
+        values=values.astype(np.int64),
+        vertex_counts=counts.astype(np.int64),
+        cumulative_fraction=cumulative,
+        max_tip=int(values[-1]),
+        percentile_99_9=float(np.percentile(tip_numbers, 99.9)),
+    )
+
+
+def cumulative_fraction_below(result: TipDecompositionResult, thresholds: np.ndarray) -> np.ndarray:
+    """Cumulative vertex fractions at the given tip-number thresholds."""
+    distribution = tip_distribution(result)
+    return np.asarray([distribution.fraction_below(float(t)) for t in np.asarray(thresholds)])

@@ -1,0 +1,120 @@
+"""Construction and queries over the k-tip hierarchy.
+
+Tip numbers are a space-efficient encoding of the full hierarchy of k-tips
+(Definition 1): the vertices of every k-tip have tip number at least ``k``
+and are pairwise connected through butterflies.  This module rebuilds the
+hierarchy from a decomposition result — the levels, the vertex set of each
+level, and the butterfly-connected components that constitute the actual
+k-tips — which is what downstream applications (community extraction, spam
+group detection) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph, validate_side
+from ..peeling.base import TipDecompositionResult
+
+__all__ = ["TipHierarchy", "butterfly_connected_components", "k_tip_vertices"]
+
+
+def k_tip_vertices(result: TipDecompositionResult, k: int) -> np.ndarray:
+    """Vertices whose tip number is at least ``k`` (the union of all k-tips)."""
+    return result.vertices_with_tip_at_least(k)
+
+
+def butterfly_connected_components(
+    graph: BipartiteGraph, vertices: np.ndarray, side: str = "U"
+) -> list[np.ndarray]:
+    """Split ``vertices`` into butterfly-connected components.
+
+    Two same-side vertices are butterfly-adjacent when they share at least
+    one butterfly, i.e. at least two common neighbours.  Components are
+    computed with a union-find over the candidate vertex set; the cost is
+    quadratic in the worst case and intended for the moderately sized vertex
+    sets that appear at interesting hierarchy levels.
+    """
+    side = validate_side(side)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n = vertices.size
+    if n == 0:
+        return []
+    index_of = {int(vertex): position for position, vertex in enumerate(vertices)}
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    in_set = np.zeros(graph.side_size(side), dtype=bool)
+    in_set[vertices] = True
+
+    # For every candidate vertex, aggregate wedge counts to other candidates;
+    # >= 2 shared neighbours means a shared butterfly.
+    from ..butterfly.wedges import wedge_counts_from_vertex
+
+    for position, vertex in enumerate(vertices):
+        counts, _ = wedge_counts_from_vertex(graph, int(vertex), side)
+        partners = np.flatnonzero((counts >= 2) & in_set)
+        for partner in partners:
+            union(position, index_of[int(partner)])
+
+    components: dict[int, list[int]] = {}
+    for position, vertex in enumerate(vertices):
+        components.setdefault(find(position), []).append(int(vertex))
+    return [np.asarray(sorted(members), dtype=np.int64) for members in components.values()]
+
+
+@dataclass
+class TipHierarchy:
+    """The k-tip hierarchy derived from a tip decomposition result.
+
+    Attributes
+    ----------
+    graph:
+        The decomposed graph.
+    result:
+        The decomposition result the hierarchy was built from.
+    """
+
+    graph: BipartiteGraph
+    result: TipDecompositionResult
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Sorted distinct tip numbers present in the decomposition."""
+        return np.unique(self.result.tip_numbers)
+
+    def vertices_at(self, k: int) -> np.ndarray:
+        """Vertices of the union of all k-tips."""
+        return k_tip_vertices(self.result, k)
+
+    def subgraph_at(self, k: int):
+        """Induced subgraph (plus id mapping) on the k-tip vertex set."""
+        return self.graph.induced_on_u_subset(self.vertices_at(k)) \
+            if self.result.side == "U" else \
+            self.graph.swap_sides().induced_on_u_subset(self.vertices_at(k))
+
+    def tips_at(self, k: int) -> list[np.ndarray]:
+        """The individual k-tips: butterfly-connected components at level ``k``."""
+        return butterfly_connected_components(self.graph, self.vertices_at(k), self.result.side)
+
+    def strongest_tip(self) -> np.ndarray:
+        """Vertices of the densest non-trivial level (maximum tip number)."""
+        top = self.result.max_tip_number
+        return self.vertices_at(top) if top > 0 else np.zeros(0, dtype=np.int64)
+
+    def level_sizes(self) -> dict[int, int]:
+        """Number of vertices at or above each distinct tip number."""
+        tip_numbers = self.result.tip_numbers
+        return {int(level): int(np.count_nonzero(tip_numbers >= level)) for level in self.levels}

@@ -1,0 +1,135 @@
+"""Correctness checks for tip decompositions.
+
+Three layers of verification are provided, in increasing cost:
+
+1. :func:`check_basic_invariants` — cheap sanity conditions every valid
+   decomposition satisfies (bounds, zero-support vertices).
+2. :func:`check_k_tip_property` — the defining property of the hierarchy:
+   at every level ``k`` present in the result, each vertex of the level-``k``
+   vertex set participates in at least ``k`` butterflies *within* that set.
+3. :func:`compare_results` / :func:`verify_against_bup` — cross-algorithm
+   agreement, the strongest practical check (BUP's correctness is
+   established in prior work and in Theorem 2 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..butterfly.naive import count_per_vertex_wedge_restricted
+from ..graph.bipartite import BipartiteGraph
+from ..peeling.base import TipDecompositionResult
+
+__all__ = [
+    "VerificationReport",
+    "check_basic_invariants",
+    "check_k_tip_property",
+    "compare_results",
+    "verify_against_bup",
+]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of a verification pass."""
+
+    passed: bool
+    failures: list[str] = field(default_factory=list)
+
+    def merge(self, other: "VerificationReport") -> "VerificationReport":
+        return VerificationReport(
+            passed=self.passed and other.passed,
+            failures=self.failures + other.failures,
+        )
+
+
+def check_basic_invariants(
+    graph: BipartiteGraph, result: TipDecompositionResult
+) -> VerificationReport:
+    """Cheap invariants: sizes, non-negativity, tip <= butterfly count."""
+    failures: list[str] = []
+    expected_size = graph.side_size(result.side)
+    if result.tip_numbers.shape[0] != expected_size:
+        failures.append(
+            f"result has {result.tip_numbers.shape[0]} tip numbers, expected {expected_size}"
+        )
+    if result.tip_numbers.size and result.tip_numbers.min() < 0:
+        failures.append("negative tip numbers present")
+    over = np.flatnonzero(result.tip_numbers > result.initial_butterflies)
+    if over.size:
+        failures.append(
+            f"{over.size} vertices have tip number above their butterfly count "
+            f"(first: vertex {int(over[0])})"
+        )
+    zero_support = np.flatnonzero((result.initial_butterflies == 0) & (result.tip_numbers != 0))
+    if zero_support.size:
+        failures.append(f"{zero_support.size} butterfly-free vertices have non-zero tip numbers")
+    return VerificationReport(passed=not failures, failures=failures)
+
+
+def check_k_tip_property(
+    graph: BipartiteGraph,
+    result: TipDecompositionResult,
+    *,
+    levels: np.ndarray | None = None,
+) -> VerificationReport:
+    """Verify the level-wise support property of the hierarchy.
+
+    For each checked level ``k``: in the subgraph induced on the vertices
+    with tip number >= k (plus the entire other side), every such vertex
+    must participate in at least ``k`` butterflies.  This is the property
+    peeling maintains and the one downstream k-tip queries rely on.
+
+    ``levels`` defaults to every distinct tip number in the result; pass a
+    subset for large graphs.
+    """
+    working_graph = graph if result.side == "U" else graph.swap_sides()
+    failures: list[str] = []
+    tip_numbers = result.tip_numbers
+    check_levels = np.unique(tip_numbers) if levels is None else np.unique(np.asarray(levels))
+    for level in check_levels:
+        if level <= 0:
+            continue
+        member_mask = tip_numbers >= level
+        counts, _ = count_per_vertex_wedge_restricted(working_graph, "U", member_mask)
+        deficient = np.flatnonzero(member_mask & (counts < level))
+        if deficient.size:
+            failures.append(
+                f"level {int(level)}: {deficient.size} vertices have fewer than "
+                f"{int(level)} butterflies within the level (first: {int(deficient[0])})"
+            )
+    return VerificationReport(passed=not failures, failures=failures)
+
+
+def compare_results(
+    first: TipDecompositionResult, second: TipDecompositionResult
+) -> VerificationReport:
+    """Check that two algorithms produced identical tip numbers."""
+    failures: list[str] = []
+    if first.side != second.side:
+        failures.append(f"results decompose different sides: {first.side} vs {second.side}")
+    elif first.tip_numbers.shape != second.tip_numbers.shape:
+        failures.append("results have different vertex counts")
+    else:
+        differences = np.flatnonzero(first.tip_numbers != second.tip_numbers)
+        if differences.size:
+            vertex = int(differences[0])
+            failures.append(
+                f"{differences.size} vertices differ; first difference at vertex {vertex}: "
+                f"{first.algorithm}={int(first.tip_numbers[vertex])} vs "
+                f"{second.algorithm}={int(second.tip_numbers[vertex])}"
+            )
+    return VerificationReport(passed=not failures, failures=failures)
+
+
+def verify_against_bup(
+    graph: BipartiteGraph, result: TipDecompositionResult
+) -> VerificationReport:
+    """Re-run sequential BUP and compare tip numbers (the strongest check)."""
+    from ..peeling.bup import bup_decomposition
+
+    reference = bup_decomposition(graph, result.side)
+    report = compare_results(reference, result)
+    return check_basic_invariants(graph, result).merge(report)

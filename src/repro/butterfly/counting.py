@@ -1,0 +1,337 @@
+"""Per-vertex butterfly counting (Alg. 1 of the paper).
+
+The production kernel is the *vertex-priority* algorithm of Chiba &
+Nishizeki as refined by Wang et al.: vertices are ranked by decreasing
+degree and a wedge ``sp - mp - ep`` is traversed only from the start vertex
+``sp`` when the end point ``ep`` outranks both ``sp`` and ``mp``.  This
+bounds traversal by ``O(sum_{(u,v) in E} min(d_u, d_v)) = O(alpha * m)``
+wedges while still attributing every butterfly to all four of its vertices.
+
+Three entry points are provided:
+
+* :func:`count_per_vertex` — the public API; picks an algorithm by name.
+* :func:`count_per_vertex_priority` — sequential vertex-priority counting.
+* :func:`count_per_vertex_parallel` — the same kernel executed over an
+  :class:`~repro.parallel.threadpool.ExecutionContext` with per-thread
+  buffers (the "batch aggregation" mode of ParButterfly that the paper
+  adopts for support initialisation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ReproError
+from ..graph.bipartite import BipartiteGraph
+from ..graph.relabel import degree_priority
+from ..parallel.threadpool import ExecutionContext
+from .naive import count_per_vertex_wedge
+
+__all__ = [
+    "ButterflyCounts",
+    "count_per_vertex",
+    "count_per_vertex_priority",
+    "count_per_vertex_parallel",
+    "count_total_butterflies",
+]
+
+
+@dataclass(frozen=True)
+class ButterflyCounts:
+    """Per-vertex butterfly counts for both sides plus traversal statistics.
+
+    Attributes
+    ----------
+    u_counts, v_counts:
+        ``u_counts[u]`` is the number of butterflies vertex ``u`` (of side
+        ``U``) participates in; likewise for ``v_counts``.
+    wedges_traversed:
+        Wedge endpoints touched by the counting kernel.
+    algorithm:
+        Name of the kernel that produced the counts.
+    """
+
+    u_counts: np.ndarray
+    v_counts: np.ndarray
+    wedges_traversed: int
+    algorithm: str
+
+    @property
+    def total_butterflies(self) -> int:
+        """Total number of butterflies in the graph.
+
+        Every butterfly has exactly two vertices on each side, so the total
+        is half the sum of either side's per-vertex counts.
+        """
+        return int(self.u_counts.sum()) // 2
+
+    def counts(self, side: str) -> np.ndarray:
+        """Per-vertex counts for the requested side."""
+        return self.u_counts if side.upper() == "U" else self.v_counts
+
+
+@dataclass(frozen=True)
+class _RankedAdjacency:
+    """Adjacency lists re-sorted by global degree rank, per side."""
+
+    # neighbors_by_rank[vertex] lists neighbor ids ordered by increasing rank
+    # (i.e. decreasing degree); neighbor_ranks[vertex] carries their ranks so
+    # prefix cut-offs are a binary search away.
+    neighbors_by_rank: list[np.ndarray]
+    neighbor_ranks: list[np.ndarray]
+
+
+def _rank_sorted_adjacency(graph: BipartiteGraph, side: str, opposite_rank: np.ndarray) -> _RankedAdjacency:
+    neighbors_by_rank: list[np.ndarray] = []
+    neighbor_ranks: list[np.ndarray] = []
+    for vertex in range(graph.side_size(side)):
+        neighbors = graph.neighbors(vertex, side)
+        ranks = opposite_rank[neighbors]
+        order = np.argsort(ranks, kind="stable")
+        neighbors_by_rank.append(neighbors[order])
+        neighbor_ranks.append(ranks[order])
+    return _RankedAdjacency(neighbors_by_rank=neighbors_by_rank, neighbor_ranks=neighbor_ranks)
+
+
+def _count_from_starts(
+    graph: BipartiteGraph,
+    start_side: str,
+    start_vertices: np.ndarray,
+    start_ranks: np.ndarray,
+    mid_ranks: np.ndarray,
+    start_adjacency: _RankedAdjacency,
+    mid_adjacency: _RankedAdjacency,
+    same_counts: np.ndarray,
+    other_counts: np.ndarray,
+) -> int:
+    """Process a batch of start vertices, accumulating counts in place.
+
+    Returns the number of wedges traversed.  ``same_counts`` indexes the
+    start side and ``other_counts`` the middle side.
+    """
+    n_same = same_counts.shape[0]
+    wedge_buffer = np.zeros(n_same, dtype=np.int64)
+    wedges_traversed = 0
+
+    for start in start_vertices:
+        start = int(start)
+        start_rank = int(start_ranks[start])
+        mids = start_adjacency.neighbors_by_rank[start]
+        if mids.size == 0:
+            continue
+        touched: list[np.ndarray] = []
+        per_mid: list[tuple[int, np.ndarray]] = []
+        for mid in mids:
+            mid = int(mid)
+            cutoff = min(start_rank, int(mid_ranks[mid]))
+            candidate_ranks = mid_adjacency.neighbor_ranks[mid]
+            prefix = int(np.searchsorted(candidate_ranks, cutoff, side="left"))
+            if prefix == 0:
+                continue
+            endpoints = mid_adjacency.neighbors_by_rank[mid][:prefix]
+            wedge_buffer[endpoints] += 1
+            wedges_traversed += prefix
+            touched.append(endpoints)
+            per_mid.append((mid, endpoints))
+        if not touched:
+            continue
+
+        unique_endpoints = np.unique(np.concatenate(touched))
+        pair_wedges = wedge_buffer[unique_endpoints]
+        pair_butterflies = pair_wedges * (pair_wedges - 1) // 2
+        # Same-side contribution: the endpoint and the start vertex each gain
+        # C(wedges, 2) butterflies for this (start, endpoint) pair.
+        same_counts[unique_endpoints] += pair_butterflies
+        same_counts[start] += int(pair_butterflies.sum())
+        # Opposite-side contribution: the middle vertex of a wedge pairs with
+        # the other (wedges - 1) wedges sharing the same endpoint.
+        for mid, endpoints in per_mid:
+            other_counts[mid] += int(wedge_buffer[endpoints].sum()) - endpoints.size
+
+        wedge_buffer[unique_endpoints] = 0
+
+    return wedges_traversed
+
+
+def _count_wedges_through_mids(
+    graph: BipartiteGraph,
+    mid_side: str,
+    mid_ranks: np.ndarray,
+    endpoint_ranks: np.ndarray,
+    endpoint_counts: np.ndarray,
+    mid_counts: np.ndarray,
+) -> int:
+    """Vectorised traversal of all priority-filtered wedges centred on ``mid_side``.
+
+    For every middle vertex ``mp`` the wedges ``sp - mp - ep`` with
+    ``rank(ep) < rank(mp)`` and ``rank(ep) < rank(sp)`` are enumerated (the
+    exact wedge set Alg. 1 visits), then butterflies are attributed to the
+    endpoints (``C(pair wedges, 2)`` each) and to the middle vertices
+    (``pair wedges - 1`` per wedge) in a single grouped pass.  Returns the
+    number of wedges traversed.
+    """
+    n_endpoint_side = endpoint_counts.shape[0]
+    wedge_sp: list[np.ndarray] = []
+    wedge_ep: list[np.ndarray] = []
+    wedge_mid: list[np.ndarray] = []
+
+    for mid in range(graph.side_size(mid_side)):
+        neighbors = graph.neighbors(mid, mid_side)
+        if neighbors.size < 2:
+            continue
+        ranks = endpoint_ranks[neighbors]
+        order = np.argsort(ranks, kind="stable")
+        sorted_neighbors = neighbors[order]
+        sorted_ranks = ranks[order]
+        prefix = int(sorted_ranks.searchsorted(mid_ranks[mid], side="left"))
+        if prefix == 0:
+            continue
+        size = sorted_neighbors.shape[0]
+        per_endpoint = size - 1 - np.arange(prefix, dtype=np.int64)
+        per_endpoint = per_endpoint[per_endpoint > 0]
+        if per_endpoint.size == 0:
+            continue
+        total_pairs = int(per_endpoint.sum())
+        ep_ids = np.repeat(sorted_neighbors[: per_endpoint.size], per_endpoint)
+        pair_offsets = np.concatenate([[0], np.cumsum(per_endpoint)[:-1]])
+        start_positions = (
+            np.arange(total_pairs, dtype=np.int64)
+            - np.repeat(pair_offsets, per_endpoint)
+            + np.repeat(np.arange(1, per_endpoint.size + 1, dtype=np.int64), per_endpoint)
+        )
+        sp_ids = sorted_neighbors[start_positions]
+        wedge_sp.append(sp_ids)
+        wedge_ep.append(ep_ids)
+        wedge_mid.append(np.full(total_pairs, mid, dtype=np.int64))
+
+    if not wedge_sp:
+        return 0
+    all_sp = np.concatenate(wedge_sp)
+    all_ep = np.concatenate(wedge_ep)
+    all_mid = np.concatenate(wedge_mid)
+
+    pair_keys = all_sp.astype(np.int64) * np.int64(n_endpoint_side) + all_ep.astype(np.int64)
+    unique_keys, inverse, pair_wedges = np.unique(
+        pair_keys, return_inverse=True, return_counts=True
+    )
+    pair_sp = unique_keys // n_endpoint_side
+    pair_ep = unique_keys % n_endpoint_side
+    pair_butterflies = pair_wedges * (pair_wedges - 1) // 2
+
+    np.add.at(endpoint_counts, pair_sp, pair_butterflies)
+    np.add.at(endpoint_counts, pair_ep, pair_butterflies)
+    mid_contribution = pair_wedges[inverse] - 1
+    mid_counts += np.bincount(
+        all_mid, weights=mid_contribution, minlength=mid_counts.shape[0]
+    ).astype(np.int64)
+    return int(all_sp.shape[0])
+
+
+def count_per_vertex_priority(graph: BipartiteGraph) -> ButterflyCounts:
+    """Sequential vertex-priority per-vertex butterfly counting (Alg. 1).
+
+    The implementation enumerates the priority-filtered wedges from the
+    middle vertices instead of the start vertices; the wedge set, the work
+    bound and the resulting counts are identical to Alg. 1, but the grouped
+    aggregation vectorises far better in numpy.
+    """
+    priority = degree_priority(graph)
+    u_counts = np.zeros(graph.n_u, dtype=np.int64)
+    v_counts = np.zeros(graph.n_v, dtype=np.int64)
+
+    # Wedges with endpoints in U are centred on V vertices and vice versa.
+    wedges = _count_wedges_through_mids(
+        graph, "V", priority.v_rank, priority.u_rank, u_counts, v_counts
+    )
+    wedges += _count_wedges_through_mids(
+        graph, "U", priority.u_rank, priority.v_rank, v_counts, u_counts
+    )
+    return ButterflyCounts(u_counts=u_counts, v_counts=v_counts,
+                           wedges_traversed=wedges, algorithm="vertex-priority")
+
+
+def count_per_vertex_parallel(
+    graph: BipartiteGraph, context: ExecutionContext | None = None
+) -> ButterflyCounts:
+    """Vertex-priority counting parallelised over start vertices.
+
+    Start vertices are split into work-balanced chunks; every chunk
+    accumulates into private buffers which are merged after the implicit
+    barrier, mirroring the batch-aggregation mode the paper adopts from
+    ParButterfly.  Counts are identical to the sequential kernel.
+    """
+    context = context or ExecutionContext()
+    priority = degree_priority(graph)
+    u_adjacency = _rank_sorted_adjacency(graph, "U", priority.v_rank)
+    v_adjacency = _rank_sorted_adjacency(graph, "V", priority.u_rank)
+
+    u_counts = np.zeros(graph.n_u, dtype=np.int64)
+    v_counts = np.zeros(graph.n_v, dtype=np.int64)
+    total_wedges = 0
+
+    for side, start_count, start_ranks, mid_ranks, start_adj, mid_adj, same_target, other_target in (
+        ("U", graph.n_u, priority.u_rank, priority.v_rank, u_adjacency, v_adjacency, u_counts, v_counts),
+        ("V", graph.n_v, priority.v_rank, priority.u_rank, v_adjacency, u_adjacency, v_counts, u_counts),
+    ):
+        starts = np.arange(start_count)
+        work = graph.degrees(side).astype(np.float64)
+
+        def chunk_body(chunk, *, _side=side, _ranks=start_ranks, _mid_ranks=mid_ranks,
+                       _start_adj=start_adj, _mid_adj=mid_adj,
+                       _n_same=same_target.shape[0], _n_other=other_target.shape[0]):
+            local_same = np.zeros(_n_same, dtype=np.int64)
+            local_other = np.zeros(_n_other, dtype=np.int64)
+            traversed = _count_from_starts(
+                graph, _side, np.asarray(chunk, dtype=np.int64), _ranks, _mid_ranks,
+                _start_adj, _mid_adj, local_same, local_other,
+            )
+            return local_same, local_other, traversed
+
+        results = context.map_chunks(
+            list(starts), chunk_body, name=f"pvBcnt[{side}]", work_per_item=list(work)
+        )
+        for local_same, local_other, traversed in results:
+            same_target += local_same
+            other_target += local_other
+            total_wedges += traversed
+
+    return ButterflyCounts(u_counts=u_counts, v_counts=v_counts,
+                           wedges_traversed=total_wedges, algorithm="vertex-priority-parallel")
+
+
+def count_per_vertex(
+    graph: BipartiteGraph,
+    *,
+    algorithm: str = "vertex-priority",
+    context: ExecutionContext | None = None,
+) -> ButterflyCounts:
+    """Count per-vertex butterflies with the requested algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    algorithm:
+        ``"vertex-priority"`` (default, Alg. 1), ``"parallel"`` (the same
+        kernel over an execution context), or ``"wedge"`` (simple wedge
+        aggregation, mainly for cross-checking).
+    context:
+        Execution context for the parallel kernel.
+    """
+    if algorithm == "vertex-priority":
+        return count_per_vertex_priority(graph)
+    if algorithm == "parallel":
+        return count_per_vertex_parallel(graph, context)
+    if algorithm == "wedge":
+        u_counts, wedges_u = count_per_vertex_wedge(graph, "U")
+        v_counts, wedges_v = count_per_vertex_wedge(graph, "V")
+        return ButterflyCounts(u_counts=u_counts, v_counts=v_counts,
+                               wedges_traversed=wedges_u + wedges_v, algorithm="wedge")
+    raise ReproError(f"unknown butterfly counting algorithm {algorithm!r}")
+
+
+def count_total_butterflies(graph: BipartiteGraph) -> int:
+    """Total number of butterflies in the graph (``⋈_G`` in Table 2)."""
+    return count_per_vertex_priority(graph).total_butterflies

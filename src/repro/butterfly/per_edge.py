@@ -1,0 +1,96 @@
+"""Per-edge butterfly counting.
+
+Wing decomposition (the edge-peeling analogue of tip decomposition that the
+paper discusses as an extension in Sec. 7) initialises edge supports with
+the number of butterflies each edge participates in.  An edge ``(u, v)``
+lies in one butterfly for every pair ``(u', v')`` with ``u' ∈ N(v)\\{u}``,
+``v' ∈ N(u)\\{v}`` and ``(u', v') ∈ E``; equivalently, for every other
+``U``-neighbour ``u'`` of ``v`` the edge gains ``|N(u) ∩ N(u')| - 1``
+butterflies (the ``-1`` removes the wedge through ``v`` itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["EdgeButterflyCounts", "count_per_edge"]
+
+
+@dataclass(frozen=True)
+class EdgeButterflyCounts:
+    """Per-edge butterfly counts.
+
+    Attributes
+    ----------
+    edges:
+        ``(m, 2)`` array of ``[u, v]`` pairs in the graph's canonical edge
+        order (grouped by ``u``, neighbours ascending).
+    counts:
+        ``counts[i]`` is the number of butterflies containing ``edges[i]``.
+    wedges_traversed:
+        Work performed by the counting kernel.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    wedges_traversed: int
+
+    @property
+    def total_butterflies(self) -> int:
+        """Total butterflies (each butterfly contains exactly four edges)."""
+        return int(self.counts.sum()) // 4
+
+    def as_dict(self) -> dict[tuple[int, int], int]:
+        """Counts keyed by ``(u, v)`` pairs."""
+        return {
+            (int(u), int(v)): int(count)
+            for (u, v), count in zip(self.edges, self.counts)
+        }
+
+    def edge_index(self) -> dict[tuple[int, int], int]:
+        """Mapping from ``(u, v)`` to position in :attr:`edges`."""
+        return {(int(u), int(v)): i for i, (u, v) in enumerate(self.edges)}
+
+
+def count_per_edge(graph: BipartiteGraph) -> EdgeButterflyCounts:
+    """Count butterflies per edge.
+
+    The kernel reuses the per-start wedge aggregation: for a ``U`` vertex
+    ``u`` the array ``pair_wedges[u']`` holds ``|N(u) ∩ N(u')|``; the count
+    for edge ``(u, v)`` is then ``sum_{u' in N(v), u' != u}
+    (pair_wedges[u'] - 1)``.  Complexity is
+    ``O(sum_u sum_{v in N(u)} d_v)`` — the same bound as bottom-up peeling,
+    which is acceptable because wing decomposition itself dominates it.
+    """
+    edges = graph.edge_array()
+    counts = np.zeros(edges.shape[0], dtype=np.int64)
+    wedges_traversed = 0
+
+    offsets, _ = graph.csr("U")
+    pair_wedges = np.zeros(graph.n_u, dtype=np.int64)
+
+    for u in range(graph.n_u):
+        centers = graph.neighbors_u(u)
+        if centers.size == 0:
+            continue
+        pieces = [graph.neighbors_v(int(v)) for v in centers]
+        endpoints = np.concatenate(pieces)
+        wedges_traversed += int(endpoints.size)
+        np.add.at(pair_wedges, endpoints, 1)
+        pair_wedges[u] = 0
+
+        edge_start = int(offsets[u])
+        for local_index, v in enumerate(centers):
+            others = graph.neighbors_v(int(v))
+            contribution = int(pair_wedges[others].sum()) - (others.size - 1)
+            counts[edge_start + local_index] = contribution
+            wedges_traversed += int(others.size)
+
+        # Reset the buffer for the next start vertex.
+        pair_wedges[endpoints] = 0
+
+    return EdgeButterflyCounts(edges=edges, counts=counts, wedges_traversed=wedges_traversed)

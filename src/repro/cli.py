@@ -1,0 +1,177 @@
+"""Command-line interface for the RECEIPT reproduction.
+
+Installed as ``repro-tip`` (see ``pyproject.toml``) and also runnable via
+``python -m repro.cli``.  Sub-commands:
+
+* ``datasets`` — list the registered paper-dataset stand-ins.
+* ``stats`` — structural statistics of a graph (Table 2 style).
+* ``count`` — per-vertex butterfly counting.
+* ``decompose`` — tip decomposition with RECEIPT / BUP / ParB.
+* ``compare`` — run two algorithms and verify they agree (Table 3 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis.verification import compare_results
+from .butterfly.counting import count_per_vertex
+from .core.receipt import tip_decomposition
+from .datasets.registry import DATASETS, load_dataset
+from .errors import ReproError
+from .graph.bipartite import BipartiteGraph
+from .graph.io import load_graph
+from .graph.statistics import graph_statistics
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(args: argparse.Namespace) -> BipartiteGraph:
+    """Load the graph named on the command line (file path or dataset key)."""
+    if args.dataset is not None:
+        return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    if args.path is not None:
+        return load_graph(args.path)
+    raise ReproError("either --dataset or --path must be given")
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", help="registered dataset key (it, de, or, lj, en, tr)")
+    source.add_argument("--path", help="path to an edge list / KONECT / MatrixMarket file")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="size multiplier for generated datasets (default 1.0)")
+    parser.add_argument("--seed", type=int, default=None, help="random seed for generated datasets")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-tip",
+        description="RECEIPT: parallel tip decomposition of bipartite graphs (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list registered datasets")
+
+    stats_parser = subparsers.add_parser("stats", help="structural statistics of a graph")
+    _add_graph_arguments(stats_parser)
+
+    count_parser = subparsers.add_parser("count", help="per-vertex butterfly counting")
+    _add_graph_arguments(count_parser)
+    count_parser.add_argument("--algorithm", default="vertex-priority",
+                              choices=["vertex-priority", "parallel", "wedge"])
+
+    decompose_parser = subparsers.add_parser("decompose", help="tip decomposition")
+    _add_graph_arguments(decompose_parser)
+    decompose_parser.add_argument("--side", default="U", choices=["U", "V", "u", "v"])
+    decompose_parser.add_argument("--algorithm", default="receipt",
+                                  choices=["receipt", "receipt-", "receipt--", "bup", "parb"])
+    decompose_parser.add_argument("--partitions", type=int, default=None,
+                                  help="number of RECEIPT partitions P (default: library default)")
+    decompose_parser.add_argument("--threads", type=int, default=1)
+    decompose_parser.add_argument("--output", help="write per-vertex tip numbers to this JSON file")
+
+    compare_parser = subparsers.add_parser("compare", help="run two algorithms and verify agreement")
+    _add_graph_arguments(compare_parser)
+    compare_parser.add_argument("--side", default="U", choices=["U", "V", "u", "v"])
+    compare_parser.add_argument("--first", default="receipt")
+    compare_parser.add_argument("--second", default="bup")
+
+    return parser
+
+
+def _command_datasets() -> int:
+    for key, spec in DATASETS.items():
+        stats = spec.paper_stats
+        print(
+            f"{key:>3}  {spec.description}\n"
+            f"     paper: |U|={stats['n_u']:,} |V|={stats['n_v']:,} |E|={stats['n_edges']:,}"
+        )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    graph = _load(args)
+    print(json.dumps(graph_statistics(graph).as_dict(), indent=2))
+    return 0
+
+
+def _command_count(args: argparse.Namespace) -> int:
+    graph = _load(args)
+    counts = count_per_vertex(graph, algorithm=args.algorithm)
+    print(json.dumps(
+        {
+            "algorithm": counts.algorithm,
+            "total_butterflies": counts.total_butterflies,
+            "wedges_traversed": counts.wedges_traversed,
+            "max_count_u": int(counts.u_counts.max()) if counts.u_counts.size else 0,
+            "max_count_v": int(counts.v_counts.max()) if counts.v_counts.size else 0,
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _command_decompose(args: argparse.Namespace) -> int:
+    graph = _load(args)
+    kwargs = {}
+    if args.algorithm.startswith("receipt"):
+        kwargs["n_threads"] = args.threads
+        if args.partitions is not None:
+            kwargs["n_partitions"] = args.partitions
+    result = tip_decomposition(graph, args.side.upper(), algorithm=args.algorithm, **kwargs)
+    print(json.dumps(result.summary(), indent=2))
+    if args.output:
+        with open(args.output, "wt", encoding="utf-8") as handle:
+            json.dump({"side": result.side,
+                       "tip_numbers": [int(value) for value in result.tip_numbers]}, handle)
+        print(f"tip numbers written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    graph = _load(args)
+    side = args.side.upper()
+    first = tip_decomposition(graph, side, algorithm=args.first)
+    second = tip_decomposition(graph, side, algorithm=args.second)
+    report = compare_results(first, second)
+    print(json.dumps(
+        {
+            "first": first.summary(),
+            "second": second.summary(),
+            "agree": report.passed,
+            "failures": report.failures,
+        },
+        indent=2,
+    ))
+    return 0 if report.passed else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by the ``repro-tip`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "datasets":
+            return _command_datasets()
+        if args.command == "stats":
+            return _command_stats(args)
+        if args.command == "count":
+            return _command_count(args)
+        if args.command == "decompose":
+            return _command_decompose(args)
+        if args.command == "compare":
+            return _command_compare(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    parser.error(f"unknown command {args.command!r}")
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""RECEIPT: the paper's primary contribution (coarse + fine decomposition)."""
+
+from .cd import CoarseDecompositionResult, coarse_grained_decomposition
+from .fd import FineDecompositionResult, SubsetPeelRecord, fine_grained_decomposition
+from .hybrid import RecountOutcome, peel_cost, recount_cost, recount_supports, should_recount
+from .ranges import AdaptiveRangeTargeter, find_range_upper_bound
+from .receipt import DEFAULT_PARTITIONS, ReceiptConfig, receipt_decomposition, tip_decomposition
+from .scheduling import Schedule, greedy_schedule, lpt_schedule, workload_aware_order
+from .stats import (
+    PhaseBreakdown,
+    build_cost_model,
+    peel_to_count_ratio,
+    projected_speedups,
+    time_breakdown,
+    wedge_breakdown,
+)
+
+__all__ = [
+    "CoarseDecompositionResult",
+    "coarse_grained_decomposition",
+    "FineDecompositionResult",
+    "SubsetPeelRecord",
+    "fine_grained_decomposition",
+    "RecountOutcome",
+    "peel_cost",
+    "recount_cost",
+    "recount_supports",
+    "should_recount",
+    "AdaptiveRangeTargeter",
+    "find_range_upper_bound",
+    "DEFAULT_PARTITIONS",
+    "ReceiptConfig",
+    "receipt_decomposition",
+    "tip_decomposition",
+    "Schedule",
+    "greedy_schedule",
+    "lpt_schedule",
+    "workload_aware_order",
+    "PhaseBreakdown",
+    "build_cost_model",
+    "peel_to_count_ratio",
+    "projected_speedups",
+    "time_breakdown",
+    "wedge_breakdown",
+]

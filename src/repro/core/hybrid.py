@@ -1,0 +1,98 @@
+"""Hybrid Update Computation (HUC, Sec. 4.1).
+
+When a CD peeling iteration is about to delete a set of vertices whose
+cumulative wedge work exceeds the cost of simply re-counting butterflies on
+the residual graph, RECEIPT re-counts instead of peeling.  Correctness is
+unaffected: after all vertices of earlier subsets are removed, the support
+of a remaining vertex equals the number of butterflies it shares with the
+remaining vertices, which is exactly what a fresh count on the residual
+graph produces.
+
+The cost comparison uses
+
+* ``C_peel = sum_{u in activeSet} w[u]`` with ``w[u] = sum_{v in N(u)} d_v``
+  (the wedge work of the vertices about to be peeled), and
+* ``C_rcnt = sum_{(u, v) in E, u alive} min(d_u, d_v')`` where ``d_v'`` is
+  the residual degree of the center vertex — the traversal bound of
+  vertex-priority counting on the residual graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..butterfly.counting import count_per_vertex_priority
+from ..graph.bipartite import BipartiteGraph
+
+__all__ = ["RecountOutcome", "peel_cost", "recount_cost", "should_recount", "recount_supports"]
+
+
+@dataclass(frozen=True)
+class RecountOutcome:
+    """Result of a HUC re-count on the residual graph.
+
+    Attributes
+    ----------
+    supports:
+        Butterfly counts of the still-alive vertices, indexed by the parent
+        graph's ``U`` ids (entries of peeled vertices are zero).
+    wedges_traversed:
+        Wedges traversed by the counting kernel (charged as counting work).
+    """
+
+    supports: np.ndarray
+    wedges_traversed: int
+
+
+def peel_cost(wedge_work: np.ndarray, active_set: np.ndarray) -> int:
+    """Wedge cost of peeling ``active_set`` (``C_peel``)."""
+    if active_set.size == 0:
+        return 0
+    return int(wedge_work[active_set].sum())
+
+
+def recount_cost(graph: BipartiteGraph, alive_mask: np.ndarray) -> int:
+    """Traversal bound of re-counting butterflies on the residual graph (``C_rcnt``).
+
+    The residual graph keeps all ``V`` vertices and only the alive ``U``
+    vertices; the bound is ``sum over residual edges of min(d_u,
+    residual d_v)``.
+    """
+    alive_mask = np.asarray(alive_mask, dtype=bool)
+    if not alive_mask.any():
+        return 0
+    edges = graph.edge_array()
+    keep = alive_mask[edges[:, 0]]
+    if not keep.any():
+        return 0
+    residual_u = edges[keep, 0]
+    residual_v = edges[keep, 1]
+    degrees_u = graph.degrees_u().astype(np.int64)
+    residual_center_degree = np.bincount(residual_v, minlength=graph.n_v).astype(np.int64)
+    return int(np.minimum(degrees_u[residual_u], residual_center_degree[residual_v]).sum())
+
+
+def should_recount(cost_of_peeling: int, cost_of_recounting: int) -> bool:
+    """The HUC decision: re-count when peeling would traverse more wedges."""
+    return cost_of_peeling > cost_of_recounting
+
+
+def recount_supports(graph: BipartiteGraph, alive_mask: np.ndarray) -> RecountOutcome:
+    """Re-count butterflies of the alive ``U`` vertices on the residual graph.
+
+    Builds the subgraph induced on the alive vertices (and the full ``V``
+    side, as butterflies only need their two ``U`` endpoints alive) and runs
+    the vertex-priority counting kernel on it.
+    """
+    alive_mask = np.asarray(alive_mask, dtype=bool)
+    supports = np.zeros(alive_mask.shape[0], dtype=np.int64)
+    alive_vertices = np.flatnonzero(alive_mask)
+    if alive_vertices.size == 0:
+        return RecountOutcome(supports=supports, wedges_traversed=0)
+
+    induced = graph.induced_on_u_subset(alive_vertices)
+    counts = count_per_vertex_priority(induced.graph)
+    supports[alive_vertices] = counts.u_counts
+    return RecountOutcome(supports=supports, wedges_traversed=counts.wedges_traversed)

@@ -1,0 +1,251 @@
+"""Top-level RECEIPT tip decomposition (CD + FD with all optimizations).
+
+This is the library's flagship entry point.  It composes the three phases
+the paper analyses:
+
+1. **pvBcnt** — per-vertex butterfly counting to initialise supports.
+2. **RECEIPT CD** — coarse-grained decomposition into tip-number ranges.
+3. **RECEIPT FD** — independent per-subset peeling for exact tip numbers.
+
+and records per-phase counters so that every evaluation figure of the paper
+(work / time breakdowns, ablations, scalability projections) can be
+regenerated from a single run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..butterfly.counting import ButterflyCounts, count_per_vertex
+from ..errors import ReproError
+from ..graph.bipartite import BipartiteGraph, validate_side
+from ..parallel.threadpool import ExecutionContext
+from ..peeling.base import PeelingCounters, TipDecompositionResult
+from .cd import coarse_grained_decomposition
+from .fd import fine_grained_decomposition
+
+__all__ = ["ReceiptConfig", "receipt_decomposition", "tip_decomposition"]
+
+#: Number of vertex subsets the paper settles on after the Fig. 5 sweep.
+DEFAULT_PARTITIONS = 150
+
+_VARIANTS = {
+    "receipt": {"enable_huc": True, "enable_dgm": True},
+    "receipt-": {"enable_huc": True, "enable_dgm": False},
+    "receipt--": {"enable_huc": False, "enable_dgm": False},
+}
+
+
+@dataclass
+class ReceiptConfig:
+    """Configuration of a RECEIPT run.
+
+    Attributes
+    ----------
+    n_partitions:
+        The parameter ``P``: number of tip-number ranges CD creates.
+    enable_huc:
+        Hybrid Update Computation (Sec. 4.1).
+    enable_dgm:
+        Dynamic Graph Maintenance (Sec. 4.2).
+    huc_cost_factor:
+        Multiplier on the re-count cost in the HUC decision; 1.0 reproduces
+        the paper's pure wedge-count comparison, larger values bias towards
+        peeling to compensate for Python's higher per-wedge counting cost.
+    adaptive_range_targets:
+        Two-way adaptive range determination (Sec. 3.1.1); disable to fall
+        back to a static per-subset wedge target (ablation only).
+    n_threads:
+        Logical thread count used for work partitioning and reported to the
+        parallel cost model.
+    use_real_threads:
+        Execute parallel regions on OS threads (off by default; the GIL
+        makes this a losing proposition for the pure-Python kernels).
+    workload_aware_scheduling:
+        Sort FD's task queue by decreasing estimated work.
+    counting_algorithm:
+        Kernel used for support initialisation (``"parallel"`` or
+        ``"vertex-priority"``).
+    """
+
+    n_partitions: int = DEFAULT_PARTITIONS
+    enable_huc: bool = True
+    enable_dgm: bool = True
+    huc_cost_factor: float = 3.0
+    adaptive_range_targets: bool = True
+    n_threads: int = 1
+    use_real_threads: bool = False
+    workload_aware_scheduling: bool = True
+    counting_algorithm: str = "parallel"
+
+    @classmethod
+    def from_variant(cls, variant: str, **overrides) -> "ReceiptConfig":
+        """Build a config from an ablation variant name.
+
+        ``"receipt"`` enables everything, ``"receipt-"`` disables DGM and
+        ``"receipt--"`` disables both DGM and HUC — the three configurations
+        compared in Figs. 6 and 7.
+        """
+        key = variant.lower()
+        if key not in _VARIANTS:
+            raise ReproError(
+                f"unknown RECEIPT variant {variant!r}; expected one of {sorted(_VARIANTS)}"
+            )
+        settings = dict(_VARIANTS[key])
+        settings.update(overrides)
+        return cls(**settings)
+
+
+def receipt_decomposition(
+    graph: BipartiteGraph,
+    side: str = "U",
+    *,
+    config: ReceiptConfig | None = None,
+    counts: ButterflyCounts | None = None,
+    context: ExecutionContext | None = None,
+    **config_overrides,
+) -> TipDecompositionResult:
+    """Tip-decompose one side of a bipartite graph with RECEIPT.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite graph.
+    side:
+        Side to decompose (``"U"`` or ``"V"``).
+    config:
+        Full configuration object; keyword overrides (e.g.
+        ``n_partitions=50``) may be passed directly instead.
+    counts:
+        Pre-computed per-vertex butterfly counts.  They must have been
+        counted on ``graph`` (not on a swapped copy); when omitted they are
+        computed as part of the run and charged to the pvBcnt phase.
+    context:
+        Execution context to reuse; a fresh one matching the configuration
+        is created when omitted.
+
+    Returns
+    -------
+    TipDecompositionResult
+        Tip numbers plus per-phase counters and RECEIPT-specific metadata
+        (range bounds, subset sizes, per-iteration and per-subset records,
+        recorded parallel regions).
+    """
+    side = validate_side(side)
+    if config is None:
+        config = ReceiptConfig(**config_overrides)
+    elif config_overrides:
+        raise ReproError("pass either a config object or keyword overrides, not both")
+
+    context = context or ExecutionContext(
+        config.n_threads, use_real_threads=config.use_real_threads
+    )
+    total_counters = PeelingCounters()
+    phase_counters: dict[str, PeelingCounters] = {}
+    start_time = time.perf_counter()
+
+    # RECEIPT CD / FD always peel the "U" side of their working graph; for a
+    # "V"-side decomposition we simply swap the roles of the two vertex sets.
+    working_graph = graph if side == "U" else graph.swap_sides()
+
+    # Phase 1: per-vertex butterfly counting (pvBcnt).
+    counting_start = time.perf_counter()
+    if counts is None:
+        counts = count_per_vertex(graph, algorithm=config.counting_algorithm, context=context)
+    counting_counters = PeelingCounters(
+        wedges_traversed=counts.wedges_traversed,
+        counting_wedges=counts.wedges_traversed,
+        elapsed_seconds=time.perf_counter() - counting_start,
+    )
+    phase_counters["pvBcnt"] = counting_counters
+    initial_butterflies = counts.counts(side).copy()
+
+    # Phase 2: coarse-grained decomposition.
+    cd_result = coarse_grained_decomposition(
+        working_graph,
+        initial_butterflies,
+        config.n_partitions,
+        enable_huc=config.enable_huc,
+        enable_dgm=config.enable_dgm,
+        huc_cost_factor=config.huc_cost_factor,
+        adaptive_targets=config.adaptive_range_targets,
+        context=context,
+    )
+    phase_counters["cd"] = cd_result.counters
+
+    # Phase 3: fine-grained decomposition.
+    fd_result = fine_grained_decomposition(
+        working_graph,
+        cd_result,
+        context=context,
+        workload_aware=config.workload_aware_scheduling,
+    )
+    phase_counters["fd"] = fd_result.counters
+    context.record_barrier(
+        "fd_subsets",
+        n_tasks=len(fd_result.subset_records),
+        total_work=float(sum(r.wedges_traversed for r in fd_result.subset_records)),
+        task_work=[float(r.wedges_traversed) for r in fd_result.subset_records],
+        scheduling="lpt" if config.workload_aware_scheduling else "dynamic",
+    )
+
+    for phase in phase_counters.values():
+        total_counters.merge(phase)
+    total_counters.elapsed_seconds = time.perf_counter() - start_time
+
+    return TipDecompositionResult(
+        tip_numbers=fd_result.tip_numbers,
+        side=side,
+        initial_butterflies=initial_butterflies,
+        algorithm="RECEIPT",
+        counters=total_counters,
+        phase_counters=phase_counters,
+        extra={
+            "config": config,
+            "bounds": cd_result.bounds,
+            "subset_sizes": [int(subset.size) for subset in cd_result.subsets],
+            "subsets": cd_result.subsets,
+            "init_supports": cd_result.init_supports,
+            "iteration_records": cd_result.iteration_records,
+            "targeter_history": cd_result.targeter_history,
+            "subset_records": fd_result.subset_records,
+            "fd_schedule_order": fd_result.schedule_order,
+            "parallel_regions": context.parallel_regions,
+            "total_butterflies": counts.total_butterflies,
+        },
+    )
+
+
+def tip_decomposition(
+    graph: BipartiteGraph,
+    side: str = "U",
+    *,
+    algorithm: str = "receipt",
+    **kwargs,
+) -> TipDecompositionResult:
+    """Convenience dispatcher over all tip-decomposition algorithms.
+
+    ``algorithm`` may be ``"receipt"`` (default; also accepts the ablation
+    variants ``"receipt-"`` / ``"receipt--"``), ``"bup"`` for sequential
+    bottom-up peeling, or ``"parb"`` for the ParButterfly-style baseline.
+    Remaining keyword arguments are forwarded to the chosen implementation.
+    """
+    from ..peeling.bup import bup_decomposition
+    from ..peeling.parbutterfly import parbutterfly_decomposition
+
+    name = algorithm.lower()
+    if name in _VARIANTS:
+        config = ReceiptConfig.from_variant(name, **{
+            key: value for key, value in kwargs.items() if key in ReceiptConfig.__dataclass_fields__
+        })
+        passthrough = {key: value for key, value in kwargs.items()
+                       if key not in ReceiptConfig.__dataclass_fields__}
+        return receipt_decomposition(graph, side, config=config, **passthrough)
+    if name == "bup":
+        return bup_decomposition(graph, side, **kwargs)
+    if name in {"parb", "parbutterfly"}:
+        return parbutterfly_decomposition(graph, side, **kwargs)
+    raise ReproError(f"unknown tip decomposition algorithm {algorithm!r}")

@@ -1,0 +1,23 @@
+"""Synthetic dataset generators and the registry of paper-dataset stand-ins."""
+
+from .generators import (
+    affiliation_graph,
+    nested_tip_hierarchy,
+    planted_blocks,
+    power_law_bipartite,
+    random_bipartite,
+)
+from .registry import DATASETS, DatasetSpec, dataset_names, dataset_sides, load_dataset
+
+__all__ = [
+    "affiliation_graph",
+    "nested_tip_hierarchy",
+    "planted_blocks",
+    "power_law_bipartite",
+    "random_bipartite",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_sides",
+    "load_dataset",
+]

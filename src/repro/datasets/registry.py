@@ -1,0 +1,291 @@
+"""Registry of the paper's evaluation datasets and their synthetic stand-ins.
+
+The paper evaluates on six KONECT bipartite graphs (Table 2) ranging from
+12.6M to 327M edges.  Those graphs cannot be redistributed here and pure
+Python cannot traverse the trillions of wedges they contain, so each entry
+of this registry pairs the *published* statistics of the original dataset
+with a generator for a laptop-scale stand-in that preserves the structural
+traits the algorithms respond to: the ``U``/``V`` size ratio, the degree
+skew of each side (and therefore the extreme wedge asymmetry between
+peeling ``U`` and peeling ``V``), and butterfly-dense communities.
+
+Use :func:`load_dataset` to obtain a stand-in graph and
+:func:`dataset_names` to enumerate them; the benchmark harness iterates the
+registry exactly like the paper iterates Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import DatasetError
+from ..graph.bipartite import BipartiteGraph
+from .generators import affiliation_graph, power_law_bipartite
+
+__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "dataset_sides"]
+
+
+def _merge(name: str, *graphs: BipartiteGraph) -> BipartiteGraph:
+    """Union of edge sets over graphs sharing the same vertex-id spaces."""
+    n_u = max(graph.n_u for graph in graphs)
+    n_v = max(graph.n_v for graph in graphs)
+    edges = np.concatenate([graph.edge_array() for graph in graphs])
+    edges = np.unique(edges, axis=0)
+    return BipartiteGraph(n_u, n_v, edges, name=name)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One evaluation dataset: published statistics plus a stand-in generator.
+
+    Attributes
+    ----------
+    key:
+        Short lower-case identifier (``"it"``, ``"de"``, ...).  The paper's
+        per-side labels (``ItU``, ``ItV``) append the peeled side.
+    description:
+        What the original graph models.
+    paper_stats:
+        The original Table 2 row (sizes, average degrees, butterfly and
+        wedge counts in billions, maximum tip numbers) for reference in
+        EXPERIMENTS.md.
+    builder:
+        Callable producing the stand-in graph given ``(scale, seed)``.
+    default_seed:
+        Seed used when the caller does not supply one, keeping benchmark
+        outputs reproducible.
+    """
+
+    key: str
+    description: str
+    paper_stats: dict = field(repr=False)
+    builder: Callable[[float, int], BipartiteGraph] = field(repr=False)
+    default_seed: int = 7
+
+    def generate(self, scale: float = 1.0, seed: int | None = None) -> BipartiteGraph:
+        """Build the stand-in graph at the requested scale."""
+        if scale <= 0:
+            raise DatasetError("scale must be positive")
+        graph = self.builder(scale, self.default_seed if seed is None else seed)
+        graph.name = self.key
+        return graph
+
+
+def _scaled(value: int, scale: float, minimum: int = 8) -> int:
+    return max(minimum, int(round(value * scale)))
+
+
+def _build_it(scale: float, seed: int) -> BipartiteGraph:
+    # Italian Wikipedia pages (U) x editors (V): few very prolific editors
+    # give the U side a wedge count three orders of magnitude above the V
+    # side.
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(3000, scale), _scaled(240, scale), _scaled(15000, scale),
+        exponent_u=2.6, exponent_v=1.9, seed=rng, name="it",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(25, scale),
+        community_size_u=20, community_size_v=6, membership_probability=0.7,
+        seed=rng, name="it-communities",
+    )
+    return _merge("it", skeleton, communities)
+
+
+def _build_de(scale: float, seed: int) -> BipartiteGraph:
+    # Delicious users (U) x tags (V): popular tags are reused by thousands
+    # of users.
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(4500, scale), _scaled(800, scale), _scaled(28000, scale),
+        exponent_u=2.2, exponent_v=2.0, seed=rng, name="de",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(40, scale),
+        community_size_u=25, community_size_v=8, membership_probability=0.6,
+        seed=rng, name="de-communities",
+    )
+    return _merge("de", skeleton, communities)
+
+
+def _build_or(scale: float, seed: int) -> BipartiteGraph:
+    # Orkut users (U) x groups (V): both sides dense, strong community
+    # structure, the largest butterfly count of the collection.
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(3000, scale), _scaled(3600, scale), _scaled(36000, scale),
+        exponent_u=2.3, exponent_v=1.95, seed=rng, name="or",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(60, scale),
+        community_size_u=30, community_size_v=10, membership_probability=0.6,
+        seed=rng, name="or-communities",
+    )
+    return _merge("or", skeleton, communities)
+
+
+def _build_lj(scale: float, seed: int) -> BipartiteGraph:
+    # LiveJournal users (U) x groups (V).
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(4000, scale), _scaled(5500, scale), _scaled(25000, scale),
+        exponent_u=2.5, exponent_v=2.0, seed=rng, name="lj",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(50, scale),
+        community_size_u=24, community_size_v=9, membership_probability=0.55,
+        seed=rng, name="lj-communities",
+    )
+    return _merge("lj", skeleton, communities)
+
+
+def _build_en(scale: float, seed: int) -> BipartiteGraph:
+    # English Wikipedia pages (U) x editors (V): like It but larger and even
+    # more editor-skewed.
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(7000, scale), _scaled(1200, scale), _scaled(28000, scale),
+        exponent_u=2.5, exponent_v=1.9, seed=rng, name="en",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(35, scale),
+        community_size_u=22, community_size_v=7, membership_probability=0.65,
+        seed=rng, name="en-communities",
+    )
+    return _merge("en", skeleton, communities)
+
+
+def _build_tr(scale: float, seed: int) -> BipartiteGraph:
+    # Internet domains (U) x trackers (V): a handful of trackers appear on a
+    # huge fraction of all domains, producing the most extreme U-side wedge
+    # count of the collection (the paper's flagship "only RECEIPT finishes"
+    # dataset).
+    rng = np.random.default_rng(seed)
+    skeleton = power_law_bipartite(
+        _scaled(9000, scale), _scaled(3500, scale), _scaled(30000, scale),
+        exponent_u=2.5, exponent_v=1.8, seed=rng, name="tr",
+    )
+    communities = affiliation_graph(
+        skeleton.n_u, skeleton.n_v, _scaled(30, scale),
+        community_size_u=28, community_size_v=6, membership_probability=0.7,
+        seed=rng, name="tr-communities",
+    )
+    return _merge("tr", skeleton, communities)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "it": DatasetSpec(
+        key="it",
+        description="Pages and editors from the Italian Wikipedia (KONECT: edit-itwiki)",
+        paper_stats={
+            "n_u": 2_255_875, "n_v": 137_693, "n_edges": 12_644_802,
+            "avg_degree_u": 5.6, "avg_degree_v": 91.8,
+            "butterflies_billions": 298, "wedges_billions": 361,
+            "theta_max_u": 1_555_462, "theta_max_v": 5_328_302_365,
+            "bup_wedges_billions_u": 723, "bup_wedges_billions_v": 0.57,
+        },
+        builder=_build_it,
+        default_seed=11,
+    ),
+    "de": DatasetSpec(
+        key="de",
+        description="Users and tags from delicious.com (KONECT: delicious-ut)",
+        paper_stats={
+            "n_u": 4_512_099, "n_v": 833_081, "n_edges": 81_989_133,
+            "avg_degree_u": 18.2, "avg_degree_v": 98.4,
+            "butterflies_billions": 26_683, "wedges_billions": 1_446,
+            "theta_max_u": 936_468_800, "theta_max_v": 91_968_444_615,
+            "bup_wedges_billions_u": 2_861, "bup_wedges_billions_v": 70.1,
+        },
+        builder=_build_de,
+        default_seed=13,
+    ),
+    "or": DatasetSpec(
+        key="or",
+        description="User group memberships in Orkut (KONECT: orkut-groupmemberships)",
+        paper_stats={
+            "n_u": 2_783_196, "n_v": 8_730_857, "n_edges": 327_037_487,
+            "avg_degree_u": 117.5, "avg_degree_v": 37.5,
+            "butterflies_billions": 22_131, "wedges_billions": 2_528,
+            "theta_max_u": 88_812_453, "theta_max_v": 29_285_249_823,
+            "bup_wedges_billions_u": 4_975, "bup_wedges_billions_v": 231.4,
+        },
+        builder=_build_or,
+        default_seed=17,
+    ),
+    "lj": DatasetSpec(
+        key="lj",
+        description="User group memberships in LiveJournal (KONECT: livejournal-groupmemberships)",
+        paper_stats={
+            "n_u": 3_201_203, "n_v": 7_489_073, "n_edges": 112_307_385,
+            "avg_degree_u": 35.1, "avg_degree_v": 15.0,
+            "butterflies_billions": 3_297, "wedges_billions": 2_703,
+            "theta_max_u": 4_670_317, "theta_max_v": 82_785_273_931,
+            "bup_wedges_billions_u": 5_403, "bup_wedges_billions_v": 14.3,
+        },
+        builder=_build_lj,
+        default_seed=19,
+    ),
+    "en": DatasetSpec(
+        key="en",
+        description="Pages and editors from the English Wikipedia (KONECT: edit-enwiki)",
+        paper_stats={
+            "n_u": 21_504_191, "n_v": 3_819_691, "n_edges": 122_075_170,
+            "avg_degree_u": 5.7, "avg_degree_v": 32.0,
+            "butterflies_billions": 2_036, "wedges_billions": 6_299,
+            "theta_max_u": 37_217_466, "theta_max_v": 96_241_348_356,
+            "bup_wedges_billions_u": 12_583, "bup_wedges_billions_v": 29.6,
+        },
+        builder=_build_en,
+        default_seed=23,
+    ),
+    "tr": DatasetSpec(
+        key="tr",
+        description="Internet domains and the trackers embedded in them (KONECT: trackers-trackers)",
+        paper_stats={
+            "n_u": 27_665_730, "n_v": 12_756_244, "n_edges": 140_613_762,
+            "avg_degree_u": 5.1, "avg_degree_v": 11.0,
+            "butterflies_billions": 20_068, "wedges_billions": 106_441,
+            "theta_max_u": 18_667_660_476, "theta_max_v": 3_030_765_085_153,
+            "bup_wedges_billions_u": 211_156, "bup_wedges_billions_v": 1_740,
+        },
+        builder=_build_tr,
+        default_seed=29,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Keys of all registered datasets, in the paper's Table 2 order."""
+    return list(DATASETS.keys())
+
+
+def dataset_sides() -> list[tuple[str, str]]:
+    """All (dataset, side) pairs the paper evaluates: ItU, ItV, DeU, ..."""
+    return [(key, side) for key in DATASETS for side in ("U", "V")]
+
+
+def load_dataset(key: str, *, scale: float = 1.0, seed: int | None = None) -> BipartiteGraph:
+    """Generate the stand-in graph for one registered dataset.
+
+    Parameters
+    ----------
+    key:
+        Dataset key (``"it"``, ``"de"``, ``"or"``, ``"lj"``, ``"en"``,
+        ``"tr"``), case-insensitive; the per-side suffix of the paper's
+        labels (``"ItU"``) is accepted and ignored.
+    scale:
+        Multiplier on vertex and edge counts (1.0 ≈ tens of thousands of
+        edges; use smaller values in quick tests).
+    seed:
+        Random seed; the spec's default keeps results reproducible.
+    """
+    normalised = key.lower()
+    if normalised not in DATASETS and normalised[:-1] in DATASETS and normalised[-1] in ("u", "v"):
+        normalised = normalised[:-1]
+    if normalised not in DATASETS:
+        raise DatasetError(f"unknown dataset {key!r}; known: {', '.join(dataset_names())}")
+    return DATASETS[normalised].generate(scale=scale, seed=seed)

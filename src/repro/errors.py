@@ -1,0 +1,65 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphConstructionError",
+    "GraphFormatError",
+    "VertexSideError",
+    "DecompositionError",
+    "BudgetExceededError",
+    "DatasetError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphConstructionError(ReproError):
+    """Raised when a bipartite graph cannot be built from the given input.
+
+    Typical causes: negative vertex identifiers, edges referencing vertices
+    outside the declared vertex-set sizes, or duplicate edges when the caller
+    requested strict construction.
+    """
+
+
+class GraphFormatError(ReproError):
+    """Raised when an on-disk graph file cannot be parsed."""
+
+
+class VertexSideError(ReproError):
+    """Raised when a vertex side argument is not ``"U"`` or ``"V"``."""
+
+
+class DecompositionError(ReproError):
+    """Raised when a decomposition routine reaches an inconsistent state.
+
+    This signals a bug in the library (an invariant of the peeling process
+    was violated) rather than bad user input, and is surfaced prominently in
+    tests.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """Raised when an execution budget (wedges or seconds) is exhausted.
+
+    The benchmark harness uses budgets to reproduce the paper's ``t = inf``
+    (did not finish in 10 days) entries at laptop scale.
+    """
+
+    def __init__(self, message: str, *, wedges_traversed: int = 0, elapsed_seconds: float = 0.0):
+        super().__init__(message)
+        self.wedges_traversed = wedges_traversed
+        self.elapsed_seconds = elapsed_seconds
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or cannot be generated."""

@@ -1,0 +1,53 @@
+"""Bipartite graph substrate: storage, construction, I/O and mutation views."""
+
+from .bipartite import BipartiteGraph, InducedSubgraph, opposite_side, validate_side
+from .builders import (
+    LabelledGraph,
+    complete_bipartite,
+    empty_graph,
+    from_biadjacency,
+    from_edge_list,
+    from_labelled_edges,
+    from_networkx,
+    star,
+)
+from .dynamic import PeelableAdjacency
+from .io import (
+    load_graph,
+    read_edge_list,
+    read_konect,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+from .relabel import DegreePriority, degree_priority, degree_sorted_vertices
+from .statistics import DegreeSummary, GraphStatistics, degree_summary, graph_statistics
+
+__all__ = [
+    "BipartiteGraph",
+    "InducedSubgraph",
+    "opposite_side",
+    "validate_side",
+    "LabelledGraph",
+    "complete_bipartite",
+    "empty_graph",
+    "from_biadjacency",
+    "from_edge_list",
+    "from_labelled_edges",
+    "from_networkx",
+    "star",
+    "PeelableAdjacency",
+    "load_graph",
+    "read_edge_list",
+    "read_konect",
+    "read_matrix_market",
+    "write_edge_list",
+    "write_matrix_market",
+    "DegreePriority",
+    "degree_priority",
+    "degree_sorted_vertices",
+    "DegreeSummary",
+    "GraphStatistics",
+    "degree_summary",
+    "graph_statistics",
+]

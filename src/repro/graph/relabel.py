@@ -1,0 +1,93 @@
+"""Vertex relabelling utilities.
+
+The vertex-priority butterfly counting algorithm (Alg. 1 in the paper,
+following Chiba & Nishizeki and Wang et al.) relabels all vertices of
+``U ∪ V`` in decreasing order of degree and only traverses wedges whose end
+point has a higher label than both the start and the middle point.  This
+module computes that global priority ordering without physically rebuilding
+the graph: every vertex receives a *rank* and the counting kernels compare
+ranks instead of raw ids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["DegreePriority", "degree_priority", "degree_sorted_vertices"]
+
+
+@dataclass(frozen=True)
+class DegreePriority:
+    """Global degree ranking over ``U ∪ V``.
+
+    Rank 0 is the highest-degree vertex.  Ties are broken deterministically:
+    first by side (``U`` before ``V``), then by vertex id, so repeated runs
+    and both graph orientations produce identical traversal orders.
+
+    Attributes
+    ----------
+    u_rank, v_rank:
+        ``u_rank[u]`` / ``v_rank[v]`` is the global rank of the vertex.
+    order_sides, order_ids:
+        Parallel arrays listing vertices in rank order; ``order_sides`` holds
+        0 for ``U`` and 1 for ``V``.
+    """
+
+    u_rank: np.ndarray
+    v_rank: np.ndarray
+    order_sides: np.ndarray
+    order_ids: np.ndarray
+
+    def rank(self, vertex: int, side: str) -> int:
+        """Global rank of one vertex (lower rank = higher priority)."""
+        return int(self.u_rank[vertex] if side.upper() == "U" else self.v_rank[vertex])
+
+    @property
+    def n_vertices(self) -> int:
+        return int(self.order_ids.shape[0])
+
+
+def degree_priority(graph: BipartiteGraph) -> DegreePriority:
+    """Compute the decreasing-degree global ranking used by Alg. 1."""
+    degrees_u = graph.degrees_u().astype(np.int64)
+    degrees_v = graph.degrees_v().astype(np.int64)
+
+    all_degrees = np.concatenate([degrees_u, degrees_v])
+    sides = np.concatenate([
+        np.zeros(graph.n_u, dtype=np.int8),
+        np.ones(graph.n_v, dtype=np.int8),
+    ])
+    ids = np.concatenate([
+        np.arange(graph.n_u, dtype=np.int64),
+        np.arange(graph.n_v, dtype=np.int64),
+    ])
+
+    # lexsort keys are applied last-key-primary: sort by descending degree,
+    # then ascending side, then ascending id for deterministic tie-breaking.
+    order = np.lexsort((ids, sides, -all_degrees))
+    ranks = np.empty(order.shape[0], dtype=np.int64)
+    ranks[order] = np.arange(order.shape[0], dtype=np.int64)
+
+    return DegreePriority(
+        u_rank=ranks[: graph.n_u].copy(),
+        v_rank=ranks[graph.n_u:].copy(),
+        order_sides=sides[order],
+        order_ids=ids[order],
+    )
+
+
+def degree_sorted_vertices(graph: BipartiteGraph, side: str, *, descending: bool = True) -> np.ndarray:
+    """Vertex ids of one side sorted by degree.
+
+    Useful for workload-aware scheduling experiments and for inspecting the
+    degree skew of generated datasets.
+    """
+    degrees = graph.degrees(side)
+    order = np.argsort(degrees, kind="stable")
+    if descending:
+        order = order[::-1]
+    return order.astype(np.int64)

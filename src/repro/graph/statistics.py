@@ -1,0 +1,114 @@
+"""Descriptive statistics of bipartite graphs.
+
+These functions compute the quantities reported in Table 2 of the paper
+(sizes, average degrees, wedge counts) plus a few extras (degree
+distribution summaries, density) that the dataset generators use to check
+that synthetic stand-ins match the skew of the originals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, asdict
+
+import numpy as np
+
+from .bipartite import BipartiteGraph, validate_side
+
+__all__ = ["DegreeSummary", "GraphStatistics", "degree_summary", "graph_statistics"]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Summary of one side's degree distribution."""
+
+    n_vertices: int
+    n_isolated: int
+    min_degree: int
+    max_degree: int
+    mean_degree: float
+    median_degree: float
+    p90_degree: float
+    p99_degree: float
+    gini_coefficient: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """The per-dataset quantities of Table 2 (minus tip numbers).
+
+    Butterfly counts and maximum tip numbers require the counting /
+    decomposition kernels and are reported by the benchmark harness rather
+    than here, keeping this module free of algorithmic dependencies.
+    """
+
+    name: str
+    n_u: int
+    n_v: int
+    n_edges: int
+    avg_degree_u: float
+    avg_degree_v: float
+    wedges_with_endpoints_in_u: int
+    wedges_with_endpoints_in_v: int
+    peel_work_u: int
+    peel_work_v: int
+    counting_wedge_bound: int
+    density: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (0 = uniform, 1 = maximally skewed)."""
+    if values.size == 0:
+        return 0.0
+    sorted_values = np.sort(values.astype(np.float64))
+    total = sorted_values.sum()
+    if total == 0:
+        return 0.0
+    n = sorted_values.size
+    cumulative = np.cumsum(sorted_values)
+    # Standard formula: G = (n + 1 - 2 * sum(cum) / total) / n
+    return float((n + 1 - 2.0 * cumulative.sum() / total) / n)
+
+
+def degree_summary(graph: BipartiteGraph, side: str) -> DegreeSummary:
+    """Summarise the degree distribution of one side."""
+    side = validate_side(side)
+    degrees = graph.degrees(side)
+    if degrees.size == 0:
+        return DegreeSummary(0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return DegreeSummary(
+        n_vertices=int(degrees.size),
+        n_isolated=int(np.count_nonzero(degrees == 0)),
+        min_degree=int(degrees.min()),
+        max_degree=int(degrees.max()),
+        mean_degree=float(degrees.mean()),
+        median_degree=float(np.median(degrees)),
+        p90_degree=float(np.percentile(degrees, 90)),
+        p99_degree=float(np.percentile(degrees, 99)),
+        gini_coefficient=_gini(degrees),
+    )
+
+
+def graph_statistics(graph: BipartiteGraph, *, name: str | None = None) -> GraphStatistics:
+    """Compute the structural statistics reported for each dataset."""
+    n_u, n_v, n_edges = graph.n_u, graph.n_v, graph.n_edges
+    max_edges = n_u * n_v
+    return GraphStatistics(
+        name=name if name is not None else graph.name,
+        n_u=n_u,
+        n_v=n_v,
+        n_edges=n_edges,
+        avg_degree_u=float(n_edges / n_u) if n_u else 0.0,
+        avg_degree_v=float(n_edges / n_v) if n_v else 0.0,
+        wedges_with_endpoints_in_u=graph.wedge_endpoint_count("U"),
+        wedges_with_endpoints_in_v=graph.wedge_endpoint_count("V"),
+        peel_work_u=graph.total_wedge_work("U"),
+        peel_work_v=graph.total_wedge_work("V"),
+        counting_wedge_bound=graph.counting_wedge_bound(),
+        density=float(n_edges / max_edges) if max_edges else 0.0,
+    )

@@ -1,0 +1,30 @@
+"""Parallel execution substrate: contexts, atomics, primitives, cost model."""
+
+from .atomics import AtomicArray, AtomicCounter
+from .costmodel import DEFAULT_BARRIER_COST, ParallelCostModel, RegionCost, SpeedupPoint
+from .primitives import (
+    balanced_chunks,
+    chunk_ranges,
+    exclusive_prefix_sum,
+    histogram_by_key,
+    inclusive_prefix_sum,
+    parallel_filter,
+)
+from .threadpool import ExecutionContext, ParallelRegionRecord
+
+__all__ = [
+    "AtomicArray",
+    "AtomicCounter",
+    "DEFAULT_BARRIER_COST",
+    "ParallelCostModel",
+    "RegionCost",
+    "SpeedupPoint",
+    "balanced_chunks",
+    "chunk_ranges",
+    "exclusive_prefix_sum",
+    "histogram_by_key",
+    "inclusive_prefix_sum",
+    "parallel_filter",
+    "ExecutionContext",
+    "ParallelRegionRecord",
+]

@@ -1,0 +1,104 @@
+"""Thread-safe counters mirroring the OpenMP atomics the paper relies on.
+
+RECEIPT's correctness argument (Lemma 2) requires that concurrent support
+decrements to the same vertex do not conflict.  The C++ implementation uses
+hardware atomics; in Python we provide the same semantics with lightweight
+lock-protected wrappers.  The pure-Python algorithms also have sequential
+fast paths that bypass these wrappers entirely (the paper notes its
+sequential RECEIPT variant with no atomics performs the same work).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["AtomicCounter", "AtomicArray"]
+
+
+class AtomicCounter:
+    """A thread-safe integer counter with add / increment operations."""
+
+    def __init__(self, initial: int = 0):
+        self._value = int(initial)
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        """Current value (reads are atomic in CPython, lock kept for clarity)."""
+        with self._lock:
+            return self._value
+
+    def add(self, amount: int) -> int:
+        """Atomically add ``amount`` and return the new value."""
+        with self._lock:
+            self._value += int(amount)
+            return self._value
+
+    def increment(self) -> int:
+        """Atomically add one and return the new value."""
+        return self.add(1)
+
+    def fetch_add(self, amount: int) -> int:
+        """Atomically add ``amount`` and return the *previous* value."""
+        with self._lock:
+            previous = self._value
+            self._value += int(amount)
+            return previous
+
+    def reset(self, value: int = 0) -> None:
+        """Set the counter back to ``value``."""
+        with self._lock:
+            self._value = int(value)
+
+
+class AtomicArray:
+    """A numpy integer array with atomic element updates.
+
+    A striped-lock design keeps contention low without allocating one lock
+    per element: element ``i`` is guarded by lock ``i % n_stripes``.
+    """
+
+    def __init__(self, size: int, *, dtype=np.int64, n_stripes: int = 64):
+        self._data = np.zeros(int(size), dtype=dtype)
+        self._locks = [threading.Lock() for _ in range(max(1, int(n_stripes)))]
+
+    def __len__(self) -> int:
+        return int(self._data.shape[0])
+
+    def _lock_for(self, index: int) -> threading.Lock:
+        return self._locks[index % len(self._locks)]
+
+    def get(self, index: int) -> int:
+        return int(self._data[index])
+
+    def set(self, index: int, value: int) -> None:
+        with self._lock_for(index):
+            self._data[index] = value
+
+    def add(self, index: int, amount: int) -> int:
+        """Atomically add ``amount`` to one element and return the new value."""
+        with self._lock_for(index):
+            self._data[index] += amount
+            return int(self._data[index])
+
+    def subtract_clamped(self, index: int, amount: int, floor: int) -> int:
+        """Atomically subtract, clamping the result at ``floor``.
+
+        This is the exact update BUP / RECEIPT apply to vertex supports:
+        ``support = max(theta, support - shared_butterflies)``.
+        """
+        with self._lock_for(index):
+            new_value = max(int(floor), int(self._data[index]) - int(amount))
+            self._data[index] = new_value
+            return new_value
+
+    def snapshot(self) -> np.ndarray:
+        """A copy of the underlying array."""
+        return self._data.copy()
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The underlying array (not thread-safe; for single-threaded phases)."""
+        return self._data

@@ -1,0 +1,168 @@
+"""Thread-pool execution context with synchronization accounting.
+
+The paper's algorithms are expressed as a sequence of *parallel-for* regions
+separated by barriers; the number of such regions (synchronization rounds)
+is one of the headline metrics in Table 3.  This module provides a small
+execution context that
+
+* runs parallel-for bodies either serially or on a ``ThreadPoolExecutor``
+  (CPython's GIL means real threads rarely speed up the pure-Python kernels,
+  so serial execution is the default — the work performed and the recorded
+  statistics are identical either way), and
+* counts every parallel region and barrier so the analytical cost model can
+  replay the execution for an arbitrary thread count.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .primitives import balanced_chunks, chunk_ranges
+
+__all__ = ["ExecutionContext", "ParallelRegionRecord"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class ParallelRegionRecord:
+    """Book-keeping for one executed parallel-for region."""
+
+    name: str
+    n_tasks: int
+    total_work: float
+    task_work: list[float] = field(default_factory=list)
+    scheduling: str = "dynamic"
+
+
+class ExecutionContext:
+    """Execution policy + instrumentation shared by all parallel kernels.
+
+    Parameters
+    ----------
+    n_threads:
+        Logical thread count.  This controls how work is chunked and is the
+        thread count reported to the analytical cost model; it does not by
+        itself enable OS threads.
+    use_real_threads:
+        When ``True`` parallel regions run on a ``ThreadPoolExecutor`` with
+        ``n_threads`` workers.  Default ``False``: with the GIL, the pure
+        Python kernels are fastest single-threaded, and results are
+        identical.
+    """
+
+    def __init__(self, n_threads: int = 1, *, use_real_threads: bool = False):
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+        self.n_threads = int(n_threads)
+        self.use_real_threads = bool(use_real_threads)
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.synchronization_rounds = 0
+        self.parallel_regions: list[ParallelRegionRecord] = []
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release the underlying executor, if one was created."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=self.n_threads)
+        return self._executor
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def record_barrier(self, name: str, *, n_tasks: int = 0, total_work: float = 0.0,
+                       task_work: Sequence[float] | None = None,
+                       scheduling: str = "dynamic") -> None:
+        """Record one synchronization round without running anything.
+
+        Peeling iterations call this directly: the "tasks" of the round are
+        the vertices peeled and the "work" is the wedges they traverse.
+        """
+        with self._lock:
+            self.synchronization_rounds += 1
+            self.parallel_regions.append(
+                ParallelRegionRecord(
+                    name=name,
+                    n_tasks=int(n_tasks),
+                    total_work=float(total_work),
+                    task_work=list(task_work) if task_work is not None else [],
+                    scheduling=scheduling,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Parallel-for
+    # ------------------------------------------------------------------
+    def map_chunks(
+        self,
+        items: Sequence[T],
+        chunk_body: Callable[[Sequence[T]], R],
+        *,
+        name: str = "parallel_for",
+        work_per_item: Sequence[float] | None = None,
+    ) -> list[R]:
+        """Run ``chunk_body`` over chunks of ``items`` and gather the results.
+
+        The chunking is work-balanced when ``work_per_item`` is supplied.
+        One synchronization round is recorded (the implicit barrier at the
+        end of the parallel-for).
+        """
+        items = list(items)
+        total_work = float(sum(work_per_item)) if work_per_item is not None else float(len(items))
+        self.record_barrier(
+            name,
+            n_tasks=len(items),
+            total_work=total_work,
+            task_work=list(work_per_item) if work_per_item is not None else None,
+        )
+        if not items:
+            return []
+
+        if work_per_item is not None and len(work_per_item) == len(items):
+            chunks = [
+                [items[i] for i in chunk_indices]
+                for chunk_indices in balanced_chunks(work_per_item, self.n_threads)
+            ]
+        else:
+            chunks = [
+                items[start:stop] for start, stop in chunk_ranges(len(items), self.n_threads)
+            ]
+
+        if not self.use_real_threads or self.n_threads == 1 or len(chunks) == 1:
+            return [chunk_body(chunk) for chunk in chunks]
+        executor = self._ensure_executor()
+        return list(executor.map(chunk_body, chunks))
+
+    def run_tasks(self, tasks: Iterable[Callable[[], R]], *, name: str = "task_queue") -> list[R]:
+        """Execute independent callables (RECEIPT FD's task queue).
+
+        Tasks are executed in the given order when running serially, or
+        submitted to the pool when real threads are enabled.  No intermediate
+        barriers are recorded — FD threads synchronise only once at the end,
+        exactly as in Alg. 4.
+        """
+        task_list = list(tasks)
+        self.record_barrier(name, n_tasks=len(task_list), total_work=float(len(task_list)))
+        if not task_list:
+            return []
+        if not self.use_real_threads or self.n_threads == 1:
+            return [task() for task in task_list]
+        executor = self._ensure_executor()
+        futures = [executor.submit(task) for task in task_list]
+        return [future.result() for future in futures]

@@ -1,0 +1,149 @@
+"""The support-update routine shared by every peeling algorithm.
+
+Peeling a vertex ``u`` (Alg. 2, ``update``) traverses all wedges starting at
+``u``, aggregates how many wedges reach each still-alive endpoint ``u'``
+(their shared butterflies are ``C(wedges, 2)``) and decreases the support of
+``u'`` by that amount, clamped from below at the tip number / range bound
+being assigned to ``u``.
+
+The routine is deliberately free of any priority-structure knowledge: the
+caller receives the list of updated vertices and their new supports and
+feeds its own heap, bucket queue or active-set tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.dynamic import PeelableAdjacency
+
+__all__ = ["SupportUpdate", "peel_vertex", "peel_batch"]
+
+
+@dataclass(frozen=True)
+class SupportUpdate:
+    """Outcome of peeling one vertex or one batch of vertices.
+
+    Attributes
+    ----------
+    updated_vertices:
+        Vertices whose support was decreased (alive vertices only).
+    new_supports:
+        Their supports after the update (aligned with
+        :attr:`updated_vertices`).
+    wedges_traversed:
+        Wedge endpoints touched, including stale entries left by disabled or
+        pending DGM compaction — this is exactly the work the paper counts.
+    support_updates:
+        Number of support decrements applied.
+    """
+
+    updated_vertices: np.ndarray
+    new_supports: np.ndarray
+    wedges_traversed: int
+    support_updates: int
+
+
+def peel_vertex(
+    adjacency: PeelableAdjacency,
+    supports: np.ndarray,
+    vertex: int,
+    threshold: int,
+) -> SupportUpdate:
+    """Peel a single vertex and update supports of its 2-hop neighbours.
+
+    Parameters
+    ----------
+    adjacency:
+        Mutable adjacency view; the vertex must already be marked peeled
+        (callers mark first so that self-updates are impossible).
+    supports:
+        Current supports, modified in place.
+    vertex:
+        The vertex being peeled.
+    threshold:
+        Lower clamp for the updated supports: the tip number θ_u in exact
+        peeling, or the range lower bound θ(i) in RECEIPT CD.
+    """
+    endpoints = adjacency.two_hop_multiset(vertex)
+    wedges_traversed = int(endpoints.size)
+    adjacency.record_traversal(wedges_traversed)
+    if wedges_traversed == 0:
+        return SupportUpdate(
+            updated_vertices=np.zeros(0, dtype=np.int64),
+            new_supports=np.zeros(0, dtype=np.int64),
+            wedges_traversed=0,
+            support_updates=0,
+        )
+
+    unique_endpoints, wedge_counts = np.unique(endpoints, return_counts=True)
+    alive = adjacency.alive_mask()
+    keep = alive[unique_endpoints] & (unique_endpoints != vertex) & (wedge_counts >= 2)
+    unique_endpoints = unique_endpoints[keep]
+    wedge_counts = wedge_counts[keep]
+    if unique_endpoints.size == 0:
+        return SupportUpdate(
+            updated_vertices=np.zeros(0, dtype=np.int64),
+            new_supports=np.zeros(0, dtype=np.int64),
+            wedges_traversed=wedges_traversed,
+            support_updates=0,
+        )
+
+    shared_butterflies = wedge_counts * (wedge_counts - 1) // 2
+    new_supports = np.maximum(threshold, supports[unique_endpoints] - shared_butterflies)
+    changed = new_supports < supports[unique_endpoints]
+    unique_endpoints = unique_endpoints[changed]
+    new_supports = new_supports[changed]
+    supports[unique_endpoints] = new_supports
+
+    return SupportUpdate(
+        updated_vertices=unique_endpoints.astype(np.int64),
+        new_supports=new_supports.astype(np.int64),
+        wedges_traversed=wedges_traversed,
+        support_updates=int(unique_endpoints.size),
+    )
+
+
+def peel_batch(
+    adjacency: PeelableAdjacency,
+    supports: np.ndarray,
+    vertices: np.ndarray,
+    threshold: int,
+) -> SupportUpdate:
+    """Peel a set of vertices "concurrently" (one CD / ParB round).
+
+    All vertices are marked peeled *before* any update is computed, so
+    updates between members of the batch are dropped — exactly the behaviour
+    Lemma 2 relies on (updates to already-assigned vertices have no effect).
+    The updates themselves are commutative support decrements, so applying
+    them vertex-by-vertex is equivalent to the atomics-based parallel
+    application in the C++ implementation.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    adjacency.mark_peeled_many(vertices)
+
+    total_wedges = 0
+    total_updates = 0
+    touched: dict[int, int] = {}
+    for vertex in vertices:
+        update = peel_vertex(adjacency, supports, int(vertex), threshold)
+        total_wedges += update.wedges_traversed
+        total_updates += update.support_updates
+        for updated_vertex, new_support in zip(update.updated_vertices, update.new_supports):
+            touched[int(updated_vertex)] = int(new_support)
+        adjacency.maybe_compact()
+
+    if touched:
+        updated_vertices = np.fromiter(touched.keys(), dtype=np.int64, count=len(touched))
+        new_supports = np.fromiter(touched.values(), dtype=np.int64, count=len(touched))
+    else:
+        updated_vertices = np.zeros(0, dtype=np.int64)
+        new_supports = np.zeros(0, dtype=np.int64)
+    return SupportUpdate(
+        updated_vertices=updated_vertices,
+        new_supports=new_supports,
+        wedges_traversed=total_wedges,
+        support_updates=total_updates,
+    )

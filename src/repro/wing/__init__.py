@@ -1,0 +1,13 @@
+"""Wing decomposition (edge peeling) extension."""
+
+from .decomposition import (
+    WingDecompositionResult,
+    receipt_wing_decomposition,
+    wing_decomposition,
+)
+
+__all__ = [
+    "WingDecompositionResult",
+    "receipt_wing_decomposition",
+    "wing_decomposition",
+]

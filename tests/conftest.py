@@ -1,0 +1,92 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    affiliation_graph,
+    nested_tip_hierarchy,
+    planted_blocks,
+    power_law_bipartite,
+    random_bipartite,
+)
+from repro.graph.builders import complete_bipartite, empty_graph, from_edge_list, star
+
+
+@pytest.fixture
+def tiny_graph():
+    """A small hand-constructed 8x7 graph in the style of the paper's Fig. 2.
+
+    Vertices u1..u8 map to 0..7 and v1..v7 to 0..6; it contains a mix of
+    butterfly-dense and butterfly-free vertices.
+    """
+    edges = [
+        (0, 0), (0, 1),                      # u1: v1, v2
+        (1, 0), (1, 1), (1, 2), (1, 3),      # u2: v1, v2, v3, v4
+        (2, 1), (2, 2), (2, 3), (2, 4), (2, 5),  # u3
+        (3, 1), (3, 3), (3, 4), (3, 5), (3, 6),  # u4
+        (4, 2), (4, 3), (4, 4), (4, 5),      # u5
+        (5, 1), (5, 3), (5, 4), (5, 5), (5, 6),  # u6
+        (6, 2), (6, 3),                      # u7
+        (7, 5), (7, 2),                      # u8
+    ]
+    return from_edge_list(edges, n_u=8, n_v=7, name="fig2")
+
+
+@pytest.fixture
+def complete_4x3():
+    """Complete bipartite graph K_{4,3} with closed-form butterfly counts."""
+    return complete_bipartite(4, 3)
+
+
+@pytest.fixture
+def star_graph():
+    """Star with 6 leaves on the U side; zero butterflies."""
+    return star(6, center_side="V")
+
+
+@pytest.fixture
+def empty():
+    return empty_graph(5, 4)
+
+
+@pytest.fixture
+def blocks_graph():
+    """Planted dense blocks over a random background (medium test graph)."""
+    return planted_blocks(60, 40, [(10, 8), (8, 6), (6, 5)], background_edges=80, seed=5)
+
+
+@pytest.fixture
+def hierarchy_graph():
+    """Deterministic nested structure with a non-trivial tip hierarchy."""
+    return nested_tip_hierarchy(n_levels=3, base_u=4, base_v=3, growth=2)
+
+
+@pytest.fixture
+def community_graph():
+    """Affiliation-style graph: overlapping user/group communities."""
+    return affiliation_graph(80, 40, 12, community_size_u=12, community_size_v=5,
+                             membership_probability=0.7, background_edges=60, seed=9)
+
+
+@pytest.fixture
+def medium_random_graph():
+    """Skewed random graph large enough to exercise every code path."""
+    return power_law_bipartite(300, 120, 1500, exponent_u=2.3, exponent_v=1.9, seed=42)
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory producing reproducible random graphs of a requested size."""
+
+    def factory(n_u: int = 20, n_v: int = 20, n_edges: int = 60, seed: int = 0):
+        return random_bipartite(n_u, n_v, n_edges, seed=seed)
+
+    return factory
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,74 @@
+"""Unit tests for tip-number distribution summaries (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import cumulative_fraction_below, tip_distribution
+from repro.graph.builders import complete_bipartite, star
+from repro.peeling.base import TipDecompositionResult
+from repro.peeling.bup import bup_decomposition
+
+
+def _result_from_tips(tips):
+    tips = np.asarray(tips, dtype=np.int64)
+    return TipDecompositionResult(
+        tip_numbers=tips, side="U", initial_butterflies=tips, algorithm="synthetic"
+    )
+
+
+class TestTipDistribution:
+    def test_uniform_tips(self):
+        distribution = tip_distribution(_result_from_tips([5, 5, 5]))
+        assert distribution.values.tolist() == [5]
+        assert distribution.vertex_counts.tolist() == [3]
+        assert distribution.cumulative_fraction.tolist() == [1.0]
+        assert distribution.max_tip == 5
+
+    def test_cumulative_fractions_monotone(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        distribution = tip_distribution(result)
+        assert np.all(np.diff(distribution.cumulative_fraction) > 0)
+        assert distribution.cumulative_fraction[-1] == pytest.approx(1.0)
+
+    def test_fraction_below(self):
+        distribution = tip_distribution(_result_from_tips([0, 1, 2, 3]))
+        assert distribution.fraction_below(-1) == 0.0
+        assert distribution.fraction_below(0) == pytest.approx(0.25)
+        assert distribution.fraction_below(1.5) == pytest.approx(0.5)
+        assert distribution.fraction_below(10) == pytest.approx(1.0)
+
+    def test_skew_ratio_for_heavy_tail(self):
+        # 999 vertices at tip 1 and one at tip 10000: the paper's skew story.
+        tips = [1] * 999 + [10_000]
+        distribution = tip_distribution(_result_from_tips(tips))
+        assert distribution.skew_ratio < 0.01
+        assert distribution.percentile_99_9 <= 10_000
+
+    def test_empty_result(self):
+        distribution = tip_distribution(_result_from_tips([]))
+        assert distribution.max_tip == 0
+        assert distribution.values.size == 0
+
+    def test_series_pairs(self):
+        distribution = tip_distribution(_result_from_tips([2, 2, 7]))
+        series = distribution.series()
+        assert series[0] == (2, pytest.approx(2 / 3))
+        assert series[-1] == (7, pytest.approx(1.0))
+
+    def test_star_distribution_all_zero(self):
+        result = bup_decomposition(star(5), "U")
+        distribution = tip_distribution(result)
+        assert distribution.values.tolist() == [0]
+        assert distribution.max_tip == 0
+
+    def test_complete_graph_single_level(self):
+        result = bup_decomposition(complete_bipartite(4, 3), "U")
+        distribution = tip_distribution(result)
+        assert distribution.values.tolist() == [9]
+
+
+class TestCumulativeFractionBelow:
+    def test_thresholds(self):
+        result = _result_from_tips([0, 5, 10])
+        fractions = cumulative_fraction_below(result, np.array([0, 5, 10, 100]))
+        assert fractions.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0, 1.0])

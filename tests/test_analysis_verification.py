@@ -1,0 +1,113 @@
+"""Unit tests for decomposition verification helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.verification import (
+    check_basic_invariants,
+    check_k_tip_property,
+    compare_results,
+    verify_against_bup,
+)
+from repro.core.receipt import receipt_decomposition
+from repro.peeling.base import TipDecompositionResult
+from repro.peeling.bup import bup_decomposition
+
+
+class TestBasicInvariants:
+    def test_valid_result_passes(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        report = check_basic_invariants(blocks_graph, result)
+        assert report.passed
+        assert report.failures == []
+
+    def test_wrong_size_detected(self, blocks_graph):
+        result = TipDecompositionResult(
+            tip_numbers=np.zeros(3), side="U", initial_butterflies=np.zeros(3), algorithm="bad"
+        )
+        report = check_basic_invariants(blocks_graph, result)
+        assert not report.passed
+
+    def test_tip_above_butterfly_count_detected(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        corrupted = TipDecompositionResult(
+            tip_numbers=result.initial_butterflies + 1,
+            side="U",
+            initial_butterflies=result.initial_butterflies,
+            algorithm="bad",
+        )
+        report = check_basic_invariants(blocks_graph, corrupted)
+        assert not report.passed
+        assert any("butterfly count" in failure for failure in report.failures)
+
+    def test_nonzero_tip_for_butterfly_free_vertex_detected(self, star_graph):
+        result = TipDecompositionResult(
+            tip_numbers=np.ones(star_graph.n_u, dtype=np.int64),
+            side="U",
+            initial_butterflies=np.ones(star_graph.n_u, dtype=np.int64),
+            algorithm="bad",
+        )
+        # initial_butterflies wrongly claims butterflies; rebuild with zeros.
+        result.initial_butterflies = np.zeros(star_graph.n_u, dtype=np.int64)
+        report = check_basic_invariants(star_graph, result)
+        assert not report.passed
+
+
+class TestKTipProperty:
+    def test_correct_result_passes(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        assert check_k_tip_property(blocks_graph, result).passed
+
+    def test_correct_result_passes_v_side(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "V")
+        assert check_k_tip_property(blocks_graph, result).passed
+
+    def test_inflated_tip_numbers_fail(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        inflated = TipDecompositionResult(
+            tip_numbers=result.tip_numbers * 10 + 5,
+            side="U",
+            initial_butterflies=result.initial_butterflies * 10 + 5,
+            algorithm="bad",
+        )
+        assert not check_k_tip_property(blocks_graph, inflated).passed
+
+    def test_level_subset_check(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        top_level = np.array([result.max_tip_number])
+        assert check_k_tip_property(blocks_graph, result, levels=top_level).passed
+
+
+class TestComparisons:
+    def test_identical_results_agree(self, blocks_graph):
+        first = bup_decomposition(blocks_graph, "U")
+        second = bup_decomposition(blocks_graph, "U")
+        assert compare_results(first, second).passed
+
+    def test_different_sides_flagged(self, blocks_graph):
+        first = bup_decomposition(blocks_graph, "U")
+        second = bup_decomposition(blocks_graph, "V")
+        report = compare_results(first, second)
+        assert not report.passed
+        assert "different sides" in report.failures[0]
+
+    def test_differing_values_flagged(self, blocks_graph):
+        first = bup_decomposition(blocks_graph, "U")
+        second = bup_decomposition(blocks_graph, "U")
+        second.tip_numbers = second.tip_numbers.copy()
+        second.tip_numbers[0] += 1
+        report = compare_results(first, second)
+        assert not report.passed
+        assert "vertex 0" in report.failures[0]
+
+    def test_verify_against_bup(self, community_graph):
+        receipt = receipt_decomposition(community_graph, "U", n_partitions=4)
+        assert verify_against_bup(community_graph, receipt).passed
+
+    def test_report_merge(self, blocks_graph):
+        first = bup_decomposition(blocks_graph, "U")
+        good = compare_results(first, first)
+        bad = compare_results(first, bup_decomposition(blocks_graph, "V"))
+        merged = good.merge(bad)
+        assert not merged.passed
+        assert len(merged.failures) == len(bad.failures)

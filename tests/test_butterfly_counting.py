@@ -1,0 +1,168 @@
+"""Unit tests for butterfly counting kernels."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import (
+    count_per_vertex,
+    count_per_vertex_parallel,
+    count_per_vertex_priority,
+    count_total_butterflies,
+)
+from repro.butterfly.naive import (
+    count_butterflies_exhaustive,
+    count_per_vertex_wedge,
+    count_per_vertex_wedge_restricted,
+    enumerate_butterflies,
+)
+from repro.datasets.generators import random_bipartite
+from repro.errors import ReproError
+from repro.graph.builders import complete_bipartite, empty_graph, from_edge_list, star
+from repro.parallel.threadpool import ExecutionContext
+
+
+class TestExhaustiveEnumeration:
+    def test_single_butterfly(self):
+        graph = complete_bipartite(2, 2)
+        butterflies = list(enumerate_butterflies(graph))
+        assert butterflies == [(0, 1, 0, 1)]
+
+    def test_complete_graph_count(self):
+        graph = complete_bipartite(4, 3)
+        _, _, total = count_butterflies_exhaustive(graph)
+        assert total == 6 * 3  # C(4,2) * C(3,2)
+
+    def test_star_has_no_butterflies(self):
+        graph = star(5, center_side="V")
+        u_counts, v_counts, total = count_butterflies_exhaustive(graph)
+        assert total == 0
+        assert u_counts.sum() == 0
+        assert v_counts.sum() == 0
+
+    def test_per_vertex_counts_complete(self):
+        graph = complete_bipartite(3, 3)
+        u_counts, v_counts, total = count_butterflies_exhaustive(graph)
+        # Each U vertex is in C(2,1)... specifically (n_u-1 choose 1)*(C(n_v,2)).
+        assert u_counts.tolist() == [2 * 3] * 3
+        assert v_counts.tolist() == [2 * 3] * 3
+        assert total == 9
+
+
+class TestVertexPriorityCounting:
+    def test_matches_exhaustive_on_fixtures(self, tiny_graph, blocks_graph, hierarchy_graph):
+        for graph in (tiny_graph, blocks_graph, hierarchy_graph):
+            counts = count_per_vertex_priority(graph)
+            u_expected, v_expected, total = count_butterflies_exhaustive(graph)
+            assert np.array_equal(counts.u_counts, u_expected)
+            assert np.array_equal(counts.v_counts, v_expected)
+            assert counts.total_butterflies == total
+
+    def test_matches_exhaustive_on_random_graphs(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n_u, n_v = int(rng.integers(2, 25)), int(rng.integers(2, 25))
+            graph = random_bipartite(
+                n_u, n_v, int(rng.integers(1, min(80, n_u * n_v + 1))),
+                seed=int(rng.integers(1_000_000)),
+            )
+            counts = count_per_vertex_priority(graph)
+            u_expected, v_expected, _ = count_butterflies_exhaustive(graph)
+            assert np.array_equal(counts.u_counts, u_expected)
+            assert np.array_equal(counts.v_counts, v_expected)
+
+    def test_empty_graph(self):
+        counts = count_per_vertex_priority(empty_graph(3, 3))
+        assert counts.total_butterflies == 0
+        assert counts.wedges_traversed == 0
+
+    def test_single_edge(self):
+        counts = count_per_vertex_priority(from_edge_list([(0, 0)]))
+        assert counts.total_butterflies == 0
+
+    def test_wedge_bound_respected(self, blocks_graph):
+        counts = count_per_vertex_priority(blocks_graph)
+        assert counts.wedges_traversed <= blocks_graph.counting_wedge_bound()
+
+    def test_side_sums_agree(self, blocks_graph):
+        counts = count_per_vertex_priority(blocks_graph)
+        # Each butterfly has two vertices on each side.
+        assert counts.u_counts.sum() == counts.v_counts.sum()
+        assert counts.u_counts.sum() == 2 * counts.total_butterflies
+
+    def test_counts_accessor(self, blocks_graph):
+        counts = count_per_vertex_priority(blocks_graph)
+        assert np.array_equal(counts.counts("U"), counts.u_counts)
+        assert np.array_equal(counts.counts("v"), counts.v_counts)
+
+
+class TestWedgeAggregationCounting:
+    def test_matches_priority(self, blocks_graph):
+        priority = count_per_vertex_priority(blocks_graph)
+        wedge_u, _ = count_per_vertex_wedge(blocks_graph, "U")
+        wedge_v, _ = count_per_vertex_wedge(blocks_graph, "V")
+        assert np.array_equal(priority.u_counts, wedge_u)
+        assert np.array_equal(priority.v_counts, wedge_v)
+
+    def test_traverses_more_wedges_than_priority(self, medium_random_graph):
+        priority = count_per_vertex_priority(medium_random_graph)
+        _, wedge_traversed = count_per_vertex_wedge(medium_random_graph, "U")
+        assert wedge_traversed >= priority.wedges_traversed / 2
+
+    def test_restricted_counting_full_mask_matches(self, blocks_graph):
+        full_mask = np.ones(blocks_graph.n_u, dtype=bool)
+        restricted, _ = count_per_vertex_wedge_restricted(blocks_graph, "U", full_mask)
+        unrestricted, _ = count_per_vertex_wedge(blocks_graph, "U")
+        assert np.array_equal(restricted, unrestricted)
+
+    def test_restricted_counting_matches_induced_subgraph(self, blocks_graph):
+        mask = np.zeros(blocks_graph.n_u, dtype=bool)
+        mask[: blocks_graph.n_u // 2] = True
+        restricted, _ = count_per_vertex_wedge_restricted(blocks_graph, "U", mask)
+        induced = blocks_graph.induced_on_u_subset(np.flatnonzero(mask))
+        induced_counts = count_per_vertex_priority(induced.graph)
+        assert np.array_equal(restricted[np.flatnonzero(mask)], induced_counts.u_counts)
+        assert restricted[~mask].sum() == 0
+
+
+class TestParallelCounting:
+    def test_matches_sequential(self, blocks_graph, community_graph):
+        for graph in (blocks_graph, community_graph):
+            sequential = count_per_vertex_priority(graph)
+            parallel = count_per_vertex_parallel(graph)
+            assert np.array_equal(sequential.u_counts, parallel.u_counts)
+            assert np.array_equal(sequential.v_counts, parallel.v_counts)
+            assert sequential.wedges_traversed == parallel.wedges_traversed
+
+    def test_with_real_threads(self, blocks_graph):
+        context = ExecutionContext(4, use_real_threads=True)
+        with context:
+            parallel = count_per_vertex_parallel(blocks_graph, context)
+        sequential = count_per_vertex_priority(blocks_graph)
+        assert np.array_equal(sequential.u_counts, parallel.u_counts)
+        assert np.array_equal(sequential.v_counts, parallel.v_counts)
+
+    def test_records_parallel_regions(self, blocks_graph):
+        context = ExecutionContext(2)
+        count_per_vertex_parallel(blocks_graph, context)
+        names = [region.name for region in context.parallel_regions]
+        assert "pvBcnt[U]" in names
+        assert "pvBcnt[V]" in names
+
+
+class TestDispatcher:
+    def test_algorithms_agree(self, blocks_graph):
+        results = {
+            name: count_per_vertex(blocks_graph, algorithm=name)
+            for name in ("vertex-priority", "parallel", "wedge")
+        }
+        baseline = results["vertex-priority"]
+        for name, counts in results.items():
+            assert np.array_equal(counts.u_counts, baseline.u_counts), name
+            assert np.array_equal(counts.v_counts, baseline.v_counts), name
+
+    def test_unknown_algorithm_rejected(self, blocks_graph):
+        with pytest.raises(ReproError, match="unknown"):
+            count_per_vertex(blocks_graph, algorithm="magic")
+
+    def test_count_total_butterflies(self, complete_4x3):
+        assert count_total_butterflies(complete_4x3) == 6 * 3

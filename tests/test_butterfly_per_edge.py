@@ -1,0 +1,70 @@
+"""Unit tests for per-edge butterfly counting."""
+
+import numpy as np
+
+from repro.butterfly.naive import enumerate_butterflies
+from repro.butterfly.per_edge import count_per_edge
+from repro.datasets.generators import random_bipartite
+from repro.graph.builders import complete_bipartite, empty_graph, star
+
+
+def _expected_edge_counts(graph):
+    """Ground truth: explicitly enumerate butterflies and attribute to edges."""
+    expected = {}
+    for u, v in graph.edges():
+        expected[(u, v)] = 0
+    for u1, u2, v1, v2 in enumerate_butterflies(graph):
+        for edge in ((u1, v1), (u1, v2), (u2, v1), (u2, v2)):
+            expected[edge] += 1
+    return expected
+
+
+class TestPerEdgeCounting:
+    def test_complete_graph(self):
+        graph = complete_bipartite(3, 3)
+        counts = count_per_edge(graph)
+        # Every edge of K_{3,3} is in (3-1)*(3-1) = 4 butterflies.
+        assert counts.counts.tolist() == [4] * 9
+        assert counts.total_butterflies == 9
+
+    def test_star_has_zero_counts(self):
+        graph = star(5, center_side="V")
+        counts = count_per_edge(graph)
+        assert counts.counts.sum() == 0
+        assert counts.total_butterflies == 0
+
+    def test_empty_graph(self):
+        counts = count_per_edge(empty_graph(3, 3))
+        assert counts.edges.shape == (0, 2)
+        assert counts.counts.size == 0
+
+    def test_matches_exhaustive_on_fixtures(self, tiny_graph, blocks_graph):
+        for graph in (tiny_graph, blocks_graph):
+            counts = count_per_edge(graph)
+            expected = _expected_edge_counts(graph)
+            observed = counts.as_dict()
+            assert observed == expected
+
+    def test_matches_exhaustive_on_random_graphs(self):
+        rng = np.random.default_rng(3)
+        for _ in range(8):
+            n_u, n_v = int(rng.integers(2, 15)), int(rng.integers(2, 15))
+            graph = random_bipartite(
+                n_u, n_v, int(rng.integers(1, min(50, n_u * n_v + 1))),
+                seed=int(rng.integers(1_000_000)),
+            )
+            counts = count_per_edge(graph)
+            assert counts.as_dict() == _expected_edge_counts(graph)
+
+    def test_total_consistent_with_vertex_counts(self, blocks_graph):
+        from repro.butterfly.counting import count_total_butterflies
+
+        counts = count_per_edge(blocks_graph)
+        assert counts.total_butterflies == count_total_butterflies(blocks_graph)
+
+    def test_edge_index_alignment(self, tiny_graph):
+        counts = count_per_edge(tiny_graph)
+        index = counts.edge_index()
+        for position, (u, v) in enumerate(counts.edges):
+            assert index[(int(u), int(v))] == position
+        assert len(index) == tiny_graph.n_edges

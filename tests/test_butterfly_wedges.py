@@ -1,0 +1,92 @@
+"""Unit tests for wedge-level utilities."""
+
+import numpy as np
+
+from repro.butterfly.wedges import (
+    iterate_wedges,
+    pair_wedge_count,
+    shared_butterflies,
+    total_wedges,
+    wedge_counts_from_vertex,
+)
+from repro.graph.builders import complete_bipartite, star
+
+
+class TestWedgeCountsFromVertex:
+    def test_complete_graph(self):
+        graph = complete_bipartite(4, 3)
+        counts, traversed = wedge_counts_from_vertex(graph, 0, "U")
+        # Every other U vertex shares all 3 V neighbours; self entry zeroed.
+        assert counts[0] == 0
+        assert counts[1:].tolist() == [3, 3, 3]
+        assert traversed == 3 * 4  # 3 centers each of degree 4
+
+    def test_star_has_wedges_but_no_self(self):
+        graph = star(5, center_side="V")
+        counts, traversed = wedge_counts_from_vertex(graph, 0, "U")
+        assert counts[0] == 0
+        assert counts[1:].tolist() == [1, 1, 1, 1]
+        assert traversed == 5
+
+    def test_isolated_vertex(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        graph = BipartiteGraph(3, 2, [(0, 0), (1, 0)])
+        counts, traversed = wedge_counts_from_vertex(graph, 2, "U")
+        assert counts.sum() == 0
+        assert traversed == 0
+
+    def test_v_side(self):
+        graph = complete_bipartite(3, 4)
+        counts, _ = wedge_counts_from_vertex(graph, 1, "V")
+        assert counts[1] == 0
+        assert counts[[0, 2, 3]].tolist() == [3, 3, 3]
+
+
+class TestPairCounts:
+    def test_pair_wedge_count(self, tiny_graph):
+        for u1 in range(tiny_graph.n_u):
+            for u2 in range(tiny_graph.n_u):
+                if u1 == u2:
+                    continue
+                expected = np.intersect1d(
+                    tiny_graph.neighbors_u(u1), tiny_graph.neighbors_u(u2)
+                ).size
+                assert pair_wedge_count(tiny_graph, u1, u2) == expected
+
+    def test_shared_butterflies_formula(self, tiny_graph):
+        for u1 in range(tiny_graph.n_u):
+            for u2 in range(u1 + 1, tiny_graph.n_u):
+                common = pair_wedge_count(tiny_graph, u1, u2)
+                assert shared_butterflies(tiny_graph, u1, u2) == common * (common - 1) // 2
+
+    def test_shared_butterflies_symmetric(self, tiny_graph):
+        assert shared_butterflies(tiny_graph, 1, 2) == shared_butterflies(tiny_graph, 2, 1)
+
+    def test_no_common_neighbors(self):
+        from repro.graph.builders import from_edge_list
+
+        graph = from_edge_list([(0, 0), (1, 1)])
+        assert pair_wedge_count(graph, 0, 1) == 0
+        assert shared_butterflies(graph, 0, 1) == 0
+
+
+class TestIterationAndTotals:
+    def test_iterate_wedges_matches_total(self, tiny_graph):
+        wedges = list(iterate_wedges(tiny_graph, "U"))
+        assert len(wedges) == total_wedges(tiny_graph, "U")
+        # Endpoints are ordered and distinct from each other.
+        for endpoint_1, center, endpoint_2 in wedges:
+            assert endpoint_1 < endpoint_2
+            assert center in tiny_graph.neighbors_u(endpoint_1).tolist()
+            assert center in tiny_graph.neighbors_u(endpoint_2).tolist()
+
+    def test_total_wedges_complete(self):
+        graph = complete_bipartite(5, 4)
+        assert total_wedges(graph, "U") == 4 * 10  # |V| * C(5, 2)
+        assert total_wedges(graph, "V") == 5 * 6
+
+    def test_total_wedges_star(self):
+        graph = star(6, center_side="V")
+        assert total_wedges(graph, "U") == 15
+        assert total_wedges(graph, "V") == 0

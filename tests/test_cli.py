@@ -1,0 +1,93 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.builders import from_edge_list
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = from_edge_list(
+        [(0, 0), (0, 1), (1, 0), (1, 1), (2, 1), (2, 2), (3, 2), (3, 0)], n_u=4, n_v=3
+    )
+    path = tmp_path / "graph.tsv"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_decompose_defaults(self, graph_file):
+        args = build_parser().parse_args(["decompose", "--path", str(graph_file)])
+        assert args.algorithm == "receipt"
+        assert args.side == "U"
+
+    def test_dataset_and_path_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--dataset", "it", "--path", "x"])
+
+
+class TestCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for key in ("it", "de", "or", "lj", "en", "tr"):
+            assert key in output
+
+    def test_stats_on_file(self, graph_file, capsys):
+        assert main(["stats", "--path", str(graph_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_u"] == 4
+        assert payload["n_edges"] == 8
+
+    def test_count_on_file(self, graph_file, capsys):
+        assert main(["count", "--path", str(graph_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_butterflies"] >= 1
+        assert payload["algorithm"] == "vertex-priority"
+
+    def test_decompose_receipt(self, graph_file, capsys, tmp_path):
+        output_file = tmp_path / "tips.json"
+        exit_code = main([
+            "decompose", "--path", str(graph_file),
+            "--algorithm", "receipt", "--partitions", "2",
+            "--output", str(output_file),
+        ])
+        assert exit_code == 0
+        stdout = capsys.readouterr().out
+        assert '"algorithm": "RECEIPT"' in stdout
+        assert "tip numbers written" in stdout
+        # Output file holds per-vertex tip numbers.
+        payload = json.loads(output_file.read_text())
+        assert payload["side"] == "U"
+        assert len(payload["tip_numbers"]) == 4
+
+    def test_decompose_bup_v_side(self, graph_file, capsys):
+        assert main(["decompose", "--path", str(graph_file), "--algorithm", "bup",
+                     "--side", "V"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "BUP"
+        assert payload["side"] == "V"
+        assert payload["n_vertices"] == 3
+
+    def test_compare_receipt_vs_bup(self, graph_file, capsys):
+        assert main(["compare", "--path", str(graph_file),
+                     "--first", "receipt", "--second", "bup"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["agree"] is True
+
+    def test_stats_on_generated_dataset(self, capsys):
+        assert main(["stats", "--dataset", "it", "--scale", "0.05", "--seed", "3"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_edges"] > 0
+
+    def test_unknown_dataset_returns_error_code(self, capsys):
+        assert main(["stats", "--dataset", "doesnotexist"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,51 @@
+"""Tests for the adaptive-vs-static range determination toggle."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_vertex_priority
+from repro.core.cd import coarse_grained_decomposition
+from repro.core.receipt import ReceiptConfig, receipt_decomposition
+from repro.peeling.bup import bup_decomposition
+
+
+class TestStaticTargets:
+    def test_static_targets_still_correct(self, community_graph, blocks_graph):
+        for graph in (community_graph, blocks_graph):
+            reference = bup_decomposition(graph, "U").tip_numbers
+            result = receipt_decomposition(
+                graph, "U", n_partitions=5, adaptive_range_targets=False
+            )
+            assert np.array_equal(result.tip_numbers, reference)
+
+    def test_static_targets_respect_ranges(self, community_graph):
+        counts = count_per_vertex_priority(community_graph).u_counts
+        cd = coarse_grained_decomposition(community_graph, counts, 5, adaptive_targets=False)
+        reference = bup_decomposition(community_graph, "U").tip_numbers
+        for index, subset in enumerate(cd.subsets):
+            lower, upper = cd.range_of_subset(index)
+            assert np.all(reference[subset] >= lower)
+            assert np.all(reference[subset] < upper)
+
+    def test_adaptive_creates_at_least_as_many_populated_subsets(self, medium_random_graph):
+        counts = count_per_vertex_priority(medium_random_graph).u_counts
+        adaptive = coarse_grained_decomposition(medium_random_graph, counts, 8,
+                                                adaptive_targets=True)
+        static = coarse_grained_decomposition(medium_random_graph, counts, 8,
+                                              adaptive_targets=False)
+        adaptive_populated = sum(1 for subset in adaptive.subsets if subset.size)
+        static_populated = sum(1 for subset in static.subsets if subset.size)
+        assert adaptive_populated >= static_populated
+
+    def test_config_carries_toggle(self):
+        config = ReceiptConfig(adaptive_range_targets=False)
+        assert config.adaptive_range_targets is False
+        assert ReceiptConfig().adaptive_range_targets is True
+
+    def test_both_modes_partition_every_vertex(self, blocks_graph):
+        counts = count_per_vertex_priority(blocks_graph).u_counts
+        for adaptive in (True, False):
+            cd = coarse_grained_decomposition(blocks_graph, counts, 4,
+                                              adaptive_targets=adaptive)
+            assigned = np.concatenate(cd.subsets)
+            assert sorted(assigned.tolist()) == list(range(blocks_graph.n_u))

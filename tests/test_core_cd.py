@@ -1,0 +1,151 @@
+"""Unit tests for RECEIPT Coarse-grained Decomposition (CD)."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_vertex_priority
+from repro.core.cd import coarse_grained_decomposition
+from repro.graph.builders import complete_bipartite, star
+from repro.peeling.bup import bup_decomposition
+
+
+def _run_cd(graph, n_partitions=4, **kwargs):
+    counts = count_per_vertex_priority(graph).u_counts
+    return coarse_grained_decomposition(graph, counts, n_partitions, **kwargs), counts
+
+
+class TestPartitionStructure:
+    def test_every_vertex_assigned_exactly_once(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph)
+        assigned = np.concatenate(cd.subsets) if cd.subsets else np.zeros(0, dtype=np.int64)
+        assert sorted(assigned.tolist()) == list(range(blocks_graph.n_u))
+
+    def test_bounds_strictly_increasing(self, blocks_graph, community_graph):
+        for graph in (blocks_graph, community_graph):
+            cd, _ = _run_cd(graph)
+            assert np.all(np.diff(cd.bounds) > 0)
+            assert cd.bounds[0] == 0
+            assert len(cd.bounds) == cd.n_subsets + 1
+
+    def test_tip_numbers_fall_inside_assigned_range(self, blocks_graph, community_graph):
+        # Theorem 1: a vertex of subset i has theta in [bounds[i], bounds[i+1]).
+        for graph in (blocks_graph, community_graph):
+            cd, _ = _run_cd(graph, n_partitions=5)
+            reference = bup_decomposition(graph, "U").tip_numbers
+            for index, subset in enumerate(cd.subsets):
+                lower, upper = cd.range_of_subset(index)
+                assert np.all(reference[subset] >= lower), f"subset {index} lower bound"
+                assert np.all(reference[subset] < upper), f"subset {index} upper bound"
+
+    def test_init_supports_match_residual_butterflies(self, blocks_graph):
+        # For a vertex of subset i, init_supports equals its butterflies with
+        # vertices of subsets >= i (Sec. 3: the FD support initialisation).
+        from repro.butterfly.counting import count_per_vertex_priority as counter
+
+        cd, _ = _run_cd(blocks_graph, n_partitions=4)
+        membership = cd.subset_of_vertex()
+        for index, subset in enumerate(cd.subsets):
+            if subset.size == 0:
+                continue
+            survivors = np.flatnonzero(membership >= index)
+            induced = blocks_graph.induced_on_u_subset(survivors)
+            induced_counts = counter(induced.graph).u_counts
+            position_of = {int(v): i for i, v in enumerate(survivors)}
+            for vertex in subset:
+                assert cd.init_supports[vertex] == induced_counts[position_of[int(vertex)]]
+
+    def test_subset_of_vertex_mapping(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph)
+        membership = cd.subset_of_vertex()
+        for index, subset in enumerate(cd.subsets):
+            assert np.all(membership[subset] == index)
+        assert np.all(membership >= 0)
+
+    def test_single_partition_takes_everything(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph, n_partitions=1)
+        # One planned range plus at most one leftover subset.
+        assert cd.n_subsets <= 2
+        assigned = np.concatenate(cd.subsets)
+        assert assigned.size == blocks_graph.n_u
+
+    def test_more_partitions_than_distinct_supports(self, complete_4x3):
+        counts = count_per_vertex_priority(complete_4x3).u_counts
+        cd = coarse_grained_decomposition(complete_4x3, counts, 10)
+        assigned = np.concatenate([s for s in cd.subsets if s.size])
+        assert sorted(assigned.tolist()) == [0, 1, 2, 3]
+
+    def test_star_graph_single_zero_range(self):
+        graph = star(5, center_side="V")
+        counts = count_per_vertex_priority(graph).u_counts
+        cd = coarse_grained_decomposition(graph, counts, 3)
+        assert np.concatenate(cd.subsets).size == 5
+        assert all(np.all(cd.init_supports[s] == 0) for s in cd.subsets)
+
+    def test_invalid_partition_count(self, blocks_graph):
+        counts = count_per_vertex_priority(blocks_graph).u_counts
+        with pytest.raises(ValueError):
+            coarse_grained_decomposition(blocks_graph, counts, 0)
+
+    def test_wrong_support_length(self, blocks_graph):
+        with pytest.raises(ValueError):
+            coarse_grained_decomposition(blocks_graph, np.zeros(2), 4)
+
+
+class TestInstrumentation:
+    def test_counters_populated(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph)
+        assert cd.counters.synchronization_rounds > 0
+        assert cd.counters.wedges_traversed > 0
+        assert cd.counters.vertices_peeled == blocks_graph.n_u
+        assert cd.counters.elapsed_seconds > 0
+
+    def test_iteration_records_consistent(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph)
+        assert len(cd.iteration_records) == cd.counters.synchronization_rounds
+        # Iteration records cover exactly the subsets peeled by the main loop
+        # (a leftover subset, if any, is appended without peeling iterations).
+        planned_subsets = len(cd.targeter_history)
+        peeled_in_loop = sum(int(subset.size) for subset in cd.subsets[:planned_subsets])
+        assert sum(r["vertices_peeled"] for r in cd.iteration_records) == peeled_in_loop
+        for record in cd.iteration_records:
+            assert record["upper_bound"] > record["lower_bound"]
+
+    def test_fewer_rounds_than_parb_levels(self, community_graph):
+        # The raison d'etre of CD: far fewer synchronization rounds than
+        # one-round-per-support-level peeling.
+        from repro.peeling.parbutterfly import parbutterfly_decomposition
+
+        cd, _ = _run_cd(community_graph, n_partitions=4)
+        parb = parbutterfly_decomposition(community_graph, "U")
+        assert cd.counters.synchronization_rounds < parb.counters.synchronization_rounds
+
+    def test_huc_disabled_never_recounts(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph, enable_huc=False)
+        assert cd.counters.recount_invocations == 0
+        assert all(not record["recounted"] for record in cd.iteration_records)
+
+    def test_targeter_history_length(self, blocks_graph):
+        cd, _ = _run_cd(blocks_graph, n_partitions=6)
+        assert len(cd.targeter_history) <= 6
+
+
+class TestOptimizationToggles:
+    @pytest.mark.parametrize("enable_huc", [True, False])
+    @pytest.mark.parametrize("enable_dgm", [True, False])
+    def test_partitions_respect_ranges_under_all_toggles(
+        self, community_graph, enable_huc, enable_dgm
+    ):
+        cd, _ = _run_cd(
+            community_graph, n_partitions=4, enable_huc=enable_huc, enable_dgm=enable_dgm
+        )
+        reference = bup_decomposition(community_graph, "U").tip_numbers
+        for index, subset in enumerate(cd.subsets):
+            lower, upper = cd.range_of_subset(index)
+            assert np.all(reference[subset] >= lower)
+            assert np.all(reference[subset] < upper)
+
+    def test_dgm_reduces_wedge_traversal(self, community_graph):
+        with_dgm, _ = _run_cd(community_graph, enable_huc=False, enable_dgm=True)
+        without_dgm, _ = _run_cd(community_graph, enable_huc=False, enable_dgm=False)
+        assert with_dgm.counters.wedges_traversed <= without_dgm.counters.wedges_traversed
+        assert with_dgm.counters.dgm_compactions >= 0

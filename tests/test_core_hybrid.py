@@ -1,0 +1,74 @@
+"""Unit tests for Hybrid Update Computation (HUC) helpers."""
+
+import numpy as np
+
+from repro.butterfly.counting import count_per_vertex_priority
+from repro.core.hybrid import peel_cost, recount_cost, recount_supports, should_recount
+from repro.graph.builders import complete_bipartite
+
+
+class TestCosts:
+    def test_peel_cost_sums_wedge_work(self, blocks_graph):
+        work = blocks_graph.wedge_work_per_vertex("U")
+        active = np.array([0, 3, 5])
+        assert peel_cost(work, active) == int(work[[0, 3, 5]].sum())
+
+    def test_peel_cost_empty(self, blocks_graph):
+        work = blocks_graph.wedge_work_per_vertex("U")
+        assert peel_cost(work, np.array([], dtype=np.int64)) == 0
+
+    def test_recount_cost_full_graph_equals_counting_bound(self, blocks_graph):
+        alive = np.ones(blocks_graph.n_u, dtype=bool)
+        assert recount_cost(blocks_graph, alive) == blocks_graph.counting_wedge_bound()
+
+    def test_recount_cost_empty(self, blocks_graph):
+        alive = np.zeros(blocks_graph.n_u, dtype=bool)
+        assert recount_cost(blocks_graph, alive) == 0
+
+    def test_recount_cost_decreases_as_vertices_die(self, blocks_graph):
+        full = recount_cost(blocks_graph, np.ones(blocks_graph.n_u, dtype=bool))
+        half_mask = np.ones(blocks_graph.n_u, dtype=bool)
+        half_mask[: blocks_graph.n_u // 2] = False
+        assert recount_cost(blocks_graph, half_mask) <= full
+
+    def test_should_recount_decision(self):
+        assert should_recount(100, 50)
+        assert not should_recount(50, 100)
+        assert not should_recount(50, 50)
+
+
+class TestRecountSupports:
+    def test_full_mask_matches_fresh_count(self, blocks_graph):
+        alive = np.ones(blocks_graph.n_u, dtype=bool)
+        outcome = recount_supports(blocks_graph, alive)
+        fresh = count_per_vertex_priority(blocks_graph)
+        assert np.array_equal(outcome.supports, fresh.u_counts)
+        assert outcome.wedges_traversed == fresh.wedges_traversed
+
+    def test_partial_mask_matches_induced_subgraph(self, blocks_graph):
+        alive = np.zeros(blocks_graph.n_u, dtype=bool)
+        alive[::2] = True
+        outcome = recount_supports(blocks_graph, alive)
+        induced = blocks_graph.induced_on_u_subset(np.flatnonzero(alive))
+        induced_counts = count_per_vertex_priority(induced.graph)
+        assert np.array_equal(outcome.supports[np.flatnonzero(alive)], induced_counts.u_counts)
+        # Dead vertices report zero butterflies.
+        assert outcome.supports[~alive].sum() == 0
+
+    def test_empty_mask(self, blocks_graph):
+        outcome = recount_supports(blocks_graph, np.zeros(blocks_graph.n_u, dtype=bool))
+        assert outcome.supports.sum() == 0
+        assert outcome.wedges_traversed == 0
+
+    def test_recount_equals_peeling_effect(self, complete_4x3):
+        # Recounting after deleting a vertex set must equal the initial count
+        # minus the butterflies shared with the deleted set (what peeling
+        # would have computed) — the core HUC equivalence.
+        from repro.butterfly.wedges import shared_butterflies
+
+        initial = count_per_vertex_priority(complete_4x3).u_counts
+        alive = np.array([False, True, True, True])
+        outcome = recount_supports(complete_4x3, alive)
+        for vertex in (1, 2, 3):
+            expected = initial[vertex] - shared_butterflies(complete_4x3, 0, vertex)
+            assert outcome.supports[vertex] == expected

@@ -1,0 +1,105 @@
+"""Unit tests for range determination (findHi) and adaptive targeting."""
+
+import numpy as np
+import pytest
+
+from repro.core.ranges import AdaptiveRangeTargeter, find_range_upper_bound
+
+
+class TestFindRangeUpperBound:
+    def test_simple_split(self):
+        supports = np.array([0, 1, 2, 3, 4])
+        work = np.array([10, 10, 10, 10, 10])
+        # Target of 30 is reached by the three lowest-support vertices.
+        assert find_range_upper_bound(supports, work, 30) == 3
+
+    def test_bound_is_exclusive(self):
+        supports = np.array([5, 5, 7])
+        work = np.array([1, 1, 1])
+        bound = find_range_upper_bound(supports, work, 2)
+        assert bound == 6  # includes the two support-5 vertices, excludes 7
+
+    def test_target_larger_than_total(self):
+        supports = np.array([2, 9, 4])
+        work = np.array([1, 1, 1])
+        assert find_range_upper_bound(supports, work, 100) == 10  # max + 1
+
+    def test_zero_target_still_covers_minimum(self):
+        supports = np.array([3, 8])
+        work = np.array([5, 5])
+        assert find_range_upper_bound(supports, work, 0) == 4
+
+    def test_unsorted_input(self):
+        supports = np.array([9, 1, 5, 3])
+        work = np.array([1, 1, 1, 1])
+        assert find_range_upper_bound(supports, work, 2) == 4
+
+    def test_ties_included_completely(self):
+        supports = np.array([2, 2, 2, 7])
+        work = np.array([4, 4, 4, 4])
+        # Target 5 lands inside the tie group; the bound must still cover all
+        # support-2 vertices because the bound is a support value, not a count.
+        bound = find_range_upper_bound(supports, work, 5)
+        assert bound == 3
+
+    def test_empty_input(self):
+        assert find_range_upper_bound(np.array([]), np.array([]), 10) == 1
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            find_range_upper_bound(np.array([1, 2]), np.array([1]), 5)
+
+    def test_skewed_work_changes_split(self):
+        supports = np.array([0, 1, 2, 3])
+        uniform = find_range_upper_bound(supports, np.array([1, 1, 1, 1]), 2)
+        skewed = find_range_upper_bound(supports, np.array([100, 1, 1, 1]), 2)
+        assert uniform == 2
+        assert skewed == 1  # the heavy vertex alone satisfies the target
+
+
+class TestAdaptiveRangeTargeter:
+    def test_even_split_without_overshoot(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=4)
+        assert targeter.next_target(100) == pytest.approx(25.0)
+        targeter.record_subset(25.0, 25.0)
+        assert targeter.scaling_factor == pytest.approx(1.0)
+        assert targeter.next_target(75) == pytest.approx(25.0)
+
+    def test_overshoot_scales_down_next_target(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=4)
+        target = targeter.next_target(100)
+        targeter.record_subset(target, covered_work=50.0)  # 2x overshoot
+        assert targeter.scaling_factor == pytest.approx(0.5)
+        # Remaining work 50 over 3 partitions, scaled by 0.5.
+        assert targeter.next_target(50) == pytest.approx(50 / 3 * 0.5)
+
+    def test_scaling_factor_never_exceeds_one(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=3)
+        targeter.record_subset(target_work=30.0, covered_work=10.0)
+        assert targeter.scaling_factor == 1.0
+
+    def test_exhaustion(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=2)
+        assert not targeter.exhausted
+        targeter.record_subset(1.0, 1.0)
+        targeter.record_subset(1.0, 1.0)
+        assert targeter.exhausted
+
+    def test_zero_covered_work_resets_scaling(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=3)
+        targeter.record_subset(10.0, 0.0)
+        assert targeter.scaling_factor == 1.0
+
+    def test_history_recorded(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=3)
+        targeter.record_subset(10.0, 20.0)
+        targeter.record_subset(5.0, 5.0)
+        assert len(targeter.history) == 2
+        assert targeter.history[0]["covered_work"] == 20.0
+        assert targeter.history[1]["subset"] == 2
+
+    def test_last_partition_gets_all_remaining(self):
+        targeter = AdaptiveRangeTargeter(n_partitions=3)
+        targeter.record_subset(1.0, 1.0)
+        targeter.record_subset(1.0, 1.0)
+        assert targeter.next_target(42.0) == pytest.approx(42.0)

@@ -1,0 +1,78 @@
+"""Unit tests for FD task scheduling (dynamic allocation and WaS/LPT)."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduling import greedy_schedule, lpt_schedule, workload_aware_order
+
+
+class TestGreedySchedule:
+    def test_single_thread_executes_everything(self):
+        schedule = greedy_schedule(np.array([3, 1, 2]), n_threads=1)
+        assert schedule.n_threads == 1
+        assert schedule.makespan == 6
+        assert schedule.assignments[0] == [0, 1, 2]
+
+    def test_two_threads_balance(self):
+        schedule = greedy_schedule(np.array([4, 4]), n_threads=2)
+        assert schedule.makespan == 4
+        assert schedule.imbalance == pytest.approx(1.0)
+
+    def test_more_threads_than_tasks(self):
+        schedule = greedy_schedule(np.array([5, 5]), n_threads=8)
+        assert schedule.makespan == 5
+        assert schedule.total_work == 10
+
+    def test_empty_task_list(self):
+        schedule = greedy_schedule(np.array([]), n_threads=4)
+        assert schedule.makespan == 0
+        assert schedule.total_work == 0
+
+    def test_order_matters_for_greedy(self):
+        # The Fig. 3 scenario: original order leaves the long task last.
+        work = np.array([13, 4, 10, 20, 1, 2], dtype=float)
+        original = greedy_schedule(work, n_threads=2)
+        aware = lpt_schedule(work, n_threads=2)
+        assert aware.makespan < original.makespan
+        assert original.makespan == 33
+        assert aware.makespan == 25
+
+    def test_loads_sum_to_total_work(self):
+        work = np.array([7, 3, 9, 2, 5], dtype=float)
+        schedule = greedy_schedule(work, n_threads=3)
+        assert schedule.loads.sum() == pytest.approx(work.sum())
+        assert set(task for tasks in schedule.assignments for task in tasks) == set(range(5))
+
+
+class TestWorkloadAwareOrder:
+    def test_descending_by_work(self):
+        order = workload_aware_order(np.array([5, 20, 1, 20]))
+        assert order.tolist() == [1, 3, 0, 2]  # ties broken by task id
+
+    def test_empty(self):
+        assert workload_aware_order(np.array([])).size == 0
+
+
+class TestLptSchedule:
+    def test_lpt_is_never_worse_than_arrival_order(self):
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            work = rng.integers(1, 100, size=12).astype(float)
+            threads = int(rng.integers(2, 6))
+            assert lpt_schedule(work, threads).makespan <= greedy_schedule(work, threads).makespan
+
+    def test_lpt_within_graham_bound(self):
+        # LPT is a 4/3 - 1/(3m) approximation of the optimal makespan, which
+        # itself is at least max(total/m, max task).
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            work = rng.integers(1, 50, size=10).astype(float)
+            threads = int(rng.integers(2, 5))
+            schedule = lpt_schedule(work, threads)
+            lower_bound = max(work.sum() / threads, work.max())
+            assert schedule.makespan <= (4 / 3) * lower_bound + 1e-9
+
+    def test_perfectly_divisible_work(self):
+        schedule = lpt_schedule(np.array([2, 2, 2, 2], dtype=float), n_threads=2)
+        assert schedule.makespan == 4
+        assert schedule.imbalance == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for post-run RECEIPT statistics (breakdowns, r ratio, cost model)."""
+
+import numpy as np
+import pytest
+
+from repro.core.receipt import receipt_decomposition
+from repro.core.stats import (
+    build_cost_model,
+    peel_to_count_ratio,
+    projected_speedups,
+    time_breakdown,
+    wedge_breakdown,
+)
+from repro.peeling.bup import bup_decomposition
+
+
+@pytest.fixture(scope="module")
+def receipt_result():
+    from repro.datasets.generators import affiliation_graph
+
+    graph = affiliation_graph(120, 60, 18, community_size_u=14, community_size_v=6,
+                              membership_probability=0.7, background_edges=100, seed=21)
+    return receipt_decomposition(graph, "U", n_partitions=6)
+
+
+class TestBreakdowns:
+    def test_wedge_breakdown_fractions_sum_to_one(self, receipt_result):
+        breakdown = wedge_breakdown(receipt_result)
+        assert set(breakdown.absolute) == {"pvBcnt", "cd", "fd"}
+        assert sum(breakdown.fraction.values()) == pytest.approx(1.0)
+        assert breakdown.total == receipt_result.counters.wedges_traversed
+
+    def test_cd_dominates_wedges(self, receipt_result):
+        # The paper's Fig. 8: CD traverses the bulk of the wedges, FD < 15%.
+        breakdown = wedge_breakdown(receipt_result)
+        assert breakdown.fraction["cd"] > breakdown.fraction["fd"]
+
+    def test_time_breakdown_fractions_sum_to_one(self, receipt_result):
+        breakdown = time_breakdown(receipt_result)
+        assert sum(breakdown.fraction.values()) == pytest.approx(1.0)
+        assert all(value >= 0 for value in breakdown.absolute.values())
+
+    def test_breakdown_without_phases_falls_back(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        breakdown = wedge_breakdown(result)
+        assert breakdown.fraction == {"total": 1.0}
+
+
+class TestPeelToCountRatio:
+    def test_ratio_positive(self, receipt_result):
+        assert peel_to_count_ratio(receipt_result) > 0
+
+    def test_ratio_uses_phase_counters(self, receipt_result):
+        ratio = peel_to_count_ratio(receipt_result)
+        counting = receipt_result.counters.counting_wedges
+        peeling = receipt_result.counters.peeling_wedges
+        assert ratio == pytest.approx(peeling / counting)
+
+
+class TestCostModel:
+    def test_build_cost_model(self, receipt_result):
+        model = build_cost_model(receipt_result)
+        assert model.total_work > 0
+        assert len(model.regions) > 0
+
+    def test_requires_parallel_regions(self, blocks_graph):
+        result = bup_decomposition(blocks_graph, "U")
+        with pytest.raises(ValueError):
+            build_cost_model(result)
+
+    def test_speedup_baseline_and_gains(self, receipt_result):
+        # Without barrier overhead, more threads can never cost more work
+        # than the single-threaded execution, so projected speedups are >= 1.
+        speedups = projected_speedups(
+            receipt_result, thread_counts=(1, 2, 9, 18), barrier_cost=0.0
+        )
+        assert speedups[1] == pytest.approx(1.0)
+        assert speedups[2] >= 1.0
+        assert speedups[18] >= 1.0
+
+    def test_speedup_bounded_by_thread_count(self, receipt_result):
+        speedups = projected_speedups(receipt_result)
+        for threads, speedup in speedups.items():
+            assert 0.0 < speedup <= threads + 1e-9
+
+    def test_fd_task_queue_region_excluded(self, receipt_result):
+        model = build_cost_model(receipt_result)
+        assert all(region.name != "fd_task_queue" for region in model.regions)
+        assert any(region.name == "fd_subsets" for region in model.regions)

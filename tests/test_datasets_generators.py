@@ -1,0 +1,151 @@
+"""Unit tests for the synthetic bipartite graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    affiliation_graph,
+    nested_tip_hierarchy,
+    planted_blocks,
+    power_law_bipartite,
+    random_bipartite,
+)
+from repro.errors import DatasetError
+
+
+class TestRandomBipartite:
+    def test_sizes_and_bounds(self):
+        graph = random_bipartite(50, 30, 200, seed=1)
+        assert graph.n_u == 50
+        assert graph.n_v == 30
+        assert 0 < graph.n_edges <= 200
+
+    def test_deterministic_for_seed(self):
+        first = random_bipartite(20, 20, 80, seed=7)
+        second = random_bipartite(20, 20, 80, seed=7)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = random_bipartite(20, 20, 80, seed=7)
+        second = random_bipartite(20, 20, 80, seed=8)
+        assert first != second
+
+    def test_zero_edges(self):
+        assert random_bipartite(5, 5, 0, seed=1).n_edges == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            random_bipartite(0, 5, 3)
+        with pytest.raises(DatasetError):
+            random_bipartite(5, 5, -1)
+        with pytest.raises(DatasetError):
+            random_bipartite(2, 2, 100)
+
+    def test_full_density_is_complete(self):
+        # Requesting every possible edge repeatedly converges to completeness.
+        graph = random_bipartite(3, 3, 9, seed=1)
+        assert graph.n_edges <= 9
+
+
+class TestPowerLawBipartite:
+    def test_sizes(self):
+        graph = power_law_bipartite(100, 50, 400, seed=3)
+        assert graph.n_u == 100 and graph.n_v == 50
+        assert graph.n_edges > 0
+
+    def test_smaller_exponent_gives_heavier_tail(self):
+        light = power_law_bipartite(200, 200, 2000, exponent_v=3.5, seed=5)
+        heavy = power_law_bipartite(200, 200, 2000, exponent_v=1.8, seed=5)
+        assert heavy.degrees_v().max() > light.degrees_v().max()
+
+    def test_heavier_v_tail_increases_u_side_wedges(self):
+        light = power_law_bipartite(200, 200, 2000, exponent_v=3.5, seed=5)
+        heavy = power_law_bipartite(200, 200, 2000, exponent_v=1.8, seed=5)
+        assert heavy.wedge_endpoint_count("U") > light.wedge_endpoint_count("U")
+
+    def test_deterministic(self):
+        assert power_law_bipartite(50, 50, 300, seed=2) == power_law_bipartite(50, 50, 300, seed=2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DatasetError):
+            power_law_bipartite(0, 10, 5)
+
+
+class TestPlantedBlocks:
+    def test_blocks_are_dense(self):
+        graph = planted_blocks(30, 20, [(6, 5)], block_density=1.0, seed=1)
+        # The first 6 U vertices and 5 V vertices form a complete block.
+        for u in range(6):
+            assert set(graph.neighbors_u(u).tolist()) >= set(range(5))
+
+    def test_background_vertices_sparse(self):
+        graph = planted_blocks(30, 20, [(6, 5)], block_density=1.0, background_edges=0, seed=1)
+        for u in range(6, 30):
+            assert graph.degree_u(u) == 0
+
+    def test_butterfly_rich(self):
+        from repro.butterfly.counting import count_total_butterflies
+
+        graph = planted_blocks(40, 30, [(8, 6), (6, 5)], block_density=1.0, seed=2)
+        # A complete a x b block contributes C(a,2) * C(b,2) butterflies.
+        assert count_total_butterflies(graph) == 28 * 15 + 15 * 10
+
+    def test_blocks_exceeding_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            planted_blocks(5, 5, [(10, 2)])
+
+    def test_background_edges_added(self):
+        sparse = planted_blocks(30, 20, [(4, 4)], background_edges=0, seed=3)
+        noisy = planted_blocks(30, 20, [(4, 4)], background_edges=100, seed=3)
+        assert noisy.n_edges > sparse.n_edges
+
+
+class TestAffiliationGraph:
+    def test_sizes(self):
+        graph = affiliation_graph(100, 40, 10, seed=4)
+        assert graph.n_u == 100 and graph.n_v == 40
+        assert graph.n_edges > 0
+
+    def test_communities_create_butterflies(self):
+        from repro.butterfly.counting import count_total_butterflies
+
+        graph = affiliation_graph(100, 40, 10, community_size_u=15, community_size_v=6,
+                                  membership_probability=0.8, seed=4)
+        assert count_total_butterflies(graph) > 0
+
+    def test_more_communities_more_edges(self):
+        few = affiliation_graph(100, 40, 5, seed=4)
+        many = affiliation_graph(100, 40, 30, seed=4)
+        assert many.n_edges > few.n_edges
+
+    def test_community_size_clamped_to_population(self):
+        graph = affiliation_graph(5, 3, 2, community_size_u=50, community_size_v=50,
+                                  membership_probability=1.0, seed=1)
+        assert graph.n_edges == 15  # complete bipartite 5 x 3
+
+    def test_deterministic(self):
+        assert affiliation_graph(50, 20, 6, seed=9) == affiliation_graph(50, 20, 6, seed=9)
+
+
+class TestNestedTipHierarchy:
+    def test_structure_is_deterministic(self):
+        assert nested_tip_hierarchy(3) == nested_tip_hierarchy(3)
+
+    def test_levels_increase_size(self):
+        small = nested_tip_hierarchy(2)
+        large = nested_tip_hierarchy(4)
+        assert large.n_u > small.n_u
+        assert large.n_edges > small.n_edges
+
+    def test_later_levels_have_larger_degree(self):
+        graph = nested_tip_hierarchy(3, base_u=4, base_v=3, growth=2)
+        degrees = graph.degrees_u()
+        assert degrees[0] < degrees[-1]
+
+    def test_single_level_is_complete_block(self):
+        graph = nested_tip_hierarchy(1, base_u=3, base_v=4)
+        assert graph.n_edges == 12
+
+    def test_invalid_levels(self):
+        with pytest.raises(DatasetError):
+            nested_tip_hierarchy(0)

@@ -1,0 +1,83 @@
+"""Unit tests for the paper-dataset stand-in registry."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, dataset_sides, load_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistryContents:
+    def test_all_six_paper_datasets_registered(self):
+        assert dataset_names() == ["it", "de", "or", "lj", "en", "tr"]
+
+    def test_dataset_sides_enumerates_both_sides(self):
+        sides = dataset_sides()
+        assert len(sides) == 12
+        assert ("it", "U") in sides and ("tr", "V") in sides
+
+    def test_paper_stats_contain_table2_fields(self):
+        for spec in DATASETS.values():
+            stats = spec.paper_stats
+            assert {"n_u", "n_v", "n_edges", "avg_degree_u", "avg_degree_v",
+                    "butterflies_billions", "wedges_billions",
+                    "theta_max_u", "theta_max_v"} <= set(stats)
+
+    def test_descriptions_mention_konect(self):
+        for spec in DATASETS.values():
+            assert "KONECT" in spec.description
+
+
+class TestLoading:
+    @pytest.mark.parametrize("key", ["it", "de", "or", "lj", "en", "tr"])
+    def test_generation_at_small_scale(self, key):
+        graph = load_dataset(key, scale=0.1)
+        assert graph.n_edges > 0
+        assert graph.n_u > 0 and graph.n_v > 0
+        assert graph.name == key
+
+    def test_scale_changes_size(self):
+        small = load_dataset("it", scale=0.1)
+        large = load_dataset("it", scale=0.3)
+        assert large.n_edges > small.n_edges
+        assert large.n_u > small.n_u
+
+    def test_deterministic_default_seed(self):
+        assert load_dataset("de", scale=0.1) == load_dataset("de", scale=0.1)
+
+    def test_explicit_seed_changes_graph(self):
+        assert load_dataset("de", scale=0.1, seed=1) != load_dataset("de", scale=0.1, seed=2)
+
+    def test_side_suffix_accepted(self):
+        assert load_dataset("ItU", scale=0.1).name == "it"
+        assert load_dataset("trv", scale=0.1).name == "tr"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("it", scale=0.0)
+
+
+class TestStructuralFidelity:
+    def test_wedge_asymmetry_matches_paper_direction(self):
+        # In every paper dataset, peeling the U side traverses more wedges
+        # than peeling the V side (that is how the paper labels the sides).
+        for key in dataset_names():
+            graph = load_dataset(key, scale=0.4)
+            assert graph.total_wedge_work("U") > graph.total_wedge_work("V"), key
+
+    def test_graphs_contain_butterflies(self):
+        from repro.butterfly.counting import count_total_butterflies
+
+        for key in dataset_names():
+            graph = load_dataset(key, scale=0.15)
+            assert count_total_butterflies(graph) > 0, key
+
+    def test_v_side_degree_skew_present(self):
+        # Heavy-tailed V degrees (prolific editors / popular trackers) are
+        # what make the U-side peel expensive.
+        graph = load_dataset("tr", scale=0.5)
+        degrees = graph.degrees_v()
+        assert degrees.max() > 20 * max(degrees.mean(), 1.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the distributed-memory CD simulation (Sec. 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.counting import count_per_vertex_priority
+from repro.core.cd import coarse_grained_decomposition
+from repro.distributed.simulation import (
+    partition_vertices,
+    simulate_distributed_cd,
+)
+from repro.errors import ReproError
+from repro.peeling.bup import bup_decomposition
+
+
+class TestPartitioning:
+    def test_block_partition_covers_all_workers(self, blocks_graph):
+        owners = partition_vertices(blocks_graph, 4, strategy="block")
+        assert owners.shape[0] == blocks_graph.n_u
+        assert set(owners.tolist()) == {0, 1, 2, 3}
+        # Block assignment is monotone in vertex id.
+        assert np.all(np.diff(owners) >= 0)
+
+    def test_hash_partition_deterministic_with_seed(self, blocks_graph):
+        first = partition_vertices(blocks_graph, 3, strategy="hash", seed=5)
+        second = partition_vertices(blocks_graph, 3, strategy="hash", seed=5)
+        assert np.array_equal(first, second)
+        assert first.max() < 3
+
+    def test_work_balanced_partition_balances_wedge_work(self, medium_random_graph):
+        owners = partition_vertices(medium_random_graph, 4, strategy="work-balanced")
+        work = medium_random_graph.wedge_work_per_vertex("U").astype(float)
+        loads = np.array([work[owners == worker].sum() for worker in range(4)])
+        block_owners = partition_vertices(medium_random_graph, 4, strategy="block")
+        block_loads = np.array([work[block_owners == worker].sum() for worker in range(4)])
+        assert loads.max() <= block_loads.max()
+
+    def test_single_worker(self, blocks_graph):
+        owners = partition_vertices(blocks_graph, 1, strategy="work-balanced")
+        assert set(owners.tolist()) == {0}
+
+    def test_invalid_inputs(self, blocks_graph):
+        with pytest.raises(ReproError):
+            partition_vertices(blocks_graph, 0)
+        with pytest.raises(ReproError):
+            partition_vertices(blocks_graph, 2, strategy="magic")
+
+
+class TestSimulation:
+    def test_subsets_match_shared_memory_cd(self, community_graph):
+        # The distributed replay performs the same peeling schedule as the
+        # shared-memory CD (HUC disabled, DGM enabled), so the vertex
+        # subsets and range bounds must coincide.
+        counts = count_per_vertex_priority(community_graph).u_counts
+        shared = coarse_grained_decomposition(
+            community_graph, counts, 5, enable_huc=False, enable_dgm=True
+        )
+        distributed = simulate_distributed_cd(
+            community_graph, 5, 4, initial_supports=counts
+        )
+        assert distributed.bounds == shared.bounds.tolist()
+        assert len(distributed.subsets) == len(shared.subsets)
+        for mine, theirs in zip(distributed.subsets, shared.subsets):
+            assert sorted(mine.tolist()) == sorted(theirs.tolist())
+
+    def test_subset_ranges_contain_tip_numbers(self, blocks_graph):
+        reference = bup_decomposition(blocks_graph, "U").tip_numbers
+        report = simulate_distributed_cd(blocks_graph, 4, 3)
+        for index, subset in enumerate(report.subsets):
+            lower, upper = report.bounds[index], report.bounds[index + 1]
+            assert np.all(reference[subset] >= lower)
+            assert np.all(reference[subset] < upper)
+
+    def test_single_worker_has_no_remote_traffic(self, community_graph):
+        report = simulate_distributed_cd(community_graph, 4, 1)
+        assert report.remote_updates == 0
+        assert report.aggregated_messages == 0
+        assert report.remote_fraction == 0.0
+
+    def test_more_workers_increase_remote_fraction(self, community_graph):
+        few = simulate_distributed_cd(community_graph, 4, 2, strategy="hash", seed=1)
+        many = simulate_distributed_cd(community_graph, 4, 8, strategy="hash", seed=1)
+        assert many.remote_fraction >= few.remote_fraction
+        # Total update count is a property of the peeling, not the partition.
+        assert (few.local_updates + few.remote_updates
+                == many.local_updates + many.remote_updates)
+
+    def test_aggregation_bounded_by_raw_messages(self, community_graph):
+        report = simulate_distributed_cd(community_graph, 4, 4)
+        assert report.aggregated_messages <= report.remote_updates
+        assert report.aggregated_messages <= (
+            report.synchronization_rounds * report.n_workers * (report.n_workers - 1)
+        )
+
+    def test_per_worker_work_accounts_all_wedges(self, community_graph):
+        report = simulate_distributed_cd(community_graph, 4, 3)
+        assert report.per_worker_work.sum() == pytest.approx(report.wedges_traversed)
+        assert report.load_imbalance >= 1.0
+
+    def test_summary_keys(self, blocks_graph):
+        summary = simulate_distributed_cd(blocks_graph, 3, 2).summary()
+        assert {"n_workers", "remote_fraction", "aggregated_messages",
+                "load_imbalance", "synchronization_rounds"} <= set(summary)
+
+    def test_explicit_owner_array(self, blocks_graph):
+        owners = np.zeros(blocks_graph.n_u, dtype=np.int64)
+        owners[blocks_graph.n_u // 2:] = 1
+        report = simulate_distributed_cd(blocks_graph, 3, 2, owners=owners)
+        assert report.n_workers == 2
+        assert report.local_updates + report.remote_updates > 0
+
+    def test_owner_array_size_checked(self, blocks_graph):
+        with pytest.raises(ReproError):
+            simulate_distributed_cd(blocks_graph, 3, 2, owners=np.zeros(3, dtype=np.int64))

@@ -1,0 +1,123 @@
+"""Edge cases and failure-injection tests across the whole pipeline.
+
+These exercise degenerate graphs (no edges, no butterflies, single vertices,
+fully isolated sides) end-to-end through counting, all three decomposition
+algorithms, hierarchy construction and the wing extension, plus a few
+adversarial structures (long paths, perfect matchings) whose tip numbers are
+known to be zero despite containing many wedges.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hierarchy import TipHierarchy
+from repro.analysis.verification import verify_against_bup
+from repro.butterfly.counting import count_per_vertex
+from repro.core.receipt import receipt_decomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import from_edge_list
+from repro.peeling.bup import bup_decomposition
+from repro.peeling.parbutterfly import parbutterfly_decomposition
+from repro.wing.decomposition import wing_decomposition
+
+
+def _path_graph(n_u: int) -> BipartiteGraph:
+    """A zig-zag path u0 - v0 - u1 - v1 - ...: wedges everywhere, no butterflies."""
+    edges = []
+    for u in range(n_u):
+        edges.append((u, u))
+        if u + 1 < n_u:
+            edges.append((u + 1, u))
+    return BipartiteGraph(n_u, n_u, edges, name="path")
+
+
+def _matching(n: int) -> BipartiteGraph:
+    """A perfect matching: neither wedges nor butterflies."""
+    return BipartiteGraph(n, n, [(i, i) for i in range(n)], name="matching")
+
+
+class TestDegenerateGraphs:
+    @pytest.mark.parametrize("builder", [
+        lambda: BipartiteGraph(0, 0, []),
+        lambda: BipartiteGraph(1, 1, []),
+        lambda: BipartiteGraph(1, 1, [(0, 0)]),
+        lambda: BipartiteGraph(5, 0, []),
+        lambda: BipartiteGraph(0, 5, []),
+    ])
+    def test_every_algorithm_handles_trivial_graphs(self, builder):
+        graph = builder()
+        for side in ("U", "V"):
+            bup = bup_decomposition(graph, side)
+            parb = parbutterfly_decomposition(graph, side)
+            receipt = receipt_decomposition(graph, side, n_partitions=2)
+            assert np.array_equal(bup.tip_numbers, parb.tip_numbers)
+            assert np.array_equal(bup.tip_numbers, receipt.tip_numbers)
+            assert bup.tip_numbers.sum() == 0
+
+    def test_path_graph_all_zero_tips(self):
+        graph = _path_graph(12)
+        assert count_per_vertex(graph).total_butterflies == 0
+        result = receipt_decomposition(graph, "U", n_partitions=3)
+        assert result.tip_numbers.sum() == 0
+        assert verify_against_bup(graph, result).passed
+
+    def test_matching_all_zero(self):
+        graph = _matching(10)
+        result = bup_decomposition(graph, "U")
+        assert result.max_tip_number == 0
+        assert wing_decomposition(graph).max_wing_number == 0
+
+    def test_single_dense_column(self):
+        # One V vertex connected to every U vertex: many wedges, no butterflies.
+        graph = from_edge_list([(u, 0) for u in range(20)], n_u=20, n_v=1)
+        result = receipt_decomposition(graph, "U", n_partitions=4)
+        assert result.tip_numbers.sum() == 0
+        assert result.counters.wedges_traversed >= 0
+
+    def test_duplicate_heavy_multigraph_input(self):
+        # Raw logs often repeat interactions; collapsed duplicates must not
+        # change the decomposition.
+        base_edges = [(0, 0), (0, 1), (1, 0), (1, 1), (2, 1)]
+        clean = BipartiteGraph(3, 2, base_edges)
+        noisy = BipartiteGraph(3, 2, base_edges * 5, allow_duplicates=True)
+        assert clean == noisy
+        assert np.array_equal(
+            bup_decomposition(clean, "U").tip_numbers,
+            bup_decomposition(noisy, "U").tip_numbers,
+        )
+
+    def test_vertex_ids_with_gaps(self):
+        # Ids 0..9 exist but only 3 vertices carry edges.
+        graph = from_edge_list([(0, 0), (5, 0), (9, 0), (0, 3), (5, 3)], n_u=10, n_v=4)
+        result = receipt_decomposition(graph, "U", n_partitions=3)
+        reference = bup_decomposition(graph, "U")
+        assert np.array_equal(result.tip_numbers, reference.tip_numbers)
+        assert result.tip_numbers[[1, 2, 3, 4, 6, 7, 8]].sum() == 0
+
+
+class TestExtremePartitionCounts:
+    def test_partitions_larger_than_vertex_count(self, blocks_graph):
+        reference = bup_decomposition(blocks_graph, "U").tip_numbers
+        result = receipt_decomposition(blocks_graph, "U", n_partitions=10_000)
+        assert np.array_equal(result.tip_numbers, reference)
+
+    def test_single_partition_equals_pure_fd(self, community_graph):
+        reference = bup_decomposition(community_graph, "U").tip_numbers
+        result = receipt_decomposition(community_graph, "U", n_partitions=1)
+        assert np.array_equal(result.tip_numbers, reference)
+
+
+class TestHierarchyOnDegenerateInputs:
+    def test_hierarchy_of_butterfly_free_graph(self):
+        graph = _path_graph(8)
+        result = bup_decomposition(graph, "U")
+        hierarchy = TipHierarchy(graph, result)
+        assert hierarchy.levels.tolist() == [0]
+        assert hierarchy.strongest_tip().size == 0
+
+    def test_hierarchy_of_empty_graph(self):
+        graph = BipartiteGraph(3, 3, [])
+        result = bup_decomposition(graph, "U")
+        hierarchy = TipHierarchy(graph, result)
+        assert hierarchy.vertices_at(1).size == 0
+        assert hierarchy.level_sizes() == {0: 3}

@@ -1,0 +1,150 @@
+"""Unit tests for graph construction helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphConstructionError
+from repro.graph.builders import (
+    complete_bipartite,
+    empty_graph,
+    from_biadjacency,
+    from_edge_list,
+    from_labelled_edges,
+    from_networkx,
+    star,
+)
+
+
+class TestFromEdgeList:
+    def test_infers_sizes(self):
+        graph = from_edge_list([(0, 0), (3, 2)])
+        assert graph.n_u == 4
+        assert graph.n_v == 3
+
+    def test_explicit_sizes(self):
+        graph = from_edge_list([(0, 0)], n_u=10, n_v=5)
+        assert graph.n_u == 10
+        assert graph.n_v == 5
+
+    def test_empty_edge_list(self):
+        graph = from_edge_list([])
+        assert graph.n_u == 0 and graph.n_v == 0 and graph.n_edges == 0
+
+    def test_numpy_input(self):
+        graph = from_edge_list(np.array([[0, 1], [1, 0]]))
+        assert graph.n_edges == 2
+
+    def test_rejects_malformed(self):
+        with pytest.raises(GraphConstructionError):
+            from_edge_list([(1, 2, 3)])
+
+    def test_name_is_kept(self):
+        graph = from_edge_list([(0, 0)], name="demo")
+        assert graph.name == "demo"
+
+
+class TestFromLabelledEdges:
+    def test_labels_to_dense_ids(self):
+        labelled = from_labelled_edges([("alice", "spam"), ("bob", "spam"), ("alice", "ham")])
+        assert labelled.graph.n_u == 2
+        assert labelled.graph.n_v == 2
+        assert labelled.graph.n_edges == 3
+        assert labelled.u_index["alice"] == 0
+        assert labelled.v_label(0) == "spam"
+
+    def test_duplicate_labelled_edges_collapsed(self):
+        labelled = from_labelled_edges([("a", "x"), ("a", "x")])
+        assert labelled.graph.n_edges == 1
+
+    def test_sides_have_independent_namespaces(self):
+        labelled = from_labelled_edges([("n1", "n1"), ("n2", "n1")])
+        assert labelled.graph.n_u == 2
+        assert labelled.graph.n_v == 1
+
+    def test_tip_numbers_by_label(self):
+        labelled = from_labelled_edges([("a", "x"), ("b", "x")])
+        mapping = labelled.tip_numbers_by_label([5, 7])
+        assert mapping == {"a": 5, "b": 7}
+
+    def test_label_roundtrip(self):
+        labelled = from_labelled_edges([("p", "q"), ("r", "s")])
+        for label, index in labelled.u_index.items():
+            assert labelled.u_label(index) == label
+
+
+class TestFromBiadjacency:
+    def test_dense_matrix(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 0]])
+        graph = from_biadjacency(matrix)
+        assert graph.n_u == 2
+        assert graph.n_v == 3
+        assert graph.n_edges == 3
+        assert graph.has_edge(0, 2)
+        assert not graph.has_edge(0, 1)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(GraphConstructionError):
+            from_biadjacency(np.zeros((2, 2, 2)))
+
+    def test_all_zero_matrix(self):
+        graph = from_biadjacency(np.zeros((3, 4)))
+        assert graph.n_edges == 0
+        assert graph.n_u == 3 and graph.n_v == 4
+
+
+class TestFromNetworkx:
+    def test_with_bipartite_attribute(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(["u1", "u2"], bipartite=0)
+        nx_graph.add_nodes_from(["v1", "v2"], bipartite=1)
+        nx_graph.add_edges_from([("u1", "v1"), ("u2", "v1"), ("u2", "v2")])
+        labelled = from_networkx(nx_graph)
+        assert labelled.graph.n_u == 2
+        assert labelled.graph.n_v == 2
+        assert labelled.graph.n_edges == 3
+
+    def test_with_explicit_u_nodes(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_edges_from([("a", "x"), ("b", "x")])
+        labelled = from_networkx(nx_graph, u_nodes=["a", "b"])
+        assert labelled.graph.n_u == 2
+        assert labelled.graph.n_v == 1
+
+    def test_rejects_same_side_edge(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_edges_from([("a", "b")])
+        with pytest.raises(GraphConstructionError):
+            from_networkx(nx_graph, u_nodes=["a", "b"])
+
+    def test_rejects_missing_partition(self):
+        networkx = pytest.importorskip("networkx")
+        nx_graph = networkx.Graph()
+        nx_graph.add_edges_from([("a", "b")])
+        with pytest.raises(GraphConstructionError):
+            from_networkx(nx_graph)
+
+
+class TestCannedGraphs:
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 5)
+        assert graph.n_edges == 15
+        assert graph.degrees_u().tolist() == [5, 5, 5]
+        assert graph.degrees_v().tolist() == [3, 3, 3, 3, 3]
+
+    def test_star_v_center(self):
+        graph = star(4, center_side="V")
+        assert graph.n_u == 4 and graph.n_v == 1
+        assert graph.degrees_v().tolist() == [4]
+
+    def test_star_u_center(self):
+        graph = star(4, center_side="U")
+        assert graph.n_u == 1 and graph.n_v == 4
+        assert graph.degrees_u().tolist() == [4]
+
+    def test_empty_graph(self):
+        graph = empty_graph(3, 2)
+        assert graph.n_edges == 0
+        assert graph.name == "empty"

@@ -1,0 +1,117 @@
+"""Unit tests for the peelable adjacency view and DGM compaction."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builders import complete_bipartite
+from repro.graph.dynamic import PeelableAdjacency
+
+
+class TestBasics:
+    def test_initial_state(self, tiny_graph):
+        adjacency = PeelableAdjacency(tiny_graph, "U")
+        assert adjacency.n_alive == tiny_graph.n_u
+        assert adjacency.is_alive(0)
+        assert adjacency.alive_vertices().tolist() == list(range(tiny_graph.n_u))
+        assert adjacency.peel_side == "U"
+        assert adjacency.graph is tiny_graph
+
+    def test_mark_peeled(self, tiny_graph):
+        adjacency = PeelableAdjacency(tiny_graph, "U")
+        adjacency.mark_peeled(3)
+        assert not adjacency.is_alive(3)
+        assert adjacency.n_alive == tiny_graph.n_u - 1
+
+    def test_mark_peeled_many(self, tiny_graph):
+        adjacency = PeelableAdjacency(tiny_graph, "U")
+        adjacency.mark_peeled_many(np.array([0, 1, 2]))
+        assert adjacency.n_alive == tiny_graph.n_u - 3
+        assert set(adjacency.alive_vertices().tolist()) == {3, 4, 5, 6, 7}
+
+    def test_peel_neighbors_matches_parent(self, tiny_graph):
+        adjacency = PeelableAdjacency(tiny_graph, "U")
+        for u in range(tiny_graph.n_u):
+            assert np.array_equal(adjacency.peel_neighbors(u), tiny_graph.neighbors_u(u))
+
+    def test_v_side_peeling(self, tiny_graph):
+        adjacency = PeelableAdjacency(tiny_graph, "V")
+        assert adjacency.n_alive == tiny_graph.n_v
+        assert np.array_equal(adjacency.center_neighbors(0), tiny_graph.neighbors_u(0))
+
+    def test_two_hop_multiset_size(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U")
+        multiset = adjacency.two_hop_multiset(0)
+        # 3 centers, each listing all 4 U vertices.
+        assert multiset.shape[0] == 12
+
+    def test_two_hop_multiset_isolated_vertex(self):
+        graph = complete_bipartite(2, 2)
+        # Build a graph with an isolated U vertex by over-allocating ids.
+        from repro.graph.bipartite import BipartiteGraph
+
+        graph = BipartiteGraph(3, 2, list(graph.edges()))
+        adjacency = PeelableAdjacency(graph, "U")
+        assert adjacency.two_hop_multiset(2).size == 0
+
+
+class TestCompaction:
+    def test_compact_removes_peeled_entries(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U", enable_dgm=True)
+        adjacency.mark_peeled(0)
+        adjacency.mark_peeled(1)
+        removed = adjacency.compact()
+        # Each of the 3 center vertices loses 2 entries.
+        assert removed == 6
+        assert adjacency.entries_removed == 6
+        for center in range(complete_4x3.n_v):
+            assert set(adjacency.center_neighbors(center).tolist()) == {2, 3}
+
+    def test_two_hop_excludes_compacted(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U", enable_dgm=True)
+        adjacency.mark_peeled(0)
+        before = adjacency.two_hop_multiset(1).shape[0]
+        adjacency.compact()
+        after = adjacency.two_hop_multiset(1).shape[0]
+        assert after == before - 3  # vertex 0 removed from all 3 centers
+
+    def test_maybe_compact_respects_interval(self, complete_4x3):
+        adjacency = PeelableAdjacency(
+            complete_4x3, "U", enable_dgm=True, compaction_interval=10
+        )
+        adjacency.mark_peeled(0)
+        adjacency.record_traversal(5)
+        assert not adjacency.maybe_compact()
+        adjacency.record_traversal(5)
+        assert adjacency.maybe_compact()
+        assert adjacency.compactions_performed == 1
+        # Counter resets after compaction.
+        assert not adjacency.maybe_compact()
+
+    def test_disabled_dgm_never_compacts(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U", enable_dgm=False,
+                                      compaction_interval=1)
+        adjacency.mark_peeled(0)
+        adjacency.record_traversal(100)
+        assert not adjacency.maybe_compact()
+        assert adjacency.compactions_performed == 0
+        # Stale entries remain visible.
+        assert 0 in adjacency.center_neighbors(0).tolist()
+
+    def test_default_interval_is_edge_count(self, blocks_graph):
+        adjacency = PeelableAdjacency(blocks_graph, "U")
+        assert adjacency.compaction_interval == blocks_graph.n_edges
+
+    def test_current_center_sizes_shrink(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U", enable_dgm=True)
+        assert adjacency.current_center_sizes().tolist() == [4, 4, 4]
+        adjacency.mark_peeled_many(np.array([0, 1, 2]))
+        adjacency.compact()
+        assert adjacency.current_center_sizes().tolist() == [1, 1, 1]
+
+    def test_compact_idempotent(self, complete_4x3):
+        adjacency = PeelableAdjacency(complete_4x3, "U", enable_dgm=True)
+        adjacency.mark_peeled(0)
+        first = adjacency.compact()
+        second = adjacency.compact()
+        assert first == 3
+        assert second == 0

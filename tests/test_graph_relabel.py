@@ -1,0 +1,74 @@
+"""Unit tests for degree-priority relabelling."""
+
+import numpy as np
+
+from repro.graph.builders import complete_bipartite, from_edge_list, star
+from repro.graph.relabel import degree_priority, degree_sorted_vertices
+
+
+class TestDegreePriority:
+    def test_ranks_are_a_permutation(self, tiny_graph):
+        priority = degree_priority(tiny_graph)
+        all_ranks = np.concatenate([priority.u_rank, priority.v_rank])
+        assert sorted(all_ranks.tolist()) == list(range(tiny_graph.n_vertices))
+        assert priority.n_vertices == tiny_graph.n_vertices
+
+    def test_higher_degree_gets_lower_rank(self, tiny_graph):
+        priority = degree_priority(tiny_graph)
+        degrees_u = tiny_graph.degrees_u()
+        degrees_v = tiny_graph.degrees_v()
+        # Compare every U vertex against every V vertex: strictly larger
+        # degree must imply strictly smaller (better) rank.
+        for u in range(tiny_graph.n_u):
+            for v in range(tiny_graph.n_v):
+                if degrees_u[u] > degrees_v[v]:
+                    assert priority.u_rank[u] < priority.v_rank[v]
+                elif degrees_u[u] < degrees_v[v]:
+                    assert priority.u_rank[u] > priority.v_rank[v]
+
+    def test_ties_broken_u_before_v_then_id(self):
+        graph = from_edge_list([(0, 0), (1, 1)], n_u=2, n_v=2)
+        priority = degree_priority(graph)
+        # All degrees equal 1: order must be u0, u1, v0, v1.
+        assert priority.u_rank.tolist() == [0, 1]
+        assert priority.v_rank.tolist() == [2, 3]
+
+    def test_rank_lookup_by_side(self, tiny_graph):
+        priority = degree_priority(tiny_graph)
+        assert priority.rank(0, "U") == int(priority.u_rank[0])
+        assert priority.rank(0, "V") == int(priority.v_rank[0])
+
+    def test_order_arrays_consistent(self, tiny_graph):
+        priority = degree_priority(tiny_graph)
+        for rank in range(priority.n_vertices):
+            side = "U" if priority.order_sides[rank] == 0 else "V"
+            vertex = int(priority.order_ids[rank])
+            assert priority.rank(vertex, side) == rank
+
+    def test_star_center_ranked_first(self):
+        graph = star(5, center_side="V")
+        priority = degree_priority(graph)
+        assert priority.v_rank[0] == 0
+
+    def test_deterministic(self, blocks_graph):
+        first = degree_priority(blocks_graph)
+        second = degree_priority(blocks_graph)
+        assert np.array_equal(first.u_rank, second.u_rank)
+        assert np.array_equal(first.v_rank, second.v_rank)
+
+
+class TestDegreeSortedVertices:
+    def test_descending_order(self, tiny_graph):
+        order = degree_sorted_vertices(tiny_graph, "U")
+        degrees = tiny_graph.degrees_u()[order]
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_ascending_order(self, tiny_graph):
+        order = degree_sorted_vertices(tiny_graph, "V", descending=False)
+        degrees = tiny_graph.degrees_v()[order]
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_complete_graph_all_equal(self):
+        graph = complete_bipartite(4, 4)
+        order = degree_sorted_vertices(graph, "U")
+        assert sorted(order.tolist()) == [0, 1, 2, 3]

@@ -1,0 +1,74 @@
+"""Unit tests for graph statistics (Table 2 quantities)."""
+
+import pytest
+
+from repro.graph.builders import complete_bipartite, empty_graph
+from repro.graph.statistics import degree_summary, graph_statistics
+
+
+class TestDegreeSummary:
+    def test_complete_graph(self):
+        graph = complete_bipartite(4, 6)
+        summary = degree_summary(graph, "U")
+        assert summary.n_vertices == 4
+        assert summary.min_degree == summary.max_degree == 6
+        assert summary.mean_degree == pytest.approx(6.0)
+        assert summary.n_isolated == 0
+        assert summary.gini_coefficient == pytest.approx(0.0, abs=1e-9)
+
+    def test_empty_side(self):
+        summary = degree_summary(empty_graph(0, 3), "U")
+        assert summary.n_vertices == 0
+        assert summary.mean_degree == 0.0
+
+    def test_isolated_vertices_counted(self, tiny_graph):
+        summary = degree_summary(tiny_graph, "U")
+        assert summary.n_isolated == 0
+        assert summary.max_degree == 5
+
+    def test_skewed_distribution_has_positive_gini(self, medium_random_graph):
+        summary = degree_summary(medium_random_graph, "V")
+        assert 0.0 < summary.gini_coefficient < 1.0
+        assert summary.p99_degree >= summary.p90_degree >= summary.median_degree
+
+    def test_as_dict_round_trips(self, tiny_graph):
+        summary = degree_summary(tiny_graph, "V")
+        data = summary.as_dict()
+        assert data["n_vertices"] == tiny_graph.n_v
+        assert set(data) >= {"min_degree", "max_degree", "mean_degree", "gini_coefficient"}
+
+
+class TestGraphStatistics:
+    def test_complete_graph_statistics(self):
+        graph = complete_bipartite(3, 4)
+        stats = graph_statistics(graph, name="K34")
+        assert stats.name == "K34"
+        assert stats.n_edges == 12
+        assert stats.avg_degree_u == pytest.approx(4.0)
+        assert stats.avg_degree_v == pytest.approx(3.0)
+        assert stats.density == pytest.approx(1.0)
+        assert stats.wedges_with_endpoints_in_u == 4 * 3  # |V| * C(3, 2)
+        assert stats.wedges_with_endpoints_in_v == 3 * 6
+        assert stats.peel_work_u == 12 * 3
+        assert stats.counting_wedge_bound == 12 * 3
+
+    def test_empty_graph_statistics(self):
+        stats = graph_statistics(empty_graph(0, 0))
+        assert stats.n_edges == 0
+        assert stats.density == 0.0
+        assert stats.avg_degree_u == 0.0
+
+    def test_name_defaults_to_graph_name(self, blocks_graph):
+        assert graph_statistics(blocks_graph).name == blocks_graph.name
+
+    def test_consistency_with_graph_methods(self, blocks_graph):
+        stats = graph_statistics(blocks_graph)
+        assert stats.peel_work_u == blocks_graph.total_wedge_work("U")
+        assert stats.peel_work_v == blocks_graph.total_wedge_work("V")
+        assert stats.wedges_with_endpoints_in_u == blocks_graph.wedge_endpoint_count("U")
+        assert stats.counting_wedge_bound == blocks_graph.counting_wedge_bound()
+
+    def test_as_dict(self, blocks_graph):
+        data = graph_statistics(blocks_graph).as_dict()
+        assert data["n_u"] == blocks_graph.n_u
+        assert data["n_edges"] == blocks_graph.n_edges

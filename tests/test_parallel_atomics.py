@@ -1,0 +1,78 @@
+"""Unit tests for atomic counters and arrays."""
+
+import threading
+
+import numpy as np
+
+from repro.parallel.atomics import AtomicArray, AtomicCounter
+
+
+class TestAtomicCounter:
+    def test_basic_operations(self):
+        counter = AtomicCounter(5)
+        assert counter.value == 5
+        assert counter.add(3) == 8
+        assert counter.increment() == 9
+        assert counter.fetch_add(10) == 9
+        assert counter.value == 19
+        counter.reset()
+        assert counter.value == 0
+
+    def test_concurrent_increments(self):
+        counter = AtomicCounter()
+
+        def worker():
+            for _ in range(1000):
+                counter.increment()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestAtomicArray:
+    def test_basic_operations(self):
+        array = AtomicArray(4)
+        assert len(array) == 4
+        array.set(2, 10)
+        assert array.get(2) == 10
+        assert array.add(2, 5) == 15
+
+    def test_subtract_clamped(self):
+        array = AtomicArray(2)
+        array.set(0, 10)
+        assert array.subtract_clamped(0, 3, floor=0) == 7
+        assert array.subtract_clamped(0, 100, floor=5) == 5
+        assert array.get(0) == 5
+
+    def test_snapshot_is_a_copy(self):
+        array = AtomicArray(3)
+        array.set(0, 1)
+        snapshot = array.snapshot()
+        array.set(0, 99)
+        assert snapshot[0] == 1
+        assert array.raw[0] == 99
+
+    def test_concurrent_support_updates(self):
+        # Mimic the RECEIPT CD update pattern: many threads decrement the
+        # same supports concurrently; the net effect must be exact.
+        array = AtomicArray(10)
+        for index in range(10):
+            array.set(index, 10_000)
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(500):
+                index = int(rng.integers(0, 10))
+                array.subtract_clamped(index, 1, floor=0)
+
+        threads = [threading.Thread(target=worker, args=(seed,)) for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total_decrement = 10 * 10_000 - int(array.snapshot().sum())
+        assert total_decrement == 6 * 500

@@ -1,0 +1,87 @@
+"""Unit tests for data-parallel primitives."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.primitives import (
+    balanced_chunks,
+    chunk_ranges,
+    exclusive_prefix_sum,
+    histogram_by_key,
+    inclusive_prefix_sum,
+    parallel_filter,
+)
+
+
+class TestPrefixSums:
+    def test_exclusive(self):
+        assert exclusive_prefix_sum(np.array([3, 1, 4])).tolist() == [0, 3, 4]
+
+    def test_inclusive(self):
+        assert inclusive_prefix_sum(np.array([3, 1, 4])).tolist() == [3, 4, 8]
+
+    def test_empty(self):
+        assert exclusive_prefix_sum(np.array([], dtype=np.int64)).tolist() == []
+        assert inclusive_prefix_sum(np.array([], dtype=np.int64)).tolist() == []
+
+    def test_exclusive_then_diff_roundtrip(self):
+        values = np.array([5, 0, 2, 7])
+        prefix = exclusive_prefix_sum(values)
+        recovered = np.diff(np.append(prefix, values.sum()))
+        assert np.array_equal(recovered, values)
+
+
+class TestFilterAndHistogram:
+    def test_parallel_filter(self):
+        values = np.array([10, 20, 30, 40])
+        kept = parallel_filter(values, np.array([True, False, True, False]))
+        assert kept.tolist() == [10, 30]
+
+    def test_histogram_unweighted(self):
+        keys = np.array([0, 2, 2, 5])
+        histogram = histogram_by_key(keys, minlength=7)
+        assert histogram.tolist() == [1, 0, 2, 0, 0, 1, 0]
+
+    def test_histogram_weighted(self):
+        keys = np.array([1, 1, 3])
+        weights = np.array([2.0, 3.0, 4.0])
+        histogram = histogram_by_key(keys, weights, minlength=4)
+        assert histogram.tolist() == [0, 5, 0, 4]
+
+    def test_histogram_empty(self):
+        assert histogram_by_key(np.array([], dtype=np.int64), minlength=3).tolist() == [0, 0, 0]
+
+
+class TestChunking:
+    def test_chunk_ranges_cover_everything(self):
+        ranges = chunk_ranges(10, 3)
+        covered = [i for start, stop in ranges for i in range(start, stop)]
+        assert covered == list(range(10))
+
+    def test_chunk_ranges_more_chunks_than_items(self):
+        ranges = chunk_ranges(2, 8)
+        assert len(ranges) == 2
+
+    def test_chunk_ranges_zero_items(self):
+        assert chunk_ranges(0, 4) == []
+
+    def test_balanced_chunks_cover_everything(self):
+        work = np.array([1, 1, 1, 100, 1, 1])
+        chunks = balanced_chunks(work, 3)
+        covered = sorted(int(i) for chunk in chunks for i in chunk)
+        assert covered == list(range(6))
+
+    def test_balanced_chunks_split_heavy_items_apart(self):
+        work = np.array([100, 1, 1, 1, 1, 100])
+        chunks = balanced_chunks(work, 2)
+        loads = [int(work[chunk].sum()) for chunk in chunks]
+        # The two heavy items must not end up in the same chunk.
+        assert max(loads) < 204
+
+    def test_balanced_chunks_zero_work(self):
+        chunks = balanced_chunks(np.zeros(5, dtype=np.int64), 2)
+        covered = sorted(int(i) for chunk in chunks for i in chunk)
+        assert covered == list(range(5))
+
+    def test_balanced_chunks_empty(self):
+        assert balanced_chunks(np.array([], dtype=np.int64), 3) == []

@@ -1,0 +1,175 @@
+"""Unit tests for the min-support retrieval structures (heap and buckets)."""
+
+import numpy as np
+import pytest
+
+from repro.peeling.bucketing import BucketQueue
+from repro.peeling.minheap import LazyMinHeap
+
+
+class TestLazyMinHeap:
+    def test_pop_order_without_updates(self):
+        supports = np.array([5, 1, 3, 2, 4])
+        heap = LazyMinHeap(supports)
+        order = [heap.pop_min() for _ in range(5)]
+        assert [vertex for vertex, _ in order] == [1, 3, 2, 4, 0]
+        assert [support for _, support in order] == [1, 2, 3, 4, 5]
+
+    def test_decrease_changes_priority(self):
+        heap = LazyMinHeap(np.array([10, 20, 30]))
+        heap.decrease(2, 5)
+        vertex, support = heap.pop_min()
+        assert (vertex, support) == (2, 5)
+
+    def test_decrease_to_same_value_is_noop(self):
+        heap = LazyMinHeap(np.array([4, 2]))
+        pushes_before = heap.pushes
+        heap.decrease(0, 4)
+        assert heap.pushes == pushes_before
+
+    def test_increase_rejected(self):
+        heap = LazyMinHeap(np.array([4, 2]))
+        with pytest.raises(ValueError):
+            heap.decrease(1, 10)
+
+    def test_decrease_after_pop_ignored(self):
+        heap = LazyMinHeap(np.array([1, 2]))
+        heap.pop_min()
+        heap.decrease(0, 0)  # silently ignored
+        vertex, _ = heap.pop_min()
+        assert vertex == 1
+
+    def test_contains_and_len(self):
+        heap = LazyMinHeap(np.array([1, 2, 3]))
+        assert len(heap) == 3
+        assert 1 in heap
+        heap.pop_min()
+        assert 0 not in heap
+        assert len(heap) == 2
+        assert bool(heap)
+
+    def test_empty_pop_raises(self):
+        heap = LazyMinHeap(np.array([], dtype=np.int64))
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.pop_min()
+
+    def test_peek_min_support(self):
+        heap = LazyMinHeap(np.array([7, 3, 9]))
+        assert heap.peek_min_support() == 3
+        heap.decrease(2, 1)
+        assert heap.peek_min_support() == 1
+
+    def test_pop_all_min(self):
+        heap = LazyMinHeap(np.array([2, 2, 5, 2]))
+        vertices, support = heap.pop_all_min()
+        assert support == 2
+        assert sorted(vertices) == [0, 1, 3]
+        assert len(heap) == 1
+
+    def test_vertex_subset(self):
+        supports = np.array([9, 1, 8, 2])
+        heap = LazyMinHeap(supports, vertices=[0, 2])
+        assert len(heap) == 2
+        vertex, support = heap.pop_min()
+        assert (vertex, support) == (2, 8)
+
+    def test_many_random_operations_match_reference(self):
+        rng = np.random.default_rng(11)
+        supports = rng.integers(0, 100, size=50)
+        heap = LazyMinHeap(supports)
+        current = {i: int(s) for i, s in enumerate(supports)}
+        popped = []
+        while heap:
+            # Randomly decrease a few surviving vertices (never below the
+            # current minimum, as in real peeling).
+            minimum = min(current.values())
+            for vertex in rng.choice(list(current), size=min(3, len(current)), replace=False):
+                new_value = int(rng.integers(minimum, current[vertex] + 1))
+                heap.decrease(int(vertex), new_value)
+                current[int(vertex)] = new_value
+            vertex, support = heap.pop_min()
+            assert support == min(current.values())
+            assert current[vertex] == support
+            del current[vertex]
+            popped.append(support)
+        assert popped == sorted(popped)
+
+
+class TestBucketQueue:
+    def test_extracts_minimum_bucket(self):
+        buckets = BucketQueue(np.array([4, 1, 1, 3]))
+        vertices, level = buckets.next_bucket()
+        assert level == 1
+        assert sorted(vertices) == [1, 2]
+
+    def test_update_moves_vertex(self):
+        buckets = BucketQueue(np.array([5, 9]))
+        buckets.update(1, 2)
+        vertices, level = buckets.next_bucket()
+        assert vertices == [1]
+        assert level == 2
+
+    def test_update_increase_rejected(self):
+        buckets = BucketQueue(np.array([5, 9]))
+        with pytest.raises(ValueError):
+            buckets.update(0, 6)
+
+    def test_overflow_rebucketing(self):
+        # Values far beyond the initial window force a re-bucketing pass.
+        supports = np.array([1, 2, 500, 1000])
+        buckets = BucketQueue(supports, n_buckets=4, bucket_width=1)
+        order = []
+        while buckets:
+            vertices, level = buckets.next_bucket()
+            order.extend((vertex, level) for vertex in vertices)
+        assert [level for _, level in order] == [1, 2, 500, 1000]
+        assert buckets.rebuckets >= 1
+
+    def test_bucket_width_groups_ranges(self):
+        supports = np.array([0, 1, 2, 3, 4, 5])
+        buckets = BucketQueue(supports, n_buckets=2, bucket_width=3)
+        vertices, level = buckets.next_bucket()
+        assert sorted(vertices) == [0, 1, 2]
+        assert level == 0
+        vertices, level = buckets.next_bucket()
+        assert sorted(vertices) == [3, 4, 5]
+
+    def test_empty_raises(self):
+        buckets = BucketQueue(np.array([1]))
+        buckets.next_bucket()
+        assert not buckets
+        with pytest.raises(IndexError):
+            buckets.next_bucket()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BucketQueue(np.array([1]), n_buckets=0)
+        with pytest.raises(ValueError):
+            BucketQueue(np.array([1]), bucket_width=0)
+
+    def test_full_drain_is_sorted_by_support(self):
+        rng = np.random.default_rng(5)
+        supports = rng.integers(0, 1000, size=100)
+        buckets = BucketQueue(supports, n_buckets=16)
+        drained_levels = []
+        while buckets:
+            vertices, level = buckets.next_bucket()
+            for vertex in vertices:
+                assert supports[vertex] == level
+            drained_levels.append(level)
+        assert drained_levels == sorted(drained_levels)
+        assert sum(1 for _ in drained_levels) == len(set(supports.tolist()))
+
+    def test_current_support_tracking(self):
+        buckets = BucketQueue(np.array([5, 7]))
+        assert buckets.current_support(0) == 5
+        buckets.update(0, 3)
+        assert buckets.current_support(0) == 3
+
+    def test_update_after_extraction_ignored(self):
+        buckets = BucketQueue(np.array([1, 5]))
+        buckets.next_bucket()
+        buckets.update(0, 0)  # vertex already extracted; must not crash
+        vertices, _ = buckets.next_bucket()
+        assert vertices == [1]

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These encode the paper's structural guarantees as properties over random
+bipartite graphs: counting identities, the equivalence of every
+decomposition algorithm, the CD range theorems, and monotonicity of
+butterfly counts under edge addition.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.butterfly.counting import count_per_vertex_priority
+from repro.butterfly.naive import count_butterflies_exhaustive
+from repro.core.cd import coarse_grained_decomposition
+from repro.core.receipt import receipt_decomposition
+from repro.graph.bipartite import BipartiteGraph
+from repro.peeling.bup import bup_decomposition
+from repro.peeling.parbutterfly import parbutterfly_decomposition
+
+
+@st.composite
+def bipartite_graphs(draw, max_u=12, max_v=12, max_edges=60):
+    """Strategy producing small random bipartite graphs (possibly empty)."""
+    n_u = draw(st.integers(min_value=1, max_value=max_u))
+    n_v = draw(st.integers(min_value=1, max_value=max_v))
+    possible = [(u, v) for u in range(n_u) for v in range(n_v)]
+    n_edges = draw(st.integers(min_value=0, max_value=min(max_edges, len(possible))))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=len(possible) - 1),
+                 min_size=n_edges, max_size=n_edges, unique=True)
+    )
+    edges = [possible[i] for i in indices]
+    return BipartiteGraph(n_u, n_v, edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bipartite_graphs())
+def test_counting_matches_exhaustive_enumeration(graph):
+    counts = count_per_vertex_priority(graph)
+    u_expected, v_expected, total = count_butterflies_exhaustive(graph)
+    assert np.array_equal(counts.u_counts, u_expected)
+    assert np.array_equal(counts.v_counts, v_expected)
+    assert counts.total_butterflies == total
+
+
+@settings(max_examples=40, deadline=None)
+@given(graph=bipartite_graphs())
+def test_side_count_sums_are_equal(graph):
+    counts = count_per_vertex_priority(graph)
+    assert counts.u_counts.sum() == counts.v_counts.sum()
+    assert counts.u_counts.sum() % 2 == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=bipartite_graphs(), n_partitions=st.integers(min_value=1, max_value=6))
+def test_receipt_equals_bup(graph, n_partitions):
+    reference = bup_decomposition(graph, "U")
+    receipt = receipt_decomposition(graph, "U", n_partitions=n_partitions)
+    assert np.array_equal(reference.tip_numbers, receipt.tip_numbers)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=bipartite_graphs())
+def test_parb_equals_bup_on_both_sides(graph):
+    for side in ("U", "V"):
+        reference = bup_decomposition(graph, side)
+        parb = parbutterfly_decomposition(graph, side)
+        assert np.array_equal(reference.tip_numbers, parb.tip_numbers)
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph=bipartite_graphs())
+def test_tip_numbers_bounded_by_butterfly_counts(graph):
+    result = bup_decomposition(graph, "U")
+    assert np.all(result.tip_numbers >= 0)
+    assert np.all(result.tip_numbers <= result.initial_butterflies)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=bipartite_graphs(), n_partitions=st.integers(min_value=1, max_value=5))
+def test_cd_ranges_contain_their_tip_numbers(graph, n_partitions):
+    counts = count_per_vertex_priority(graph).u_counts
+    cd = coarse_grained_decomposition(graph, counts, n_partitions)
+    reference = bup_decomposition(graph, "U").tip_numbers
+    assigned = np.concatenate(cd.subsets) if cd.subsets else np.zeros(0, dtype=np.int64)
+    assert sorted(assigned.tolist()) == list(range(graph.n_u))
+    for index, subset in enumerate(cd.subsets):
+        lower, upper = cd.range_of_subset(index)
+        assert np.all(reference[subset] >= lower)
+        assert np.all(reference[subset] < upper)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=bipartite_graphs(max_u=8, max_v=8, max_edges=30),
+       extra_u=st.integers(min_value=0, max_value=7),
+       extra_v=st.integers(min_value=0, max_value=7))
+def test_adding_an_edge_never_decreases_butterfly_counts(graph, extra_u, extra_v):
+    u = extra_u % graph.n_u
+    v = extra_v % graph.n_v
+    if graph.has_edge(u, v):
+        return
+    before = count_per_vertex_priority(graph)
+    augmented = BipartiteGraph(
+        graph.n_u, graph.n_v, list(graph.edges()) + [(u, v)]
+    )
+    after = count_per_vertex_priority(augmented)
+    assert np.all(after.u_counts >= before.u_counts)
+    assert np.all(after.v_counts >= before.v_counts)
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph=bipartite_graphs())
+def test_swap_sides_transposes_counts_and_tips(graph):
+    counts = count_per_vertex_priority(graph)
+    swapped_counts = count_per_vertex_priority(graph.swap_sides())
+    assert np.array_equal(counts.u_counts, swapped_counts.v_counts)
+    assert np.array_equal(counts.v_counts, swapped_counts.u_counts)
+    tips_v = bup_decomposition(graph, "V").tip_numbers
+    tips_swapped_u = bup_decomposition(graph.swap_sides(), "U").tip_numbers
+    assert np.array_equal(tips_v, tips_swapped_u)
+
+
+@settings(max_examples=20, deadline=None)
+@given(graph=bipartite_graphs(max_u=10, max_v=10, max_edges=40))
+def test_induced_subgraph_counts_never_exceed_parent(graph):
+    subset = np.arange(0, graph.n_u, 2)
+    induced = graph.induced_on_u_subset(subset)
+    parent_counts = count_per_vertex_priority(graph).u_counts
+    induced_counts = count_per_vertex_priority(induced.graph).u_counts
+    for new_id, old_id in enumerate(subset):
+        assert induced_counts[new_id] <= parent_counts[old_id]

@@ -1,0 +1,97 @@
+"""Unit tests for the wing decomposition (edge peeling) extension."""
+
+import numpy as np
+import pytest
+
+from repro.butterfly.per_edge import count_per_edge
+from repro.datasets.generators import random_bipartite
+from repro.graph.builders import complete_bipartite, from_edge_list, star
+from repro.wing.decomposition import receipt_wing_decomposition, wing_decomposition
+
+
+class TestWingBup:
+    def test_single_butterfly(self):
+        graph = complete_bipartite(2, 2)
+        result = wing_decomposition(graph)
+        assert result.wing_numbers.tolist() == [1, 1, 1, 1]
+        assert result.max_wing_number == 1
+
+    def test_complete_3x3(self):
+        graph = complete_bipartite(3, 3)
+        result = wing_decomposition(graph)
+        # Fully symmetric: every edge ends with the same wing number, and it
+        # equals its butterfly count (4) because the whole graph is a 4-wing.
+        assert set(result.wing_numbers.tolist()) == {4}
+
+    def test_star_all_zero(self):
+        result = wing_decomposition(star(5, center_side="V"))
+        assert result.wing_numbers.sum() == 0
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+
+        result = wing_decomposition(empty_graph(3, 3))
+        assert result.n_edges == 0
+
+    def test_wing_bounded_by_butterfly_count(self, blocks_graph):
+        counts = count_per_edge(blocks_graph)
+        result = wing_decomposition(blocks_graph, counts=counts)
+        assert np.all(result.wing_numbers <= counts.counts)
+
+    def test_dense_block_has_higher_wing_numbers_than_background(self):
+        from repro.datasets.generators import planted_blocks
+
+        graph = planted_blocks(20, 15, [(6, 5)], block_density=1.0, background_edges=15, seed=3)
+        result = wing_decomposition(graph)
+        by_edge = result.as_dict()
+        block_values = [wing for (u, v), wing in by_edge.items() if u < 6 and v < 5]
+        other_values = [wing for (u, v), wing in by_edge.items() if not (u < 6 and v < 5)]
+        assert min(block_values) > max(other_values, default=0)
+
+    def test_result_metadata(self, tiny_graph):
+        result = wing_decomposition(tiny_graph)
+        assert result.algorithm == "wing-BUP"
+        assert result.n_edges == tiny_graph.n_edges
+        assert result.counters.wedges_traversed > 0
+        assert result.counters.vertices_peeled == tiny_graph.n_edges
+
+
+class TestReceiptWing:
+    def test_matches_bup_on_fixtures(self, tiny_graph, hierarchy_graph):
+        for graph in (tiny_graph, hierarchy_graph):
+            reference = wing_decomposition(graph)
+            two_step = receipt_wing_decomposition(graph, n_partitions=3)
+            assert reference.same_wing_numbers(two_step), graph.name
+
+    def test_matches_bup_on_random_graphs(self):
+        rng = np.random.default_rng(17)
+        for _ in range(12):
+            n_u, n_v = int(rng.integers(3, 12)), int(rng.integers(3, 12))
+            graph = random_bipartite(
+                n_u, n_v, int(rng.integers(4, min(40, n_u * n_v + 1))),
+                seed=int(rng.integers(1_000_000)),
+            )
+            reference = wing_decomposition(graph)
+            for n_partitions in (1, 2, 4):
+                two_step = receipt_wing_decomposition(graph, n_partitions=n_partitions)
+                assert reference.same_wing_numbers(two_step)
+
+    def test_partition_metadata(self, tiny_graph):
+        result = receipt_wing_decomposition(tiny_graph, n_partitions=3)
+        assert result.algorithm == "wing-RECEIPT"
+        assert sum(result.extra["partition_sizes"]) == tiny_graph.n_edges
+        bounds = result.extra["bounds"]
+        assert bounds[0] == 0
+        assert all(b1 < b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_empty_graph(self):
+        from repro.graph.builders import empty_graph
+
+        result = receipt_wing_decomposition(empty_graph(2, 2))
+        assert result.n_edges == 0
+
+    def test_wing_number_dict(self, tiny_graph):
+        result = receipt_wing_decomposition(tiny_graph, n_partitions=2)
+        mapping = result.as_dict()
+        assert len(mapping) == tiny_graph.n_edges
+        assert all(wing >= 0 for wing in mapping.values())
