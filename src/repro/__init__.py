@@ -5,6 +5,7 @@ The library implements the full stack described in the VLDB 2020 paper
 decomposition of Bipartite Graphs* (Lakhotia, Kannan, Prasanna, De Rose):
 
 * a bipartite-graph substrate (:mod:`repro.graph`),
+* shared vectorized wedge-traversal kernels (:mod:`repro.kernels`),
 * butterfly counting kernels (:mod:`repro.butterfly`),
 * the sequential (BUP) and level-synchronous parallel (ParB) peeling
   baselines (:mod:`repro.peeling`),
@@ -25,7 +26,7 @@ Quickstart
 True
 """
 
-from . import analysis, butterfly, core, datasets, distributed, graph, parallel, peeling, wing
+from . import analysis, butterfly, core, datasets, distributed, graph, kernels, parallel, peeling, wing
 from .butterfly import ButterflyCounts, count_per_edge, count_per_vertex, count_total_butterflies
 from .core import (
     ReceiptConfig,
@@ -65,6 +66,7 @@ __all__ = [
     "datasets",
     "distributed",
     "graph",
+    "kernels",
     "parallel",
     "peeling",
     "wing",

@@ -26,6 +26,7 @@ import numpy as np
 from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.relabel import degree_priority
+from ..kernels.wedges import ranked_wedge_pairs
 from ..parallel.threadpool import ExecutionContext
 from .naive import count_per_vertex_wedge
 
@@ -166,53 +167,24 @@ def _count_wedges_through_mids(
     """Vectorised traversal of all priority-filtered wedges centred on ``mid_side``.
 
     For every middle vertex ``mp`` the wedges ``sp - mp - ep`` with
-    ``rank(ep) < rank(mp)`` and ``rank(ep) < rank(sp)`` are enumerated (the
+    ``rank(ep) < rank(mp)`` and ``rank(ep) < rank(sp)`` are enumerated by
+    the shared :func:`~repro.kernels.wedges.ranked_wedge_pairs` kernel (the
     exact wedge set Alg. 1 visits), then butterflies are attributed to the
     endpoints (``C(pair wedges, 2)`` each) and to the middle vertices
-    (``pair wedges - 1`` per wedge) in a single grouped pass.  Returns the
+    (``pair wedges - 1`` per wedge) in a single grouped pass.  All
+    aggregation is integer ``np.add.at`` — float-weighted ``np.bincount``
+    would silently lose precision once counts exceed 2**53.  Returns the
     number of wedges traversed.
     """
     n_endpoint_side = endpoint_counts.shape[0]
-    wedge_sp: list[np.ndarray] = []
-    wedge_ep: list[np.ndarray] = []
-    wedge_mid: list[np.ndarray] = []
-
-    for mid in range(graph.side_size(mid_side)):
-        neighbors = graph.neighbors(mid, mid_side)
-        if neighbors.size < 2:
-            continue
-        ranks = endpoint_ranks[neighbors]
-        order = np.argsort(ranks, kind="stable")
-        sorted_neighbors = neighbors[order]
-        sorted_ranks = ranks[order]
-        prefix = int(sorted_ranks.searchsorted(mid_ranks[mid], side="left"))
-        if prefix == 0:
-            continue
-        size = sorted_neighbors.shape[0]
-        per_endpoint = size - 1 - np.arange(prefix, dtype=np.int64)
-        per_endpoint = per_endpoint[per_endpoint > 0]
-        if per_endpoint.size == 0:
-            continue
-        total_pairs = int(per_endpoint.sum())
-        ep_ids = np.repeat(sorted_neighbors[: per_endpoint.size], per_endpoint)
-        pair_offsets = np.concatenate([[0], np.cumsum(per_endpoint)[:-1]])
-        start_positions = (
-            np.arange(total_pairs, dtype=np.int64)
-            - np.repeat(pair_offsets, per_endpoint)
-            + np.repeat(np.arange(1, per_endpoint.size + 1, dtype=np.int64), per_endpoint)
-        )
-        sp_ids = sorted_neighbors[start_positions]
-        wedge_sp.append(sp_ids)
-        wedge_ep.append(ep_ids)
-        wedge_mid.append(np.full(total_pairs, mid, dtype=np.int64))
-
-    if not wedge_sp:
+    offsets, neighbors = graph.csr(mid_side)
+    all_sp, all_ep, all_mid = ranked_wedge_pairs(
+        offsets, neighbors, mid_ranks, endpoint_ranks
+    )
+    if all_sp.size == 0:
         return 0
-    all_sp = np.concatenate(wedge_sp)
-    all_ep = np.concatenate(wedge_ep)
-    all_mid = np.concatenate(wedge_mid)
 
-    pair_keys = all_sp.astype(np.int64) * np.int64(n_endpoint_side) + all_ep.astype(np.int64)
+    pair_keys = all_sp * np.int64(n_endpoint_side) + all_ep
     unique_keys, inverse, pair_wedges = np.unique(
         pair_keys, return_inverse=True, return_counts=True
     )
@@ -223,9 +195,7 @@ def _count_wedges_through_mids(
     np.add.at(endpoint_counts, pair_sp, pair_butterflies)
     np.add.at(endpoint_counts, pair_ep, pair_butterflies)
     mid_contribution = pair_wedges[inverse] - 1
-    mid_counts += np.bincount(
-        all_mid, weights=mid_contribution, minlength=mid_counts.shape[0]
-    ).astype(np.int64)
+    np.add.at(mid_counts, all_mid, mid_contribution)
     return int(all_sp.shape[0])
 
 

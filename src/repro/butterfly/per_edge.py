@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
+from ..kernels.csr import gather_rows, segment_sums
 
 __all__ = ["EdgeButterflyCounts", "count_per_edge"]
 
@@ -71,24 +72,28 @@ def count_per_edge(graph: BipartiteGraph) -> EdgeButterflyCounts:
     wedges_traversed = 0
 
     offsets, _ = graph.csr("U")
+    v_offsets, v_neighbors = graph.csr("V")
     pair_wedges = np.zeros(graph.n_u, dtype=np.int64)
 
     for u in range(graph.n_u):
         centers = graph.neighbors_u(u)
         if centers.size == 0:
             continue
-        pieces = [graph.neighbors_v(int(v)) for v in centers]
-        endpoints = np.concatenate(pieces)
-        wedges_traversed += int(endpoints.size)
+        # One flat-CSR gather collects the wedge endpoints through every
+        # center of ``u``; the per-center segment sums then yield each edge's
+        # contribution without re-walking the neighbor lists.
+        endpoints, endpoints_per_center = gather_rows(v_offsets, v_neighbors, centers)
         np.add.at(pair_wedges, endpoints, 1)
         pair_wedges[u] = 0
 
         edge_start = int(offsets[u])
-        for local_index, v in enumerate(centers):
-            others = graph.neighbors_v(int(v))
-            contribution = int(pair_wedges[others].sum()) - (others.size - 1)
-            counts[edge_start + local_index] = contribution
-            wedges_traversed += int(others.size)
+        contributions = segment_sums(pair_wedges[endpoints], endpoints_per_center)
+        counts[edge_start: edge_start + centers.size] = (
+            contributions - (endpoints_per_center - 1)
+        )
+        # The kernel touches every endpoint twice: once to aggregate pair
+        # wedges and once to read them back per edge.
+        wedges_traversed += 2 * int(endpoints.size)
 
         # Reset the buffer for the next start vertex.
         pair_wedges[endpoints] = 0

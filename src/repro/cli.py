@@ -25,6 +25,7 @@ from .errors import ReproError
 from .graph.bipartite import BipartiteGraph
 from .graph.io import load_graph
 from .graph.statistics import graph_statistics
+from .peeling.update import PEEL_KERNELS
 
 __all__ = ["main", "build_parser"]
 
@@ -72,6 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   choices=["receipt", "receipt-", "receipt--", "bup", "parb"])
     decompose_parser.add_argument("--partitions", type=int, default=None,
                                   help="number of RECEIPT partitions P (default: library default)")
+    decompose_parser.add_argument("--peel-kernel", default="batched",
+                                  choices=list(PEEL_KERNELS),
+                                  help="support-update kernel: the vectorized batch kernel "
+                                       "(default) or the per-vertex reference loop "
+                                       "(ablation baseline)")
     decompose_parser.add_argument("--threads", type=int, default=1)
     decompose_parser.add_argument("--output", help="write per-vertex tip numbers to this JSON file")
 
@@ -118,7 +124,7 @@ def _command_count(args: argparse.Namespace) -> int:
 
 def _command_decompose(args: argparse.Namespace) -> int:
     graph = _load(args)
-    kwargs = {}
+    kwargs = {"peel_kernel": args.peel_kernel}
     if args.algorithm.startswith("receipt"):
         kwargs["n_threads"] = args.threads
         if args.partitions is not None:

@@ -89,6 +89,7 @@ def coarse_grained_decomposition(
     huc_cost_factor: float = 1.0,
     adaptive_targets: bool = True,
     context: ExecutionContext | None = None,
+    peel_kernel: str = "batched",
 ) -> CoarseDecompositionResult:
     """Partition the ``U`` side into tip-number-range subsets (Alg. 3).
 
@@ -120,7 +121,13 @@ def coarse_grained_decomposition(
         design-choice ablation benchmark.
     context:
         Execution context used for synchronization-round accounting and for
-        the parallel cost model.
+        the parallel cost model.  With more than one thread, each range-peel
+        iteration fans its wedge gather out over batch slices
+        (``map_chunks`` with private buffers merged by the kernel).
+    peel_kernel:
+        Support-update kernel used by the range-peel iterations: the shared
+        vectorized ``"batched"`` kernel (default) or the per-vertex
+        ``"reference"`` loop (ablation / equivalence runs).
     """
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
@@ -194,7 +201,8 @@ def coarse_grained_decomposition(
                 wedges_this_iteration = outcome.wedges_traversed
                 candidate_vertices = still_alive
             else:
-                update = peel_batch(adjacency, supports, active_set, lower_bound)
+                update = peel_batch(adjacency, supports, active_set, lower_bound,
+                                    kernel=peel_kernel, context=context)
                 counters.wedges_traversed += update.wedges_traversed
                 counters.peeling_wedges += update.wedges_traversed
                 counters.support_updates += update.support_updates
@@ -224,6 +232,11 @@ def coarse_grained_decomposition(
             if candidate_vertices.size:
                 candidate_vertices = candidate_vertices[alive[candidate_vertices]]
                 active_set = candidate_vertices[supports[candidate_vertices] < upper_bound]
+                # Sort the next batch: within an iteration vertex order is
+                # semantically arbitrary (updates commute), but it fixes where
+                # DGM compaction lands mid-batch, so it must not depend on the
+                # peel kernel's internal update ordering.
+                active_set = np.sort(active_set)
             else:
                 active_set = np.zeros(0, dtype=np.int64)
 

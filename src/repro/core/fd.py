@@ -62,6 +62,7 @@ def fine_grained_decomposition(
     enable_dgm: bool = False,
     context: ExecutionContext | None = None,
     workload_aware: bool = True,
+    peel_kernel: str = "batched",
 ) -> FineDecompositionResult:
     """Compute exact tip numbers from CD's subsets (Alg. 4).
 
@@ -81,6 +82,11 @@ def fine_grained_decomposition(
     workload_aware:
         Sort the task queue by decreasing estimated work (WaS).  Disabling
         it reproduces the "original order" schedule of Fig. 3.
+    peel_kernel:
+        Support-update kernel for the per-subset sequential peels
+        (``"batched"`` or ``"reference"``); each pop consumes one batched
+        :class:`~repro.peeling.update.SupportUpdate` through the shared
+        kernel layer.
     """
     context = context or ExecutionContext()
     counters = PeelingCounters()
@@ -116,6 +122,7 @@ def fine_grained_decomposition(
         local_tips, local_counters, _ = peel_sequential(
             induced_graph, "U", initial_supports,
             enable_dgm=enable_dgm, counters=local_counters,
+            peel_kernel=peel_kernel,
         )
         tip_numbers[subset] = local_tips
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..butterfly.counting import count_per_vertex_priority
 from ..graph.bipartite import BipartiteGraph
+from ..kernels.csr import int_bincount
 
 __all__ = ["RecountOutcome", "peel_cost", "recount_cost", "should_recount", "recount_supports"]
 
@@ -70,7 +71,7 @@ def recount_cost(graph: BipartiteGraph, alive_mask: np.ndarray) -> int:
     residual_u = edges[keep, 0]
     residual_v = edges[keep, 1]
     degrees_u = graph.degrees_u().astype(np.int64)
-    residual_center_degree = np.bincount(residual_v, minlength=graph.n_v).astype(np.int64)
+    residual_center_degree = int_bincount(residual_v, None, graph.n_v)
     return int(np.minimum(degrees_u[residual_u], residual_center_degree[residual_v]).sum())
 
 

@@ -69,6 +69,11 @@ class ReceiptConfig:
     counting_algorithm:
         Kernel used for support initialisation (``"parallel"`` or
         ``"vertex-priority"``).
+    peel_kernel:
+        Support-update kernel used by CD's range peeling and FD's per-subset
+        peeling: the shared vectorized ``"batched"`` kernel (default) or the
+        per-vertex ``"reference"`` loop kept for ablation and equivalence
+        runs (the CLI exposes this as ``--peel-kernel``).
     """
 
     n_partitions: int = DEFAULT_PARTITIONS
@@ -80,6 +85,7 @@ class ReceiptConfig:
     use_real_threads: bool = False
     workload_aware_scheduling: bool = True
     counting_algorithm: str = "parallel"
+    peel_kernel: str = "batched"
 
     @classmethod
     def from_variant(cls, variant: str, **overrides) -> "ReceiptConfig":
@@ -173,6 +179,7 @@ def receipt_decomposition(
         huc_cost_factor=config.huc_cost_factor,
         adaptive_targets=config.adaptive_range_targets,
         context=context,
+        peel_kernel=config.peel_kernel,
     )
     phase_counters["cd"] = cd_result.counters
 
@@ -182,6 +189,7 @@ def receipt_decomposition(
         cd_result,
         context=context,
         workload_aware=config.workload_aware_scheduling,
+        peel_kernel=config.peel_kernel,
     )
     phase_counters["fd"] = fd_result.counters
     context.record_barrier(

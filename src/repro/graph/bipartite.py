@@ -248,7 +248,11 @@ class BipartiteGraph:
         opposite_degrees = self.degrees(opposite_side(side)).astype(np.int64)
         per_edge_work = opposite_degrees[neighbors]
         sources = np.repeat(np.arange(size, dtype=np.int64), np.diff(offsets))
-        return np.bincount(sources, weights=per_edge_work, minlength=size).astype(np.int64)
+        # Integer np.add.at, not a float-weighted np.bincount: float64
+        # accumulation silently loses precision once sums exceed 2**53.
+        work = np.zeros(size, dtype=np.int64)
+        np.add.at(work, sources, per_edge_work)
+        return work
 
     def total_wedge_work(self, side: str) -> int:
         """Total peel work ``sum_u sum_{v in N(u)} d_v`` for the given side."""

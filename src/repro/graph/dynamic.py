@@ -4,8 +4,15 @@ Peeling never mutates the parent :class:`~repro.graph.bipartite.BipartiteGraph`.
 Instead, each decomposition run owns a :class:`PeelableAdjacency` that tracks
 which vertices of the peeled side have been deleted and — when Dynamic Graph
 Maintenance (DGM, Sec. 4.2 of the paper) is enabled — periodically compacts
-the center-side adjacency lists so that wedges incident on already-peeled
-vertices are no longer traversed.
+the center-side adjacency so that wedges incident on already-peeled vertices
+are no longer traversed.
+
+The center-side adjacency is stored as a single flat CSR (``offsets`` +
+``neighbors`` arrays) rather than a Python list of per-center arrays: batch
+peeling gathers the wedges of thousands of vertices in one indexed load
+(:func:`repro.kernels.csr.gather_rows`) and DGM compaction filters the whole
+structure in one cumulative-sum pass (:func:`repro.kernels.csr.compact_csr`),
+with no per-center Python loop in either path.
 
 Terminology: the *peeled side* is the side being decomposed (``U`` in the
 paper's notation) and the *center side* is the other one (``V``); a wedge is
@@ -16,6 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels.csr import compact_csr, gather_rows
 from .bipartite import BipartiteGraph, opposite_side, validate_side
 
 __all__ = ["PeelableAdjacency"]
@@ -32,8 +40,8 @@ class PeelableAdjacency:
         Which side ("U" or "V") is being peeled.
     enable_dgm:
         When ``True``, :meth:`maybe_compact` rebuilds the center adjacency
-        lists after ``compaction_interval`` wedges have been traversed since
-        the previous rebuild.  When ``False`` the lists are never compacted
+        after ``compaction_interval`` wedges have been traversed since the
+        previous rebuild.  When ``False`` the adjacency is never compacted
         and peeled vertices keep being skipped one by one (the RECEIPT--
         behaviour of the ablation study).
     compaction_interval:
@@ -57,12 +65,11 @@ class PeelableAdjacency:
         self._n_peel = graph.side_size(self._peel_side)
         self._n_center = graph.side_size(self._center_side)
 
-        # Center-side adjacency (lists of peeled-side neighbor ids), copied so
-        # compaction can filter them in place.
-        self._center_lists: list[np.ndarray] = [
-            graph.neighbors(center, self._center_side).copy()
-            for center in range(self._n_center)
-        ]
+        # Center-side adjacency as flat CSR (center -> peeled-side neighbor
+        # ids), copied so compaction can rebuild it independently.
+        offsets, neighbors = graph.csr(self._center_side)
+        self._center_offsets: np.ndarray = offsets.copy()
+        self._center_neighbors: np.ndarray = neighbors.astype(np.int64, copy=True)
         self._alive = np.ones(self._n_peel, dtype=bool)
 
         self.enable_dgm = enable_dgm
@@ -70,6 +77,7 @@ class PeelableAdjacency:
             int(compaction_interval) if compaction_interval is not None else max(graph.n_edges, 1)
         )
         self._wedges_since_compaction = 0
+        self._stale_entries = False
         self.compactions_performed = 0
         self.entries_removed = 0
 
@@ -107,15 +115,30 @@ class PeelableAdjacency:
         """Center-side neighbors of a peeled-side vertex (static, from parent)."""
         return self._graph.neighbors(vertex, self._peel_side)
 
+    def peel_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Static CSR of the peeled side (vertex -> center neighbors)."""
+        return self._graph.csr(self._peel_side)
+
+    def center_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Current (possibly stale) center-side CSR ``(offsets, neighbors)``.
+
+        The arrays are the live storage; callers must treat them as
+        read-only.  Entries of already-peeled vertices linger until the next
+        compaction — RECEIPT's update routine tolerates them because updates
+        to already-peeled vertices have no effect (Lemma 2).
+        """
+        return self._center_offsets, self._center_neighbors
+
     def center_neighbors(self, center: int) -> np.ndarray:
         """Current peeled-side adjacency of a center vertex.
 
         May still contain already-peeled vertices if no compaction happened
         since they were deleted; callers filter with :meth:`alive_mask` when
-        exactness matters.  RECEIPT's update routine tolerates stale entries
-        because updates to already-peeled vertices have no effect (Lemma 2).
+        exactness matters.
         """
-        return self._center_lists[center]
+        return self._center_neighbors[
+            self._center_offsets[center]: self._center_offsets[center + 1]
+        ]
 
     def two_hop_multiset(self, vertex: int) -> np.ndarray:
         """Concatenated peeled-side neighbors of all centers adjacent to ``vertex``.
@@ -128,16 +151,31 @@ class PeelableAdjacency:
         centers = self.peel_neighbors(vertex)
         if centers.size == 0:
             return np.zeros(0, dtype=np.int64)
-        pieces = [self._center_lists[int(center)] for center in centers]
-        return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+        gathered, _ = gather_rows(self._center_offsets, self._center_neighbors, centers)
+        return gathered
 
     def mark_peeled(self, vertex: int) -> None:
         """Delete a single peeled-side vertex."""
         self._alive[vertex] = False
+        self._stale_entries = True
 
     def mark_peeled_many(self, vertices: np.ndarray) -> None:
         """Delete a batch of peeled-side vertices."""
-        self._alive[np.asarray(vertices, dtype=np.int64)] = False
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size:
+            self._alive[vertices] = False
+            self._stale_entries = True
+
+    @property
+    def has_stale_entries(self) -> bool:
+        """Whether the center adjacency may reference dead vertices.
+
+        ``False`` right after a compaction until the next deletion: every
+        entry is then guaranteed alive, which lets the batch kernel skip its
+        per-wedge alive filter (the win applies to every sub-batch that
+        follows a mid-batch DGM compaction).
+        """
+        return self._stale_entries
 
     # ------------------------------------------------------------------
     # Dynamic Graph Maintenance
@@ -145,6 +183,18 @@ class PeelableAdjacency:
     def record_traversal(self, n_wedges: int) -> None:
         """Account for traversed wedges; drives the compaction schedule."""
         self._wedges_since_compaction += int(n_wedges)
+
+    def wedges_until_compaction(self) -> int | None:
+        """Remaining traversal budget before the next compaction is due.
+
+        Returns ``None`` when DGM is disabled.  Batch peeling uses this to
+        split a batch at the exact vertex where the sequential reference
+        would have compacted, which keeps wedge-traversal counters
+        bit-identical between the two kernels.
+        """
+        if not self.enable_dgm:
+            return None
+        return self.compaction_interval - self._wedges_since_compaction
 
     def maybe_compact(self) -> bool:
         """Compact the adjacency if DGM is enabled and the interval elapsed.
@@ -159,24 +209,21 @@ class PeelableAdjacency:
         return True
 
     def compact(self) -> int:
-        """Remove peeled vertices from every center adjacency list.
+        """Remove peeled vertices from the center adjacency in one pass.
 
         Returns the number of adjacency entries removed.  The cost is linear
         in the current total adjacency size, matching the paper's argument
         that DGM does not change the asymptotic complexity when triggered at
         most once per ``m`` traversed wedges.
         """
-        removed = 0
-        alive = self._alive
-        for center, neighbors in enumerate(self._center_lists):
-            if neighbors.size == 0:
-                continue
-            keep = alive[neighbors]
-            dropped = int(neighbors.size - keep.sum())
-            if dropped:
-                self._center_lists[center] = neighbors[keep]
-                removed += dropped
+        keep = self._alive[self._center_neighbors]
+        removed = int(self._center_neighbors.size - keep.sum())
+        if removed:
+            self._center_offsets, self._center_neighbors = compact_csr(
+                self._center_offsets, self._center_neighbors, keep
+            )
         self._wedges_since_compaction = 0
+        self._stale_entries = False
         self.compactions_performed += 1
         self.entries_removed += removed
         return removed
@@ -187,4 +234,4 @@ class PeelableAdjacency:
         Without DGM these stay at the original degrees; with DGM they shrink
         as vertices are peeled, which is what reduces wedge traversal.
         """
-        return np.array([lst.size for lst in self._center_lists], dtype=np.int64)
+        return np.diff(self._center_offsets)

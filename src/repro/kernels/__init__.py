@@ -1,0 +1,54 @@
+"""Shared vectorized wedge-traversal kernels.
+
+Every wedge-heavy primitive in this library — batch peeling, per-vertex and
+per-edge butterfly counting, HUC re-count cost accounting — reduces to the
+same three building blocks, collected here so the algorithm layers above
+(``butterfly``, ``peeling``, ``core``) share one implementation instead of
+reimplementing ad-hoc variants:
+
+* **flat-CSR gathering** (:mod:`repro.kernels.csr`): concatenating many CSR
+  rows in a single indexed load, segment arithmetic, and one-pass CSR
+  compaction (the DGM rebuild).
+* **wedge enumeration** (:mod:`repro.kernels.wedges`): two-hop endpoint
+  gathering for peel batches and the priority-filtered wedge-pair
+  enumeration that drives vertex-priority counting.
+* **batched support updates** (:mod:`repro.kernels.peel`): grouped
+  per-(peeled-vertex, endpoint) wedge counting and the threshold-clamped
+  decrement application whose counters match per-vertex sequential peeling
+  exactly (Lemma 2 drop-semantics included).
+
+All kernels operate on plain numpy arrays: callers hand in ``offsets`` /
+``neighbors`` pairs (and an ``alive`` mask where relevant) rather than graph
+objects, which keeps the layer free of upward dependencies.
+"""
+
+from .csr import (
+    compact_csr,
+    gather_ranges,
+    gather_rows,
+    int_bincount,
+    segment_ids,
+    segment_offsets,
+    segment_sums,
+)
+from .peel import (
+    BatchDecrements,
+    apply_clamped_decrements,
+    count_pair_wedges,
+)
+from .wedges import gather_batch_wedges, ranked_wedge_pairs
+
+__all__ = [
+    "compact_csr",
+    "gather_ranges",
+    "gather_rows",
+    "int_bincount",
+    "segment_ids",
+    "segment_offsets",
+    "segment_sums",
+    "BatchDecrements",
+    "apply_clamped_decrements",
+    "count_pair_wedges",
+    "gather_batch_wedges",
+    "ranked_wedge_pairs",
+]

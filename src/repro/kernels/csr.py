@@ -1,0 +1,113 @@
+"""Flat-CSR primitives: multi-row gathering, segment arithmetic, compaction.
+
+A CSR adjacency is an ``(offsets, values)`` pair where row ``r`` occupies
+``values[offsets[r]:offsets[r + 1]]``.  These helpers implement the handful
+of array manipulations every wedge kernel needs without materialising
+Python-level lists of row slices: gathering an arbitrary multiset of rows is
+one fancy-indexed load, and compacting a CSR under a keep-mask is one
+cumulative-sum pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "gather_rows",
+    "gather_ranges",
+    "segment_offsets",
+    "segment_ids",
+    "segment_sums",
+    "compact_csr",
+    "int_bincount",
+]
+
+
+def gather_rows(
+    offsets: np.ndarray, values: np.ndarray, rows: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate ``values[offsets[r]:offsets[r + 1]]`` for every ``r`` in ``rows``.
+
+    Rows may repeat and appear in any order; the output preserves the given
+    row order.  Returns ``(gathered, lengths)`` where ``lengths[i]`` is the
+    size of the ``i``-th requested row, so callers can recover segment
+    boundaries with :func:`segment_offsets`.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = offsets[rows]
+    lengths = (offsets[rows + 1] - starts).astype(np.int64)
+    return gather_ranges(values, starts, lengths), lengths
+
+
+def gather_ranges(values: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``values[starts[k]: starts[k] + lengths[k]]`` for every ``k``.
+
+    The range form of :func:`gather_rows` for callers that already hold the
+    per-row starts and lengths (peel batching computes them while locating
+    DGM compaction splits and must not pay for them twice).
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=values.dtype)
+    # Output position i belongs to range k with out_starts[k] <= i; the
+    # source index is starts[k] + (i - out_starts[k]), built without a
+    # Python loop.
+    out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    source = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
+    return values[source]
+
+
+def segment_offsets(lengths: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sums of segment lengths (CSR-style offsets)."""
+    offsets = np.zeros(lengths.shape[0] + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+def segment_ids(lengths: np.ndarray) -> np.ndarray:
+    """Segment index of every element of the concatenated segments."""
+    return np.repeat(np.arange(lengths.shape[0], dtype=np.int64), lengths)
+
+
+def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Per-segment sums of consecutive segments of the given lengths.
+
+    Unlike ``np.add.reduceat`` this handles empty segments (their sum is 0)
+    and an empty ``values`` array without special cases.
+    """
+    ends = np.cumsum(lengths)
+    prefix = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    return prefix[ends] - prefix[ends - lengths]
+
+
+def compact_csr(
+    offsets: np.ndarray, values: np.ndarray, keep: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop the entries where ``keep`` is ``False``, preserving row structure.
+
+    ``keep`` is a boolean mask over ``values``.  Returns new
+    ``(offsets, values)`` arrays; the pass is linear in ``values.size`` and
+    allocates no per-row intermediates (this is the DGM rebuild of Sec. 4.2).
+    """
+    kept_before = np.zeros(values.shape[0] + 1, dtype=np.int64)
+    np.cumsum(keep, out=kept_before[1:])
+    return kept_before[offsets], values[keep]
+
+
+def int_bincount(
+    indices: np.ndarray, weights: np.ndarray | None, minlength: int
+) -> np.ndarray:
+    """Integer-exact bincount.
+
+    ``np.bincount`` with a ``weights`` argument accumulates in float64 and
+    silently loses precision once counts exceed 2**53; this variant
+    accumulates int64 via ``np.add.at`` instead.
+    """
+    out = np.zeros(minlength, dtype=np.int64)
+    if indices.size == 0:
+        return out
+    if weights is None:
+        np.add.at(out, indices, 1)
+    else:
+        np.add.at(out, indices, np.asarray(weights, dtype=np.int64))
+    return out

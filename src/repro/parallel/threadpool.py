@@ -116,21 +116,27 @@ class ExecutionContext:
         *,
         name: str = "parallel_for",
         work_per_item: Sequence[float] | None = None,
+        record: bool = True,
     ) -> list[R]:
         """Run ``chunk_body`` over chunks of ``items`` and gather the results.
 
         The chunking is work-balanced when ``work_per_item`` is supplied.
         One synchronization round is recorded (the implicit barrier at the
-        end of the parallel-for).
+        end of the parallel-for) unless ``record=False`` — used when the
+        caller already accounts for this work as part of an enclosing
+        region, so the cost model does not double-count it.
         """
         items = list(items)
-        total_work = float(sum(work_per_item)) if work_per_item is not None else float(len(items))
-        self.record_barrier(
-            name,
-            n_tasks=len(items),
-            total_work=total_work,
-            task_work=list(work_per_item) if work_per_item is not None else None,
-        )
+        if record:
+            total_work = (
+                float(sum(work_per_item)) if work_per_item is not None else float(len(items))
+            )
+            self.record_barrier(
+                name,
+                n_tasks=len(items),
+                total_work=total_work,
+                task_work=list(work_per_item) if work_per_item is not None else None,
+            )
         if not items:
             return []
 

@@ -5,7 +5,8 @@ from .bucketing import BucketQueue
 from .bup import bup_decomposition, peel_sequential
 from .minheap import LazyMinHeap
 from .parbutterfly import parbutterfly_decomposition
-from .update import SupportUpdate, peel_batch, peel_vertex
+from .reference import peel_batch_reference, peel_vertex_reference
+from .update import PEEL_KERNELS, SupportUpdate, peel_batch, peel_vertex
 
 __all__ = [
     "PeelingCounters",
@@ -15,7 +16,10 @@ __all__ = [
     "peel_sequential",
     "LazyMinHeap",
     "parbutterfly_decomposition",
+    "PEEL_KERNELS",
     "SupportUpdate",
     "peel_batch",
     "peel_vertex",
+    "peel_batch_reference",
+    "peel_vertex_reference",
 ]

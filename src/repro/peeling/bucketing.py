@@ -133,6 +133,18 @@ class BucketQueue:
         else:
             self._buckets[new_index].add(vertex)
 
+    def update_many(self, vertices: np.ndarray, new_supports: np.ndarray) -> None:
+        """Move a batch of vertices after their supports decreased.
+
+        Bulk counterpart of :meth:`update` accepting the arrays of one
+        batched :class:`~repro.peeling.update.SupportUpdate` directly.
+        """
+        for vertex, new_support in zip(
+            np.asarray(vertices, dtype=np.int64).tolist(),
+            np.asarray(new_supports, dtype=np.int64).tolist(),
+        ):
+            self.update(vertex, new_support)
+
     def next_bucket(self) -> tuple[list[int], int]:
         """Extract all vertices from the lowest non-empty bucket.
 

@@ -33,6 +33,7 @@ def peel_sequential(
     counters: PeelingCounters | None = None,
     wedge_budget: int | None = None,
     record_peel_order: bool = False,
+    peel_kernel: str = "batched",
 ) -> tuple[np.ndarray, PeelingCounters, list[int]]:
     """Core sequential peeling loop, reused by BUP and by RECEIPT FD.
 
@@ -55,6 +56,9 @@ def peel_sequential(
         paper's "did not finish" entries).
     record_peel_order:
         When ``True`` the returned list contains vertices in peel order.
+    peel_kernel:
+        Support-update kernel: the shared vectorized ``"batched"`` kernel
+        (default) or the per-vertex ``"reference"`` formulation.
 
     Returns
     -------
@@ -83,12 +87,11 @@ def peel_sequential(
         if record_peel_order:
             peel_order.append(vertex)
 
-        update = peel_vertex(adjacency, supports, vertex, support)
+        update = peel_vertex(adjacency, supports, vertex, support, kernel=peel_kernel)
         counters.wedges_traversed += update.wedges_traversed
         counters.peeling_wedges += update.wedges_traversed
         counters.support_updates += update.support_updates
-        for updated_vertex, new_support in zip(update.updated_vertices, update.new_supports):
-            heap.decrease(int(updated_vertex), int(new_support))
+        heap.decrease_many(update.updated_vertices, update.new_supports)
 
         compacted = adjacency.maybe_compact()
         if compacted:
@@ -110,6 +113,7 @@ def bup_decomposition(
     counts: ButterflyCounts | None = None,
     enable_dgm: bool = False,
     wedge_budget: int | None = None,
+    peel_kernel: str = "batched",
 ) -> TipDecompositionResult:
     """Tip decomposition by sequential bottom-up peeling (Alg. 2).
 
@@ -126,6 +130,8 @@ def bup_decomposition(
         here is only used by ablation experiments.
     wedge_budget:
         Optional traversal cap (reproduces the paper's DNF entries).
+    peel_kernel:
+        Support-update kernel (``"batched"`` or ``"reference"``).
     """
     side = validate_side(side)
     start_time = time.perf_counter()
@@ -140,6 +146,7 @@ def bup_decomposition(
     tip_numbers, counters, _ = peel_sequential(
         graph, side, initial,
         enable_dgm=enable_dgm, counters=counters, wedge_budget=wedge_budget,
+        peel_kernel=peel_kernel,
     )
     counters.elapsed_seconds = time.perf_counter() - start_time
 

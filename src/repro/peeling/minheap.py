@@ -79,6 +79,21 @@ class LazyMinHeap:
         heapq.heappush(self._heap, (new_support, vertex))
         self.pushes += 1
 
+    def decrease_many(self, vertices: np.ndarray, new_supports: np.ndarray) -> None:
+        """Record the support decreases of one batched :class:`SupportUpdate`.
+
+        This is the bulk entry point peeling loops feed a
+        :class:`~repro.peeling.update.SupportUpdate` into
+        (``heap.decrease_many(update.updated_vertices, update.new_supports)``);
+        it centralises the per-entry iteration in one place instead of
+        every caller zipping the arrays itself.
+        """
+        for vertex, new_support in zip(
+            np.asarray(vertices, dtype=np.int64).tolist(),
+            np.asarray(new_supports, dtype=np.int64).tolist(),
+        ):
+            self.decrease(vertex, new_support)
+
     def pop_min(self) -> tuple[int, int]:
         """Remove and return ``(vertex, support)`` with the minimum support.
 

@@ -40,6 +40,7 @@ def parbutterfly_decomposition(
     context: ExecutionContext | None = None,
     wedge_budget: int | None = None,
     round_budget: int | None = None,
+    peel_kernel: str = "batched",
 ) -> TipDecompositionResult:
     """Tip decomposition with level-synchronous parallel peeling (ParB).
 
@@ -59,6 +60,8 @@ def parbutterfly_decomposition(
     wedge_budget, round_budget:
         Optional execution caps used by the benchmark harness to reproduce
         the paper's "did not finish" / out-of-memory entries.
+    peel_kernel:
+        Support-update kernel (``"batched"`` or ``"reference"``).
     """
     side = validate_side(side)
     start_time = time.perf_counter()
@@ -85,7 +88,8 @@ def parbutterfly_decomposition(
         tip_numbers[batch] = supports[batch]
         threshold = int(supports[batch].max()) if batch.size else level
 
-        update = peel_batch(adjacency, supports, batch, threshold)
+        update = peel_batch(adjacency, supports, batch, threshold,
+                            kernel=peel_kernel, context=context)
         counters.wedges_traversed += update.wedges_traversed
         counters.peeling_wedges += update.wedges_traversed
         counters.support_updates += update.support_updates
@@ -97,8 +101,7 @@ def parbutterfly_decomposition(
             total_work=float(update.wedges_traversed),
         )
 
-        for vertex, new_support in zip(update.updated_vertices, update.new_supports):
-            buckets.update(int(vertex), int(new_support))
+        buckets.update_many(update.updated_vertices, update.new_supports)
 
         if wedge_budget is not None and counters.wedges_traversed > wedge_budget:
             raise BudgetExceededError(

@@ -6,6 +6,17 @@ Peeling a vertex ``u`` (Alg. 2, ``update``) traverses all wedges starting at
 ``u'`` by that amount, clamped from below at the tip number / range bound
 being assigned to ``u``.
 
+Both entry points are backed by the vectorized kernels of
+:mod:`repro.kernels`: :func:`peel_batch` gathers the wedges of the *whole*
+batch in one flat-CSR load and applies all decrements in one grouped pass —
+there is no per-vertex Python loop over batch members, which is what makes
+RECEIPT CD's thousands-of-vertices iterations fast in this implementation.
+The only Python-level iteration left is over DGM compaction events: when
+Dynamic Graph Maintenance is enabled the batch is split at the exact
+vertices where the sequential reference would have compacted, so wedge
+traversal counters stay bit-identical to
+:mod:`repro.peeling.reference` (asserted by the equivalence test suite).
+
 The routine is deliberately free of any priority-structure knowledge: the
 caller receives the list of updated vertices and their new supports and
 feeds its own heap, bucket queue or active-set tracker.
@@ -18,8 +29,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.dynamic import PeelableAdjacency
+from ..kernels.csr import gather_ranges, gather_rows, segment_offsets, segment_sums
+from ..kernels.peel import (
+    BatchDecrements,
+    apply_clamped_decrements,
+    count_pair_wedges,
+    key_counts,
+)
+from ..kernels.wedges import gather_batch_wedges
 
-__all__ = ["SupportUpdate", "peel_vertex", "peel_batch"]
+__all__ = [
+    "SupportUpdate",
+    "peel_vertex",
+    "peel_batch",
+    "PEEL_KERNELS",
+]
+
+#: Valid values of the ``kernel`` argument of :func:`peel_batch` /
+#: :func:`peel_vertex` (and of the CLI's ``--peel-kernel`` option).
+PEEL_KERNELS = ("batched", "reference")
 
 
 @dataclass(frozen=True)
@@ -46,11 +74,28 @@ class SupportUpdate:
     support_updates: int
 
 
+def _empty_update(wedges_traversed: int = 0) -> SupportUpdate:
+    return SupportUpdate(
+        updated_vertices=np.zeros(0, dtype=np.int64),
+        new_supports=np.zeros(0, dtype=np.int64),
+        wedges_traversed=wedges_traversed,
+        support_updates=0,
+    )
+
+
+def _validate_kernel(kernel: str) -> str:
+    if kernel not in PEEL_KERNELS:
+        raise ValueError(f"unknown peel kernel {kernel!r}; expected one of {PEEL_KERNELS}")
+    return kernel
+
+
 def peel_vertex(
     adjacency: PeelableAdjacency,
     supports: np.ndarray,
     vertex: int,
     threshold: int,
+    *,
+    kernel: str = "batched",
 ) -> SupportUpdate:
     """Peel a single vertex and update supports of its 2-hop neighbours.
 
@@ -66,43 +111,51 @@ def peel_vertex(
     threshold:
         Lower clamp for the updated supports: the tip number θ_u in exact
         peeling, or the range lower bound θ(i) in RECEIPT CD.
+    kernel:
+        ``"batched"`` (default) runs the shared vectorized kernel;
+        ``"reference"`` dispatches to the per-vertex reference formulation.
     """
-    endpoints = adjacency.two_hop_multiset(vertex)
+    if _validate_kernel(kernel) == "reference":
+        from .reference import peel_vertex_reference
+
+        return peel_vertex_reference(adjacency, supports, vertex, threshold)
+
+    peel_offsets, peel_neighbors = adjacency.peel_csr()
+    center_offsets, center_neighbors = adjacency.center_csr()
+    batch = np.asarray([vertex], dtype=np.int64)
+    endpoints, _ = gather_batch_wedges(
+        peel_offsets, peel_neighbors, center_offsets, center_neighbors, batch
+    )
     wedges_traversed = int(endpoints.size)
     adjacency.record_traversal(wedges_traversed)
     if wedges_traversed == 0:
-        return SupportUpdate(
-            updated_vertices=np.zeros(0, dtype=np.int64),
-            new_supports=np.zeros(0, dtype=np.int64),
-            wedges_traversed=0,
-            support_updates=0,
-        )
+        return _empty_update()
 
-    unique_endpoints, wedge_counts = np.unique(endpoints, return_counts=True)
+    # Single-segment specialisation of the batch kernel: with one peeled
+    # vertex the pair keys are the endpoints themselves, so the whole
+    # pipeline collapses to one run-length count plus a direct clamped
+    # subtraction — the per-call cost sequential BUP pays per pop must stay
+    # proportional to the vertex's wedges, not to batch machinery.
     alive = adjacency.alive_mask()
-    keep = alive[unique_endpoints] & (unique_endpoints != vertex) & (wedge_counts >= 2)
+    endpoints = endpoints[alive[endpoints]]
+    if endpoints.size == 0:
+        return _empty_update(wedges_traversed)
+    unique_endpoints, wedge_counts = key_counts(endpoints, supports.shape[0])
+    keep = (wedge_counts >= 2) & (unique_endpoints != vertex)
     unique_endpoints = unique_endpoints[keep]
     wedge_counts = wedge_counts[keep]
-    if unique_endpoints.size == 0:
-        return SupportUpdate(
-            updated_vertices=np.zeros(0, dtype=np.int64),
-            new_supports=np.zeros(0, dtype=np.int64),
-            wedges_traversed=wedges_traversed,
-            support_updates=0,
-        )
-
     shared_butterflies = wedge_counts * (wedge_counts - 1) // 2
-    new_supports = np.maximum(threshold, supports[unique_endpoints] - shared_butterflies)
-    changed = new_supports < supports[unique_endpoints]
+    old = supports[unique_endpoints]
+    new = np.maximum(int(threshold), old - shared_butterflies)
+    changed = new < old
     unique_endpoints = unique_endpoints[changed]
-    new_supports = new_supports[changed]
-    supports[unique_endpoints] = new_supports
-
+    new = new[changed]
+    supports[unique_endpoints] = new
     return SupportUpdate(
-        updated_vertices=unique_endpoints.astype(np.int64),
-        new_supports=new_supports.astype(np.int64),
+        updated_vertices=unique_endpoints,
+        new_supports=new,
         wedges_traversed=wedges_traversed,
-        support_updates=int(unique_endpoints.size),
+        support_updates=int(unique_endpoints.shape[0]),
     )
 
 
@@ -111,33 +164,102 @@ def peel_batch(
     supports: np.ndarray,
     vertices: np.ndarray,
     threshold: int,
+    *,
+    kernel: str = "batched",
+    context=None,
 ) -> SupportUpdate:
     """Peel a set of vertices "concurrently" (one CD / ParB round).
 
     All vertices are marked peeled *before* any update is computed, so
     updates between members of the batch are dropped — exactly the behaviour
     Lemma 2 relies on (updates to already-assigned vertices have no effect).
-    The updates themselves are commutative support decrements, so applying
-    them vertex-by-vertex is equivalent to the atomics-based parallel
-    application in the C++ implementation.
+    The whole batch is processed by the vectorized kernels: one flat-CSR
+    gather collects every wedge of the batch, one grouped pass counts the
+    per-(vertex, endpoint) wedges and one clamped vector subtraction applies
+    the decrements.  Support decrements commute, so the result is identical
+    to the per-vertex sequential application and to the atomics-based
+    parallel application of the C++ implementation.
+
+    Parameters
+    ----------
+    kernel:
+        ``"batched"`` (default) or ``"reference"`` (the per-vertex loop kept
+        in :mod:`repro.peeling.reference` for ablations and equivalence
+        tests).
+    context:
+        Optional :class:`~repro.parallel.threadpool.ExecutionContext`.  When
+        it carries more than one thread, the wedge gather and pair counting
+        fan out over work-balanced batch slices with private buffers
+        (``map_chunks``) and the kernel merges the slices before the single
+        decrement application; results are identical to the serial path.
     """
+    if _validate_kernel(kernel) == "reference":
+        from .reference import peel_batch_reference
+
+        return peel_batch_reference(adjacency, supports, vertices, threshold)
+
     vertices = np.asarray(vertices, dtype=np.int64)
     adjacency.mark_peeled_many(vertices)
+    if vertices.size == 0:
+        return _empty_update()
 
+    peel_offsets, peel_neighbors = adjacency.peel_csr()
+    threshold = int(threshold)
     total_wedges = 0
     total_updates = 0
-    touched: dict[int, int] = {}
-    for vertex in vertices:
-        update = peel_vertex(adjacency, supports, int(vertex), threshold)
-        total_wedges += update.wedges_traversed
-        total_updates += update.support_updates
-        for updated_vertex, new_support in zip(update.updated_vertices, update.new_supports):
-            touched[int(updated_vertex)] = int(new_support)
-        adjacency.maybe_compact()
+    updated_pieces: list[np.ndarray] = []
 
-    if touched:
-        updated_vertices = np.fromiter(touched.keys(), dtype=np.int64, count=len(touched))
-        new_supports = np.fromiter(touched.values(), dtype=np.int64, count=len(touched))
+    # The batch's center ids never change (the peeled-side CSR is static), so
+    # they are gathered exactly once; only the per-center sizes depend on the
+    # current (possibly compacted) center CSR.
+    n_batch = vertices.shape[0]
+    centers, centers_per_vertex = gather_rows(peel_offsets, peel_neighbors, vertices)
+    center_starts = segment_offsets(centers_per_vertex)
+
+    # Outer loop over DGM compaction events only (a single pass when DGM is
+    # off or the interval is not reached): the sequential reference checks
+    # for compaction after every vertex, so the batch is split at the first
+    # vertex whose cumulative traversal crosses the remaining budget.
+    start = 0
+    while start < n_batch:
+        center_offsets, center_neighbors = adjacency.center_csr()
+        budget = adjacency.wedges_until_compaction()
+        stop, wedges_per_vertex, range_starts, range_lengths = _find_compaction_split(
+            start, n_batch, budget, centers, center_starts, centers_per_vertex,
+            center_offsets, need_weights=context is not None and context.n_threads > 1,
+        )
+
+        sub_batch = vertices[start:stop]
+        decrements, sub_wedges = _gather_and_count(
+            sub_batch,
+            centers[center_starts[start]: center_starts[stop]],
+            centers_per_vertex[start:stop],
+            center_offsets,
+            center_neighbors,
+            adjacency.alive_mask(),
+            adjacency.has_stale_entries,
+            wedges_per_vertex,
+            range_starts,
+            range_lengths,
+            context,
+        )
+        updated, _, n_updates = apply_clamped_decrements(supports, decrements, threshold)
+
+        total_wedges += sub_wedges
+        total_updates += n_updates
+        if updated.size:
+            updated_pieces.append(updated)
+        adjacency.record_traversal(sub_wedges)
+        adjacency.maybe_compact()
+        start = stop
+
+    if updated_pieces:
+        updated_vertices = (
+            updated_pieces[0]
+            if len(updated_pieces) == 1
+            else np.unique(np.concatenate(updated_pieces))
+        )
+        new_supports = supports[updated_vertices]
     else:
         updated_vertices = np.zeros(0, dtype=np.int64)
         new_supports = np.zeros(0, dtype=np.int64)
@@ -146,4 +268,124 @@ def peel_batch(
         new_supports=new_supports,
         wedges_traversed=total_wedges,
         support_updates=total_updates,
+    )
+
+
+def _find_compaction_split(
+    start: int,
+    n_batch: int,
+    budget: int | None,
+    centers: np.ndarray,
+    center_starts: np.ndarray,
+    centers_per_vertex: np.ndarray,
+    center_offsets: np.ndarray,
+    *,
+    need_weights: bool,
+) -> tuple[int, np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Find where the remaining batch must split for the next DGM compaction.
+
+    Returns ``(stop, wedges_per_vertex, range_starts, range_lengths)`` such
+    that processing ``vertices[start:stop]`` traverses wedges exactly until
+    the sequential reference would compact (after the first vertex whose
+    cumulative count reaches ``budget``).  The candidate window grows
+    geometrically so a batch that splits many times never re-scans its
+    whole tail per split.  ``wedges_per_vertex`` covers ``[start, stop)``
+    and ``range_starts`` / ``range_lengths`` are the per-center gather
+    ranges of the same span, handed back so the endpoint gather does not
+    recompute them; all three are ``None`` when nothing was computed (no
+    DGM and no work weights requested).
+    """
+    if budget is None and not need_weights:
+        return n_batch, None, None, None
+
+    window = 128 if budget is not None else n_batch - start
+    while True:
+        hi = min(start + window, n_batch)
+        window_centers = centers[center_starts[start]: center_starts[hi]]
+        range_starts = center_offsets[window_centers]
+        range_lengths = center_offsets[window_centers + 1] - range_starts
+        wedges_per_vertex = segment_sums(range_lengths, centers_per_vertex[start:hi])
+        if budget is not None:
+            cumulative = np.cumsum(wedges_per_vertex)
+            crossing = int(np.searchsorted(cumulative, budget, side="left"))
+            if crossing < hi - start:
+                stop = start + crossing + 1
+                n_sub_centers = int(center_starts[stop] - center_starts[start])
+                return (
+                    stop,
+                    wedges_per_vertex[: crossing + 1],
+                    range_starts[:n_sub_centers],
+                    range_lengths[:n_sub_centers],
+                )
+        if hi == n_batch:
+            return n_batch, wedges_per_vertex, range_starts, range_lengths
+        window *= 4
+
+
+def _gather_and_count(
+    sub_batch: np.ndarray,
+    centers: np.ndarray,
+    centers_per_vertex: np.ndarray,
+    center_offsets: np.ndarray,
+    center_neighbors: np.ndarray,
+    alive: np.ndarray,
+    filter_alive: bool,
+    wedges_per_vertex: np.ndarray | None,
+    range_starts: np.ndarray | None,
+    range_lengths: np.ndarray | None,
+    context,
+) -> tuple[BatchDecrements, int]:
+    """Gather wedge endpoints and count per-pair wedges for one sub-batch.
+
+    ``range_starts`` / ``range_lengths`` / ``wedges_per_vertex`` are reused
+    from the compaction-split scan when available so the serial path never
+    touches the center offsets twice.  With a multi-threaded execution
+    context the batch positions are split into work-balanced slices; each
+    slice gathers and counts into private arrays (batch positions are
+    disjoint across slices, so per-pair counts are unaffected) and the
+    pieces are concatenated for the single global decrement application.
+    """
+    if context is not None and context.n_threads > 1 and sub_batch.shape[0] > 1:
+        center_starts = np.concatenate(([0], np.cumsum(centers_per_vertex)))
+
+        def chunk_body(positions):
+            positions = np.asarray(positions, dtype=np.int64)
+            piece_centers, piece_lengths = gather_rows(
+                center_starts, centers, positions
+            )
+            piece_endpoints, endpoints_per_center = gather_rows(
+                center_offsets, center_neighbors, piece_centers
+            )
+            endpoint_counts = segment_sums(endpoints_per_center, piece_lengths)
+            piece = count_pair_wedges(
+                piece_endpoints, positions, endpoint_counts, sub_batch, alive,
+                filter_alive=filter_alive,
+            )
+            return piece, int(piece_endpoints.size)
+
+        # record=False: the enclosing peel iteration (cd_peel_iteration /
+        # parb_round) already accounts for this wedge work, and the recorded
+        # regions must not depend on the thread count.
+        results = context.map_chunks(
+            list(range(sub_batch.shape[0])),
+            chunk_body,
+            name="peel_batch_gather",
+            work_per_item=[float(w) for w in wedges_per_vertex],
+            record=False,
+        )
+        decrements = BatchDecrements.concatenate([piece for piece, _ in results])
+        wedges = sum(wedge_count for _, wedge_count in results)
+        return decrements, wedges
+
+    if range_starts is None:
+        range_starts = center_offsets[centers]
+        range_lengths = center_offsets[centers + 1] - range_starts
+    if wedges_per_vertex is None:
+        wedges_per_vertex = segment_sums(range_lengths, centers_per_vertex)
+    endpoints = gather_ranges(center_neighbors, range_starts, range_lengths)
+    positions = np.arange(sub_batch.shape[0], dtype=np.int64)
+    return (
+        count_pair_wedges(endpoints, positions, wedges_per_vertex, sub_batch, alive,
+                          filter_alive=filter_alive),
+        int(endpoints.size),
     )

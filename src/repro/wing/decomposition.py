@@ -70,6 +70,39 @@ class _EdgePeelState:
         self.alive = np.ones(self.edges.shape[0], dtype=bool)
         self.counters = PeelingCounters()
 
+    def other_edges_of_butterflies(self, edge_id: int) -> np.ndarray:
+        """Flat array of the other-edge ids over all alive butterflies of ``edge_id``."""
+        triples = self.butterflies_of_edge(edge_id)
+        if not triples:
+            return np.zeros(0, dtype=np.int64)
+        return np.asarray(triples, dtype=np.int64).ravel()
+
+    def apply_edge_decrements(
+        self, others: np.ndarray, threshold: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply one peeled edge's unit decrements in a single grouped pass.
+
+        Every occurrence of an alive edge in ``others`` removes one
+        butterfly, clamped from below at ``threshold`` — the edge analogue
+        of the batched :class:`~repro.peeling.update.SupportUpdate`
+        application.  ``support_updates`` accounts one unit per decrement
+        actually applied, exactly as the sequential per-butterfly loop did.
+        Returns ``(updated_edges, new_supports)``.
+        """
+        others = others[self.alive[others]]
+        if others.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        unique_edges, lost = np.unique(others, return_counts=True)
+        old = self.supports[unique_edges]
+        new = np.maximum(threshold, old - lost)
+        changed = new < old
+        unique_edges = unique_edges[changed]
+        new = new[changed]
+        self.counters.support_updates += int((self.supports[unique_edges] - new).sum())
+        self.supports[unique_edges] = new
+        return unique_edges, new
+
     def butterflies_of_edge(self, edge_id: int) -> list[tuple[int, int, int]]:
         """Other-edge triples of every alive butterfly containing ``edge_id``.
 
@@ -132,15 +165,10 @@ def wing_decomposition(
         state.counters.vertices_peeled += 1
         state.counters.synchronization_rounds += 1
 
-        for triple in state.butterflies_of_edge(edge_id):
-            for other_edge in triple:
-                if not state.alive[other_edge]:
-                    continue
-                new_support = max(support, int(state.supports[other_edge]) - 1)
-                if new_support < state.supports[other_edge]:
-                    state.supports[other_edge] = new_support
-                    heap.decrease(other_edge, new_support)
-                    state.counters.support_updates += 1
+        updated, new_supports = state.apply_edge_decrements(
+            state.other_edges_of_butterflies(edge_id), support
+        )
+        heap.decrease_many(updated, new_supports)
 
     state.counters.elapsed_seconds = time.perf_counter() - start_time
     return WingDecompositionResult(
@@ -217,14 +245,9 @@ def receipt_wing_decomposition(
             # the lowest-id one propagates the update to the surviving edges.
             for edge_id in np.sort(active):
                 state.alive[edge_id] = False
-                for triple in state.butterflies_of_edge(int(edge_id)):
-                    for other_edge in triple:
-                        if not state.alive[other_edge]:
-                            continue
-                        new_support = max(lower, int(state.supports[other_edge]) - 1)
-                        if new_support < state.supports[other_edge]:
-                            state.supports[other_edge] = new_support
-                            state.counters.support_updates += 1
+                state.apply_edge_decrements(
+                    state.other_edges_of_butterflies(int(edge_id)), lower
+                )
             alive_ids = np.flatnonzero(state.alive)
             active = alive_ids[state.supports[alive_ids] < upper]
         partition = (
@@ -250,11 +273,15 @@ def receipt_wing_decomposition(
 
     exact_state = _EdgePeelState(graph, counts)
     exact_state.counters = state.counters  # keep accumulating into the same counters
+    # Allocated once; each iteration fills its partition's slots and resets
+    # only those, keeping the whole step-2 bookkeeping O(n_edges) total
+    # rather than O(P * n_edges).
+    local_of_edge = np.full(n_edges, -1, dtype=np.int64)
     for index, partition in enumerate(partitions):
         if partition.size == 0:
             continue
         supports = init_supports[partition].copy()
-        local_index = {int(edge_id): position for position, edge_id in enumerate(partition)}
+        local_of_edge[partition] = np.arange(partition.size, dtype=np.int64)
         exact_state.alive[:] = partition_of_edge >= index
         heap = LazyMinHeap(supports)
         while heap:
@@ -262,15 +289,16 @@ def receipt_wing_decomposition(
             edge_id = int(partition[position])
             wing_numbers[edge_id] = support
             exact_state.alive[edge_id] = False
-            for triple in exact_state.butterflies_of_edge(edge_id):
-                for other_edge in triple:
-                    if other_edge not in local_index or not exact_state.alive[other_edge]:
-                        continue
-                    other_position = local_index[other_edge]
-                    new_support = max(support, int(supports[other_position]) - 1)
-                    if new_support < supports[other_position]:
-                        supports[other_position] = new_support
-                        heap.decrease(other_position, new_support)
+            others = exact_state.other_edges_of_butterflies(edge_id)
+            others = others[(local_of_edge[others] >= 0) & exact_state.alive[others]]
+            if others.size:
+                positions, lost = np.unique(local_of_edge[others], return_counts=True)
+                old = supports[positions]
+                new = np.maximum(support, old - lost)
+                changed = new < old
+                supports[positions[changed]] = new[changed]
+                heap.decrease_many(positions[changed], new[changed])
+        local_of_edge[partition] = -1
 
     state.counters.elapsed_seconds = time.perf_counter() - start_time
     return WingDecompositionResult(
