@@ -11,6 +11,9 @@ decomposition of Bipartite Graphs* (Lakhotia, Kannan, Prasanna, De Rose):
   baselines (:mod:`repro.peeling`),
 * the RECEIPT algorithm itself — coarse- and fine-grained decomposition
   with the HUC and DGM optimizations (:mod:`repro.core`),
+* a multiprocess execution engine — shared-memory graph store plus
+  pluggable serial / thread / process backends for the FD task fan-out
+  (:mod:`repro.engine`),
 * synthetic stand-ins for the paper's evaluation datasets
   (:mod:`repro.datasets`),
 * hierarchy / distribution analysis and correctness verification
@@ -26,7 +29,7 @@ Quickstart
 True
 """
 
-from . import analysis, butterfly, core, datasets, distributed, graph, kernels, parallel, peeling, wing
+from . import analysis, butterfly, core, datasets, distributed, engine, graph, kernels, parallel, peeling, wing
 from .butterfly import ButterflyCounts, count_per_edge, count_per_vertex, count_total_butterflies
 from .core import (
     ReceiptConfig,

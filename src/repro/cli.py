@@ -8,6 +8,15 @@ Installed as ``repro-tip`` (see ``pyproject.toml``) and also runnable via
 * ``count`` — per-vertex butterfly counting.
 * ``decompose`` — tip decomposition with RECEIPT / BUP / ParB.
 * ``compare`` — run two algorithms and verify they agree (Table 3 style).
+
+``decompose`` and ``compare`` accept ``--backend {serial,thread,process}``
+to pick the execution engine for RECEIPT FD's task fan-out: ``process``
+places the graph in shared memory and dispatches the per-subset peels to
+``--threads`` worker processes (bit-identical results, real wall-clock
+scaling on multicore hardware); ``serial`` is the single-process default.
+``compare`` forwards the same ``--peel-kernel`` / ``--partitions`` /
+``--threads`` / ``--backend`` configuration to both algorithms so the
+comparison exercises exactly the configured kernels.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from .errors import ReproError
 from .graph.bipartite import BipartiteGraph
 from .graph.io import load_graph
 from .graph.statistics import graph_statistics
+from .parallel.threadpool import BACKEND_NAMES
 from .peeling.update import PEEL_KERNELS
 
 __all__ = ["main", "build_parser"]
@@ -46,6 +56,41 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", type=float, default=1.0,
                         help="size multiplier for generated datasets (default 1.0)")
     parser.add_argument("--seed", type=int, default=None, help="random seed for generated datasets")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by every command that runs a decomposition."""
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="number of RECEIPT partitions P (default: library default)")
+    parser.add_argument("--peel-kernel", default="batched",
+                        choices=list(PEEL_KERNELS),
+                        help="support-update kernel: the vectorized batch kernel "
+                             "(default) or the per-vertex reference loop "
+                             "(ablation baseline)")
+    parser.add_argument("--threads", type=int, default=1,
+                        help="worker count for RECEIPT's execution backend")
+    parser.add_argument("--backend", default="serial", choices=list(BACKEND_NAMES),
+                        help="execution engine for RECEIPT FD's task fan-out: "
+                             "in-process serial (default), a thread pool, or a "
+                             "multiprocess worker pool over a shared-memory "
+                             "graph store (bit-identical results)")
+
+
+def _algorithm_kwargs(args: argparse.Namespace, algorithm: str) -> dict:
+    """Keyword arguments for one algorithm from the shared execution flags.
+
+    Every algorithm takes the peel kernel; the RECEIPT variants additionally
+    take the thread count, backend and partition count.  Building the dict
+    per algorithm lets ``compare`` forward one configuration to two
+    different algorithms without tripping unknown-argument errors.
+    """
+    kwargs: dict = {"peel_kernel": args.peel_kernel}
+    if algorithm.lower().startswith("receipt"):
+        kwargs["n_threads"] = args.threads
+        kwargs["backend"] = args.backend
+        if args.partitions is not None:
+            kwargs["n_partitions"] = args.partitions
+    return kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -71,14 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     decompose_parser.add_argument("--side", default="U", choices=["U", "V", "u", "v"])
     decompose_parser.add_argument("--algorithm", default="receipt",
                                   choices=["receipt", "receipt-", "receipt--", "bup", "parb"])
-    decompose_parser.add_argument("--partitions", type=int, default=None,
-                                  help="number of RECEIPT partitions P (default: library default)")
-    decompose_parser.add_argument("--peel-kernel", default="batched",
-                                  choices=list(PEEL_KERNELS),
-                                  help="support-update kernel: the vectorized batch kernel "
-                                       "(default) or the per-vertex reference loop "
-                                       "(ablation baseline)")
-    decompose_parser.add_argument("--threads", type=int, default=1)
+    _add_execution_arguments(decompose_parser)
     decompose_parser.add_argument("--output", help="write per-vertex tip numbers to this JSON file")
 
     compare_parser = subparsers.add_parser("compare", help="run two algorithms and verify agreement")
@@ -86,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--side", default="U", choices=["U", "V", "u", "v"])
     compare_parser.add_argument("--first", default="receipt")
     compare_parser.add_argument("--second", default="bup")
+    _add_execution_arguments(compare_parser)
 
     return parser
 
@@ -124,11 +163,7 @@ def _command_count(args: argparse.Namespace) -> int:
 
 def _command_decompose(args: argparse.Namespace) -> int:
     graph = _load(args)
-    kwargs = {"peel_kernel": args.peel_kernel}
-    if args.algorithm.startswith("receipt"):
-        kwargs["n_threads"] = args.threads
-        if args.partitions is not None:
-            kwargs["n_partitions"] = args.partitions
+    kwargs = _algorithm_kwargs(args, args.algorithm)
     result = tip_decomposition(graph, args.side.upper(), algorithm=args.algorithm, **kwargs)
     print(json.dumps(result.summary(), indent=2))
     if args.output:
@@ -142,8 +177,13 @@ def _command_decompose(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     graph = _load(args)
     side = args.side.upper()
-    first = tip_decomposition(graph, side, algorithm=args.first)
-    second = tip_decomposition(graph, side, algorithm=args.second)
+    # Both algorithms receive the same execution configuration, so the
+    # comparison exercises the configured kernel/partitions/backend rather
+    # than silently falling back to library defaults.
+    first = tip_decomposition(graph, side, algorithm=args.first,
+                              **_algorithm_kwargs(args, args.first))
+    second = tip_decomposition(graph, side, algorithm=args.second,
+                               **_algorithm_kwargs(args, args.second))
     report = compare_results(first, second)
     print(json.dumps(
         {

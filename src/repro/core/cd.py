@@ -191,8 +191,8 @@ def coarse_grained_decomposition(
 
             if use_recount:
                 adjacency.mark_peeled_many(active_set)
-                outcome = recount_supports(graph, alive)
                 still_alive = np.flatnonzero(alive)
+                outcome = recount_supports(graph, alive, alive_vertices=still_alive)
                 supports[still_alive] = np.maximum(outcome.supports[still_alive], lower_bound)
                 adjacency.record_traversal(outcome.wedges_traversed)
                 counters.wedges_traversed += outcome.wedges_traversed

@@ -4,9 +4,12 @@ FD receives the vertex subsets and tip-number ranges produced by CD and
 computes exact tip numbers.  Each subset is processed completely
 independently: a subgraph is induced on the subset (plus the whole ``V``
 side), supports are initialised from the ``⋈init`` snapshot, and sequential
-bottom-up peeling runs inside the subgraph.  Subsets are handed to threads
-through a workload-aware dynamic task queue (largest estimated work first);
-threads only synchronise once, when the queue drains.
+bottom-up peeling runs inside the subgraph.  The work is expressed as
+picklable task descriptors (:mod:`repro.engine.tasks`) handed to the
+execution context's backend — serial, thread pool, or a multiprocess worker
+pool over a shared-memory graph store — through a workload-aware dynamic
+task queue (largest estimated work first); workers only synchronise once,
+when the queue drains, and results are bit-identical across backends.
 """
 
 from __future__ import annotations
@@ -16,10 +19,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine.tasks import FdJob, build_fd_tasks
 from ..graph.bipartite import BipartiteGraph
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters
-from ..peeling.bup import peel_sequential
 from .cd import CoarseDecompositionResult
 from .scheduling import workload_aware_order
 
@@ -35,6 +38,7 @@ class SubsetPeelRecord:
     induced_edges: int
     induced_wedge_work: int
     wedges_traversed: int
+    support_updates: int
     elapsed_seconds: float
 
 
@@ -77,8 +81,9 @@ def fine_grained_decomposition(
         adjacency (the induced subgraphs are small, so the paper leaves this
         off by default; it is exposed for ablations).
     context:
-        Execution context; FD records a single synchronization round (the
-        final barrier of the task queue).
+        Execution context; its configured backend (``serial`` / ``thread`` /
+        ``process``) executes the task queue, and FD records a single
+        synchronization round (the final barrier of the queue).
     workload_aware:
         Sort the task queue by decreasing estimated work (WaS).  Disabling
         it reproduces the "original order" schedule of Fig. 3.
@@ -108,42 +113,45 @@ def fine_grained_decomposition(
     else:
         order = np.arange(len(cd_result.subsets), dtype=np.int64)
 
-    def peel_subset(subset_index: int) -> SubsetPeelRecord:
-        subset = cd_result.subsets[subset_index]
-        subset_start = time.perf_counter()
-        if subset.size == 0:
-            return SubsetPeelRecord(subset_index, 0, 0, 0, 0, 0.0)
+    # FD work as data: descriptors ranging into the flat subset array, plus
+    # one job holding the heavyweight shared inputs.  The process backend
+    # exports the job to shared memory; descriptors pickle in O(1).
+    subsets_flat, all_tasks = build_fd_tasks(cd_result.subsets, estimated_work)
+    job = FdJob(
+        graph=graph,
+        subsets_flat=subsets_flat,
+        init_supports=np.ascontiguousarray(cd_result.init_supports, dtype=np.int64),
+        enable_dgm=enable_dgm,
+        peel_kernel=peel_kernel,
+    )
+    ordered_tasks = [all_tasks[int(index)] for index in order]
+    results = context.run_fd_tasks(
+        job, ordered_tasks, name="fd_task_queue",
+        scheduling="lpt" if workload_aware else "dynamic",
+    )
 
-        induced = graph.induced_on_u_subset(subset)
-        induced_graph = induced.graph
-        initial_supports = cd_result.init_supports[subset]
-
-        local_counters = PeelingCounters()
-        local_tips, local_counters, _ = peel_sequential(
-            induced_graph, "U", initial_supports,
-            enable_dgm=enable_dgm, counters=local_counters,
-            peel_kernel=peel_kernel,
+    for result in results:
+        subset = cd_result.subsets[result.subset_index]
+        if result.n_vertices:
+            tip_numbers[subset] = result.tip_numbers
+        subset_records.append(
+            SubsetPeelRecord(
+                subset_index=result.subset_index,
+                n_vertices=result.n_vertices,
+                induced_edges=result.induced_edges,
+                induced_wedge_work=result.induced_wedge_work,
+                wedges_traversed=result.wedges_traversed,
+                support_updates=result.support_updates,
+                elapsed_seconds=result.elapsed_seconds,
+            )
         )
-        tip_numbers[subset] = local_tips
-
-        return SubsetPeelRecord(
-            subset_index=subset_index,
-            n_vertices=int(subset.size),
-            induced_edges=int(induced_graph.n_edges),
-            induced_wedge_work=int(induced_graph.total_wedge_work("U")),
-            wedges_traversed=int(local_counters.wedges_traversed),
-            elapsed_seconds=time.perf_counter() - subset_start,
-        )
-
-    tasks = [lambda index=int(subset_index): peel_subset(index) for subset_index in order]
-    results = context.run_tasks(tasks, name="fd_task_queue")
-    subset_records.extend(results)
 
     for record in subset_records:
         counters.wedges_traversed += record.wedges_traversed
         counters.peeling_wedges += record.wedges_traversed
+        counters.support_updates += record.support_updates
         counters.vertices_peeled += record.n_vertices
-    # FD threads synchronise exactly once, at the end of the task queue.
+    # FD workers synchronise exactly once, at the end of the task queue.
     counters.synchronization_rounds = 0
     counters.elapsed_seconds = time.perf_counter() - start_time
 

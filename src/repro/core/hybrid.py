@@ -80,18 +80,33 @@ def should_recount(cost_of_peeling: int, cost_of_recounting: int) -> bool:
     return cost_of_peeling > cost_of_recounting
 
 
-def recount_supports(graph: BipartiteGraph, alive_mask: np.ndarray) -> RecountOutcome:
+def recount_supports(
+    graph: BipartiteGraph,
+    alive_mask: np.ndarray,
+    *,
+    alive_vertices: np.ndarray | None = None,
+) -> RecountOutcome:
     """Re-count butterflies of the alive ``U`` vertices on the residual graph.
 
     Builds the subgraph induced on the alive vertices (and the full ``V``
     side, as butterflies only need their two ``U`` endpoints alive) and runs
-    the vertex-priority counting kernel on it.
+    the vertex-priority counting kernel on it.  ``alive_vertices`` may be
+    supplied when the caller already materialised ``flatnonzero(alive_mask)``
+    (CD's range loop does); when every vertex is still alive the induction
+    is skipped entirely and the kernel runs on ``graph`` itself — same
+    counts, same wedge traversal, no subgraph rebuild.
     """
     alive_mask = np.asarray(alive_mask, dtype=bool)
     supports = np.zeros(alive_mask.shape[0], dtype=np.int64)
-    alive_vertices = np.flatnonzero(alive_mask)
+    if alive_vertices is None:
+        alive_vertices = np.flatnonzero(alive_mask)
     if alive_vertices.size == 0:
         return RecountOutcome(supports=supports, wedges_traversed=0)
+
+    if alive_vertices.size == alive_mask.shape[0]:
+        counts = count_per_vertex_priority(graph)
+        supports[:] = counts.u_counts
+        return RecountOutcome(supports=supports, wedges_traversed=counts.wedges_traversed)
 
     induced = graph.induced_on_u_subset(alive_vertices)
     counts = count_per_vertex_priority(induced.graph)

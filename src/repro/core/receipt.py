@@ -60,10 +60,17 @@ class ReceiptConfig:
         back to a static per-subset wedge target (ablation only).
     n_threads:
         Logical thread count used for work partitioning and reported to the
-        parallel cost model.
+        parallel cost model; also the worker count of the execution backend.
     use_real_threads:
         Execute parallel regions on OS threads (off by default; the GIL
         makes this a losing proposition for the pure-Python kernels).
+        Equivalent to ``backend="thread"`` for the FD task queue.
+    backend:
+        Execution backend for FD's task fan-out: ``"serial"`` (default),
+        ``"thread"``, or ``"process"`` — the multiprocess engine that puts
+        the graph in shared memory and dispatches task descriptors to a
+        worker pool (:mod:`repro.engine`).  Results are bit-identical
+        across backends.
     workload_aware_scheduling:
         Sort FD's task queue by decreasing estimated work.
     counting_algorithm:
@@ -83,6 +90,7 @@ class ReceiptConfig:
     adaptive_range_targets: bool = True
     n_threads: int = 1
     use_real_threads: bool = False
+    backend: str = "serial"
     workload_aware_scheduling: bool = True
     counting_algorithm: str = "parallel"
     peel_kernel: str = "batched"
@@ -146,59 +154,72 @@ def receipt_decomposition(
     elif config_overrides:
         raise ReproError("pass either a config object or keyword overrides, not both")
 
-    context = context or ExecutionContext(
-        config.n_threads, use_real_threads=config.use_real_threads
-    )
+    owns_context = context is None
+    if context is None:
+        effective_backend = config.backend
+        if effective_backend == "serial" and config.use_real_threads:
+            effective_backend = "thread"
+        context = ExecutionContext(
+            config.n_threads,
+            use_real_threads=config.use_real_threads,
+            backend=effective_backend,
+        )
     total_counters = PeelingCounters()
     phase_counters: dict[str, PeelingCounters] = {}
     start_time = time.perf_counter()
 
-    # RECEIPT CD / FD always peel the "U" side of their working graph; for a
-    # "V"-side decomposition we simply swap the roles of the two vertex sets.
-    working_graph = graph if side == "U" else graph.swap_sides()
+    try:
+        # RECEIPT CD / FD always peel the "U" side of their working graph;
+        # for a "V"-side decomposition we simply swap the vertex-set roles.
+        working_graph = graph if side == "U" else graph.swap_sides()
 
-    # Phase 1: per-vertex butterfly counting (pvBcnt).
-    counting_start = time.perf_counter()
-    if counts is None:
-        counts = count_per_vertex(graph, algorithm=config.counting_algorithm, context=context)
-    counting_counters = PeelingCounters(
-        wedges_traversed=counts.wedges_traversed,
-        counting_wedges=counts.wedges_traversed,
-        elapsed_seconds=time.perf_counter() - counting_start,
-    )
-    phase_counters["pvBcnt"] = counting_counters
-    initial_butterflies = counts.counts(side).copy()
+        # Phase 1: per-vertex butterfly counting (pvBcnt).
+        counting_start = time.perf_counter()
+        if counts is None:
+            counts = count_per_vertex(graph, algorithm=config.counting_algorithm, context=context)
+        counting_counters = PeelingCounters(
+            wedges_traversed=counts.wedges_traversed,
+            counting_wedges=counts.wedges_traversed,
+            elapsed_seconds=time.perf_counter() - counting_start,
+        )
+        phase_counters["pvBcnt"] = counting_counters
+        initial_butterflies = counts.counts(side).copy()
 
-    # Phase 2: coarse-grained decomposition.
-    cd_result = coarse_grained_decomposition(
-        working_graph,
-        initial_butterflies,
-        config.n_partitions,
-        enable_huc=config.enable_huc,
-        enable_dgm=config.enable_dgm,
-        huc_cost_factor=config.huc_cost_factor,
-        adaptive_targets=config.adaptive_range_targets,
-        context=context,
-        peel_kernel=config.peel_kernel,
-    )
-    phase_counters["cd"] = cd_result.counters
+        # Phase 2: coarse-grained decomposition.
+        cd_result = coarse_grained_decomposition(
+            working_graph,
+            initial_butterflies,
+            config.n_partitions,
+            enable_huc=config.enable_huc,
+            enable_dgm=config.enable_dgm,
+            huc_cost_factor=config.huc_cost_factor,
+            adaptive_targets=config.adaptive_range_targets,
+            context=context,
+            peel_kernel=config.peel_kernel,
+        )
+        phase_counters["cd"] = cd_result.counters
 
-    # Phase 3: fine-grained decomposition.
-    fd_result = fine_grained_decomposition(
-        working_graph,
-        cd_result,
-        context=context,
-        workload_aware=config.workload_aware_scheduling,
-        peel_kernel=config.peel_kernel,
-    )
-    phase_counters["fd"] = fd_result.counters
-    context.record_barrier(
-        "fd_subsets",
-        n_tasks=len(fd_result.subset_records),
-        total_work=float(sum(r.wedges_traversed for r in fd_result.subset_records)),
-        task_work=[float(r.wedges_traversed) for r in fd_result.subset_records],
-        scheduling="lpt" if config.workload_aware_scheduling else "dynamic",
-    )
+        # Phase 3: fine-grained decomposition.
+        fd_result = fine_grained_decomposition(
+            working_graph,
+            cd_result,
+            context=context,
+            workload_aware=config.workload_aware_scheduling,
+            peel_kernel=config.peel_kernel,
+        )
+        phase_counters["fd"] = fd_result.counters
+        context.record_barrier(
+            "fd_subsets",
+            n_tasks=len(fd_result.subset_records),
+            total_work=float(sum(r.wedges_traversed for r in fd_result.subset_records)),
+            task_work=[float(r.wedges_traversed) for r in fd_result.subset_records],
+            scheduling="lpt" if config.workload_aware_scheduling else "dynamic",
+        )
+    finally:
+        if owns_context:
+            # Release pooled workers (threads or processes) the run created;
+            # callers who passed a context keep ownership of its pools.
+            context.shutdown()
 
     for phase in phase_counters.values():
         total_counters.merge(phase)

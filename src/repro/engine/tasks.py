@@ -1,0 +1,173 @@
+"""Picklable FD task descriptors and the shared per-subset peel routine.
+
+RECEIPT FD (Alg. 4) is an embarrassingly parallel bag of per-subset peels
+that synchronize exactly once.  To fan those tasks out across processes the
+work must be expressed as *data*, not closures: an :class:`FdTask` names a
+subset by its id and its range into a flat concatenation of all subsets,
+while the heavyweight inputs — the immutable dual-CSR graph, the flat subset
+array and the ``⋈init`` support snapshot — travel separately as an
+:class:`FdJob` (by reference inside one process, through shared memory
+across processes; see :mod:`repro.engine.shm`).
+
+:func:`execute_fd_task` is the single implementation of one FD task; every
+backend funnels through it, which is what keeps tip numbers and work
+counters bit-identical regardless of where the task runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph
+from ..peeling.base import PeelingCounters
+from ..peeling.bup import peel_sequential
+
+__all__ = ["FdJob", "FdTask", "FdTaskResult", "build_fd_tasks", "execute_fd_task"]
+
+
+@dataclass(frozen=True)
+class FdTask:
+    """One FD task: a subset id plus its range into the flat subset array.
+
+    Deliberately graph-free so it pickles in O(1): ``subsets_flat[start:stop]``
+    of the accompanying :class:`FdJob` recovers the subset's parent-graph
+    ``U`` ids.  ``estimated_work`` carries the LPT scheduling weight (wedge
+    work of the subset's vertices in the full graph).
+    """
+
+    subset_index: int
+    start: int
+    stop: int
+    estimated_work: float = 0.0
+
+    @property
+    def n_vertices(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class FdTaskResult:
+    """Everything a finished FD task sends back through the pool.
+
+    ``tip_numbers`` are the exact tip numbers of the subset's vertices in
+    subset order (``tip_numbers[k]`` belongs to ``subsets_flat[start + k]``);
+    the counters mirror what the serial implementation records so receipts
+    stay bit-identical across backends.
+    """
+
+    subset_index: int
+    n_vertices: int
+    induced_edges: int
+    induced_wedge_work: int
+    wedges_traversed: int
+    support_updates: int
+    tip_numbers: np.ndarray
+    elapsed_seconds: float
+
+
+@dataclass
+class FdJob:
+    """Shared inputs of one FD fan-out: the graph plus per-task slices.
+
+    Attributes
+    ----------
+    graph:
+        The (immutable) working graph whose ``U`` side is decomposed.
+    subsets_flat:
+        Concatenation of all CD subsets; tasks address it by range.
+    init_supports:
+        The ``⋈init`` vector of CD, indexed by parent-graph ``U`` id.
+    enable_dgm, peel_kernel:
+        Per-subset peel configuration, forwarded to
+        :func:`~repro.peeling.bup.peel_sequential`.
+    """
+
+    graph: BipartiteGraph
+    subsets_flat: np.ndarray
+    init_supports: np.ndarray
+    enable_dgm: bool = False
+    peel_kernel: str = "batched"
+
+
+def build_fd_tasks(
+    subsets: Sequence[np.ndarray],
+    estimated_work: np.ndarray | Sequence[float] | None = None,
+) -> tuple[np.ndarray, list[FdTask]]:
+    """Flatten CD's subsets into ``(subsets_flat, tasks)``.
+
+    Returns one :class:`FdTask` per subset (indexed by subset id) plus the
+    flat int64 concatenation every task ranges into.  ``estimated_work``
+    defaults to the subset sizes when no wedge-work proxy is supplied.
+    """
+    sizes = np.array([int(subset.size) for subset in subsets], dtype=np.int64)
+    offsets = np.zeros(len(subsets) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    if len(subsets):
+        subsets_flat = np.ascontiguousarray(
+            np.concatenate([np.asarray(subset, dtype=np.int64) for subset in subsets])
+            if offsets[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
+    else:
+        subsets_flat = np.zeros(0, dtype=np.int64)
+    if estimated_work is None:
+        estimated_work = sizes.astype(np.float64)
+    tasks = [
+        FdTask(
+            subset_index=index,
+            start=int(offsets[index]),
+            stop=int(offsets[index + 1]),
+            estimated_work=float(estimated_work[index]),
+        )
+        for index in range(len(subsets))
+    ]
+    return subsets_flat, tasks
+
+
+def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
+    """Peel one FD subset to completion (the body of Alg. 4's task loop).
+
+    Induces the subgraph on the subset (plus the whole ``V`` side),
+    initialises supports from the ``⋈init`` snapshot and runs the sequential
+    bottom-up peel.  Pure function of ``(job, task)`` — every backend calls
+    exactly this, in-process or in a worker.
+    """
+    task_start = time.perf_counter()
+    subset = job.subsets_flat[task.start:task.stop]
+    if subset.size == 0:
+        return FdTaskResult(
+            subset_index=task.subset_index,
+            n_vertices=0,
+            induced_edges=0,
+            induced_wedge_work=0,
+            wedges_traversed=0,
+            support_updates=0,
+            tip_numbers=np.zeros(0, dtype=np.int64),
+            elapsed_seconds=0.0,
+        )
+
+    induced = job.graph.induced_on_u_subset(subset)
+    induced_graph = induced.graph
+    initial_supports = job.init_supports[subset]
+
+    local_counters = PeelingCounters()
+    local_tips, local_counters, _ = peel_sequential(
+        induced_graph, "U", initial_supports,
+        enable_dgm=job.enable_dgm, counters=local_counters,
+        peel_kernel=job.peel_kernel,
+    )
+
+    return FdTaskResult(
+        subset_index=task.subset_index,
+        n_vertices=int(subset.size),
+        induced_edges=int(induced_graph.n_edges),
+        induced_wedge_work=int(induced_graph.total_wedge_work("U")),
+        wedges_traversed=int(local_counters.wedges_traversed),
+        support_updates=int(local_counters.support_updates),
+        tip_numbers=np.asarray(local_tips, dtype=np.int64),
+        elapsed_seconds=time.perf_counter() - task_start,
+    )

@@ -222,6 +222,65 @@ class BipartiteGraph:
         adjacency = self._u_adj if validate_side(side) == "U" else self._v_adj
         return adjacency.offsets, adjacency.neighbors
 
+    def csr_arrays(self) -> dict[str, np.ndarray]:
+        """Expose both CSR directions for zero-copy export.
+
+        Returns the four internal arrays keyed ``u_offsets`` / ``u_neighbors``
+        / ``v_offsets`` / ``v_neighbors``.  This is the serialization surface
+        used by the execution engine to place a graph into shared memory
+        (:mod:`repro.engine.shm`); callers must treat the arrays as
+        read-only.
+        """
+        return {
+            "u_offsets": self._u_adj.offsets,
+            "u_neighbors": self._u_adj.neighbors,
+            "v_offsets": self._v_adj.offsets,
+            "v_neighbors": self._v_adj.neighbors,
+        }
+
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        n_u: int,
+        n_v: int,
+        u_offsets: np.ndarray,
+        u_neighbors: np.ndarray,
+        v_offsets: np.ndarray,
+        v_neighbors: np.ndarray,
+        *,
+        name: str = "",
+    ) -> "BipartiteGraph":
+        """Reconstruct a graph directly from its dual-CSR arrays.
+
+        The inverse of :meth:`csr_arrays`: no edge validation, sorting or
+        copying is performed, so a worker process can wrap shared-memory
+        buffers into a fully functional (read-only) graph in O(1).  The
+        arrays must describe the same edge set in both directions with
+        sorted neighbor lists — exactly what :meth:`csr_arrays` of a live
+        graph yields.
+        """
+        u_offsets = np.asarray(u_offsets, dtype=np.int64)
+        u_neighbors = np.asarray(u_neighbors, dtype=np.int64)
+        v_offsets = np.asarray(v_offsets, dtype=np.int64)
+        v_neighbors = np.asarray(v_neighbors, dtype=np.int64)
+        if u_offsets.shape[0] != n_u + 1 or v_offsets.shape[0] != n_v + 1:
+            raise GraphConstructionError(
+                "CSR offsets do not match the declared vertex-set sizes"
+            )
+        if u_neighbors.shape[0] != v_neighbors.shape[0]:
+            raise GraphConstructionError(
+                "U- and V-indexed CSR arrays disagree on the edge count"
+            )
+        graph = cls.__new__(cls)
+        graph._n_u = int(n_u)
+        graph._n_v = int(n_v)
+        graph._n_edges = int(u_neighbors.shape[0])
+        graph._u_adj = _CsrAdjacency(offsets=u_offsets, neighbors=u_neighbors)
+        graph._v_adj = _CsrAdjacency(offsets=v_offsets, neighbors=v_neighbors)
+        graph._edge_cache = None
+        graph.name = name
+        return graph
+
     # ------------------------------------------------------------------
     # Wedge statistics (work proxies used by RECEIPT)
     # ------------------------------------------------------------------

@@ -10,9 +10,10 @@ from .primitives import (
     inclusive_prefix_sum,
     parallel_filter,
 )
-from .threadpool import ExecutionContext, ParallelRegionRecord
+from .threadpool import BACKEND_NAMES, ExecutionContext, ParallelRegionRecord
 
 __all__ = [
+    "BACKEND_NAMES",
     "AtomicArray",
     "AtomicCounter",
     "DEFAULT_BARRIER_COST",

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.datasets.registry import DATASETS, dataset_names, dataset_sides, load_dataset
+from repro.datasets.registry import (
+    CACHE_ENV,
+    DATASETS,
+    dataset_names,
+    dataset_sides,
+    load_dataset,
+)
 from repro.errors import DatasetError
 
 
@@ -58,6 +64,43 @@ class TestLoading:
     def test_invalid_scale_rejected(self):
         with pytest.raises(DatasetError):
             load_dataset("it", scale=0.0)
+
+
+class TestOnDiskCache:
+    def test_cache_round_trip_is_identical(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        fresh = load_dataset("it", scale=0.1)          # generates + stores
+        cache_files = list(tmp_path.glob("*.npz"))
+        assert len(cache_files) == 1
+        cached = load_dataset("it", scale=0.1)         # served from disk
+        assert cached == fresh
+        assert cached.name == "it"
+
+    def test_cache_keyed_by_scale_and_seed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        load_dataset("de", scale=0.1)
+        load_dataset("de", scale=0.1, seed=99)
+        load_dataset("de", scale=0.2)
+        assert len(list(tmp_path.glob("de-*.npz"))) == 3
+
+    def test_explicit_default_seed_shares_cache_entry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        implicit = load_dataset("or", scale=0.1)
+        explicit = load_dataset("or", scale=0.1, seed=DATASETS["or"].default_seed)
+        assert len(list(tmp_path.glob("or-*.npz"))) == 1
+        assert implicit == explicit
+
+    def test_corrupt_cache_entry_regenerates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path))
+        reference = load_dataset("lj", scale=0.1)
+        (entry,) = tmp_path.glob("lj-*.npz")
+        entry.write_bytes(b"not an npz file")
+        assert load_dataset("lj", scale=0.1) == reference
+
+    def test_disabled_without_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_ENV, raising=False)
+        load_dataset("en", scale=0.1)
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestStructuralFidelity:
