@@ -1,0 +1,263 @@
+"""Serving-layer benchmark: index queries vs. the re-peel path.
+
+A plain script (no pytest harness) so CI can run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_serving.py [--quick] [--check-speedup]
+
+The serving layer exists so that a θ lookup costs microseconds instead of
+a full decomposition.  This benchmark quantifies that claim end-to-end:
+
+1. **Build** — decompose a registry stand-in and persist the ``*.tipidx``
+   artifact (`repro build-index` equivalent); build time is the price paid
+   once per graph version.
+2. **Load** — cold artifact load (manifest + mmap + graph reconstruction)
+   vs. warm fingerprint-keyed cache hit.
+3. **Offline queries** — point-θ and batch-θ throughput straight off the
+   :class:`~repro.service.index.TipIndex`, against the *cold re-peel
+   path*: answering the same batch by re-running the decomposition, which
+   is what the repo had to do before this subsystem existed.
+4. **HTTP** — starts the real ``ThreadingHTTPServer`` on a free port,
+   exercises **every** endpoint once (hard-failing on any non-200), then
+   measures point-request p50/p99 latency and batch-POST throughput.
+
+Results go to ``BENCH_serving.json`` at the repository root.
+``--check-speedup`` gates that warm-cache batch-θ throughput is at least
+10x the re-peel path — the serving layer's reason to exist; unlike
+wall-clock scaling gates this holds on any hardware, single-core CI
+runners included.
+
+Dataset generation honours ``REPRO_DATASET_CACHE`` (see
+``repro.datasets.registry``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.receipt import tip_decomposition
+from repro.datasets.registry import load_dataset
+from repro.service.artifacts import read_manifest
+from repro.service.build import build_index_artifact
+from repro.service.cache import IndexCache
+from repro.service.server import ENDPOINTS, create_server
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required throughput advantage of warm-cache batch θ over re-peeling.
+SPEEDUP_GATE = 10.0
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _percentiles(samples_ms: list[float]) -> dict:
+    ordered = sorted(samples_ms)
+    return {
+        "p50_ms": round(statistics.median(ordered), 3),
+        "p99_ms": round(float(np.percentile(ordered, 99)), 3),
+        "mean_ms": round(statistics.fmean(ordered), 3),
+    }
+
+
+def _http_get(base_url: str, route: str):
+    start = time.perf_counter()
+    with urllib.request.urlopen(base_url + route, timeout=30) as response:
+        payload = json.loads(response.read())
+        return response.status, payload, (time.perf_counter() - start) * 1000.0
+
+
+def _http_post(base_url: str, route: str, body: dict):
+    request = urllib.request.Request(
+        base_url + route, data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    start = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=30) as response:
+        payload = json.loads(response.read())
+        return response.status, payload, (time.perf_counter() - start) * 1000.0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="it", help="registry dataset key")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale multiplier (default 0.3, quick 0.12)")
+    parser.add_argument("--partitions", type=int, default=12)
+    parser.add_argument("--backend", default="serial",
+                        help="execution backend for the index build")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller dataset + fewer requests (CI smoke mode)")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help=f"fail unless warm batch-θ throughput >= "
+                             f"{SPEEDUP_GATE:.0f}x the re-peel path")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_serving.json"))
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.12 if args.quick else 0.3)
+    point_requests = 150 if args.quick else 600
+    batch_requests = 20 if args.quick else 60
+    batch_size = 1024
+
+    graph = load_dataset(args.dataset, scale=scale)
+    print(f"dataset {args.dataset} @ scale {scale}: "
+          f"|U|={graph.n_u:,} |V|={graph.n_v:,} |E|={graph.n_edges:,}")
+    rng = np.random.default_rng(7)
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as workdir:
+        artifact_path = Path(workdir) / f"{args.dataset}.tipidx"
+
+        # -- 1: build ---------------------------------------------------
+        manifest, build_seconds = _timed(lambda: build_index_artifact(
+            graph, artifact_path, side="U", algorithm="receipt",
+            backend=args.backend, n_partitions=args.partitions,
+        ))
+        artifact_bytes = sum(f.stat().st_size for f in artifact_path.iterdir())
+        print(f"build: {build_seconds:.3f}s -> {artifact_bytes / 1024:.0f} KiB artifact "
+              f"(fingerprint {manifest.fingerprint[:12]}...)")
+
+        # -- 2: cold vs warm load --------------------------------------
+        cache = IndexCache(capacity=4)
+        index, cold_load_seconds = _timed(lambda: cache.get_or_load(artifact_path))
+        _, warm_load_seconds = _timed(lambda: cache.get_or_load(artifact_path))
+        print(f"load: cold={cold_load_seconds * 1000:.2f}ms "
+              f"warm={warm_load_seconds * 1000:.2f}ms "
+              f"(cache {cache.stats()['hits']}h/{cache.stats()['misses']}m)")
+
+        # -- 3: offline query throughput -------------------------------
+        vertices = rng.integers(0, graph.n_u, size=point_requests)
+        _, point_seconds = _timed(lambda: [index.theta(int(v)) for v in vertices])
+        point_qps = point_requests / max(point_seconds, 1e-9)
+
+        batches = [rng.integers(0, graph.n_u, size=batch_size)
+                   for _ in range(batch_requests)]
+        _, batch_seconds = _timed(lambda: [index.theta_batch(batch) for batch in batches])
+        warm_batch_lookups_per_sec = (batch_requests * batch_size) / max(batch_seconds, 1e-9)
+
+        # The pre-serving-layer alternative: answer a batch by re-peeling.
+        repeel, repeel_seconds = _timed(lambda: tip_decomposition(
+            graph, "U", algorithm="receipt", n_partitions=args.partitions,
+        ))
+        assert np.array_equal(repeel.tip_numbers, np.asarray(index.tip_numbers)), \
+            "re-peel disagrees with the served index"
+        repeel_lookups_per_sec = batch_size / max(repeel_seconds, 1e-9)
+        speedup = warm_batch_lookups_per_sec / max(repeel_lookups_per_sec, 1e-9)
+        print(f"offline: point {point_qps:,.0f} q/s | warm batch "
+              f"{warm_batch_lookups_per_sec:,.0f} θ/s | re-peel path "
+              f"{repeel_lookups_per_sec:,.0f} θ/s -> {speedup:,.0f}x")
+
+        # -- 4: HTTP ----------------------------------------------------
+        server = create_server([artifact_path], port=0, cache_capacity=4)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base_url = f"http://{server.server_address[0]}:{server.server_address[1]}"
+        try:
+            k_mid = max(1, index.max_tip_number // 2)
+            endpoint_routes = {
+                "/healthz": "/healthz",
+                "/stats": "/stats",
+                "/theta": "/theta?vertex=0",
+                "/theta/batch": "/theta/batch?vertices=0,1,2",
+                "/top-k": "/top-k?k=5",
+                "/k-tip": f"/k-tip?k={k_mid}&limit=16",
+                "/community": f"/community?k={index.max_tip_number}",
+            }
+            assert set(endpoint_routes) == set(ENDPOINTS)
+            endpoint_status = {}
+            # The first request hits a fresh service cache: the HTTP cold path.
+            _, _, http_cold_first_ms = _http_get(base_url, "/theta?vertex=0")
+            for endpoint, route in endpoint_routes.items():
+                status, _, _ = _http_get(base_url, route)
+                endpoint_status[endpoint] = status
+                if status != 200:
+                    print(f"FAIL: {endpoint} answered {status}", file=sys.stderr)
+                    return 1
+            print(f"http: all {len(endpoint_routes)} endpoints answered 200")
+
+            latencies = []
+            http_point_start = time.perf_counter()
+            for vertex in rng.integers(0, graph.n_u, size=point_requests):
+                status, _, elapsed_ms = _http_get(base_url, f"/theta?vertex={int(vertex)}")
+                latencies.append(elapsed_ms)
+            http_point_qps = point_requests / (time.perf_counter() - http_point_start)
+            point_latency = _percentiles(latencies)
+
+            http_batch_start = time.perf_counter()
+            for batch in batches[: max(batch_requests // 2, 5)]:
+                _http_post(base_url, "/theta/batch", {"vertices": batch.tolist()})
+            http_batch_count = max(batch_requests // 2, 5)
+            http_batch_seconds = time.perf_counter() - http_batch_start
+            http_batch_lookups_per_sec = (http_batch_count * batch_size) / http_batch_seconds
+            print(f"http: point {http_point_qps:,.0f} q/s "
+                  f"(p50 {point_latency['p50_ms']}ms p99 {point_latency['p99_ms']}ms) | "
+                  f"batch {http_batch_lookups_per_sec:,.0f} θ/s")
+            cache_stats = server.service.cache.stats()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        report = {
+            "benchmark": "serving",
+            "mode": "quick" if args.quick else "full",
+            "dataset": args.dataset,
+            "scale": scale,
+            "cpu_count": os.cpu_count(),
+            "graph": {"n_u": graph.n_u, "n_v": graph.n_v, "n_edges": graph.n_edges},
+            "artifact": {
+                "bytes": artifact_bytes,
+                "fingerprint": read_manifest(artifact_path).fingerprint,
+                "build_seconds": round(build_seconds, 4),
+            },
+            "load": {
+                "cold_seconds": round(cold_load_seconds, 6),
+                "warm_seconds": round(warm_load_seconds, 6),
+                "cold_over_warm": round(cold_load_seconds / max(warm_load_seconds, 1e-9), 1),
+            },
+            "offline": {
+                "point_qps": round(point_qps, 1),
+                "warm_batch_lookups_per_sec": round(warm_batch_lookups_per_sec, 1),
+                "batch_size": batch_size,
+                "repeel_seconds": round(repeel_seconds, 4),
+                "repeel_lookups_per_sec": round(repeel_lookups_per_sec, 1),
+                "warm_batch_speedup_vs_repeel": round(speedup, 1),
+            },
+            "http": {
+                "endpoints_status": endpoint_status,
+                "cold_first_request_ms": round(http_cold_first_ms, 3),
+                "point_qps": round(http_point_qps, 1),
+                "point_latency": point_latency,
+                "batch_lookups_per_sec": round(http_batch_lookups_per_sec, 1),
+                "cache": cache_stats,
+            },
+            "speedup_gate": SPEEDUP_GATE,
+            "speedup_gate_passed": bool(speedup >= SPEEDUP_GATE),
+        }
+
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+
+    if args.check_speedup and speedup < SPEEDUP_GATE:
+        print(f"FAIL: warm batch-θ throughput is only {speedup:.1f}x the re-peel "
+              f"path (gate: {SPEEDUP_GATE:.0f}x)", file=sys.stderr)
+        return 1
+    print(f"OK: warm batch-θ throughput is {speedup:,.0f}x the re-peel path "
+          f"(gate: {SPEEDUP_GATE:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

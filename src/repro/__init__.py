@@ -17,7 +17,10 @@ decomposition of Bipartite Graphs* (Lakhotia, Kannan, Prasanna, De Rose):
 * synthetic stand-ins for the paper's evaluation datasets
   (:mod:`repro.datasets`),
 * hierarchy / distribution analysis and correctness verification
-  (:mod:`repro.analysis`), and
+  (:mod:`repro.analysis`),
+* a tip-index serving layer — persistent decomposition artifacts, a
+  vectorized query engine, an LRU index cache and a JSON HTTP service
+  (:mod:`repro.service`), and
 * the wing-decomposition extension of Sec. 7 (:mod:`repro.wing`).
 
 Quickstart
@@ -29,7 +32,7 @@ Quickstart
 True
 """
 
-from . import analysis, butterfly, core, datasets, distributed, engine, graph, kernels, parallel, peeling, wing
+from . import analysis, butterfly, core, datasets, distributed, engine, graph, kernels, parallel, peeling, service, wing
 from .butterfly import ButterflyCounts, count_per_edge, count_per_vertex, count_total_butterflies
 from .core import (
     ReceiptConfig,
@@ -41,12 +44,15 @@ from .core import (
     wedge_breakdown,
 )
 from .errors import (
+    ArtifactError,
+    ArtifactMismatchError,
     BudgetExceededError,
     DatasetError,
     DecompositionError,
     GraphConstructionError,
     GraphFormatError,
     ReproError,
+    ServiceError,
     VertexSideError,
 )
 from .graph import BipartiteGraph, from_biadjacency, from_edge_list, from_labelled_edges, load_graph
@@ -55,6 +61,14 @@ from .peeling import (
     TipDecompositionResult,
     bup_decomposition,
     parbutterfly_decomposition,
+)
+from .service import (
+    IndexCache,
+    TipIndex,
+    TipService,
+    build_index_artifact,
+    load_artifact,
+    save_artifact,
 )
 from .wing import WingDecompositionResult, receipt_wing_decomposition, wing_decomposition
 
@@ -72,6 +86,7 @@ __all__ = [
     "kernels",
     "parallel",
     "peeling",
+    "service",
     "wing",
     # graphs
     "BipartiteGraph",
@@ -100,6 +115,13 @@ __all__ = [
     "WingDecompositionResult",
     "wing_decomposition",
     "receipt_wing_decomposition",
+    # serving layer
+    "TipIndex",
+    "IndexCache",
+    "TipService",
+    "build_index_artifact",
+    "save_artifact",
+    "load_artifact",
     # errors
     "ReproError",
     "GraphConstructionError",
@@ -108,4 +130,7 @@ __all__ = [
     "DecompositionError",
     "BudgetExceededError",
     "DatasetError",
+    "ArtifactError",
+    "ArtifactMismatchError",
+    "ServiceError",
 ]

@@ -1,0 +1,12 @@
+"""``python -m repro`` — identical to the ``repro`` console script.
+
+Both entry paths route through :func:`repro.cli.main`, so every
+sub-command (``datasets`` ... ``build-index`` / ``query`` / ``serve``)
+behaves the same whether the package is installed or run from a checkout
+with ``PYTHONPATH=src``.
+"""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,13 +1,18 @@
 """Command-line interface for the RECEIPT reproduction.
 
-Installed as ``repro-tip`` (see ``pyproject.toml``) and also runnable via
-``python -m repro.cli``.  Sub-commands:
+Installed as ``repro`` (with ``repro-tip`` kept as an alias, see
+``pyproject.toml``) and also runnable via ``python -m repro``.
+Sub-commands:
 
 * ``datasets`` — list the registered paper-dataset stand-ins.
 * ``stats`` — structural statistics of a graph (Table 2 style).
 * ``count`` — per-vertex butterfly counting.
 * ``decompose`` — tip decomposition with RECEIPT / BUP / ParB.
 * ``compare`` — run two algorithms and verify they agree (Table 3 style).
+* ``build-index`` — decompose and persist a queryable tip-index artifact.
+* ``query`` — answer θ / top-k / k-tip / community queries from an
+  artifact offline, without re-peeling.
+* ``serve`` — expose one or more artifacts over the JSON HTTP API.
 
 ``decompose`` and ``compare`` accept ``--backend {serial,thread,process}``
 to pick the execution engine for RECEIPT FD's task fan-out: ``process``
@@ -96,7 +101,7 @@ def _algorithm_kwargs(args: argparse.Namespace, algorithm: str) -> dict:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
-        prog="repro-tip",
+        prog="repro",
         description="RECEIPT: parallel tip decomposition of bipartite graphs (reproduction)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
@@ -125,6 +130,43 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--first", default="receipt")
     compare_parser.add_argument("--second", default="bup")
     _add_execution_arguments(compare_parser)
+
+    build_parser_ = subparsers.add_parser(
+        "build-index", help="decompose and persist a queryable tip-index artifact")
+    _add_graph_arguments(build_parser_)
+    build_parser_.add_argument("--side", default="U", choices=["U", "V", "u", "v"])
+    build_parser_.add_argument("--algorithm", default="receipt",
+                               choices=["receipt", "receipt-", "receipt--", "bup", "parb"])
+    _add_execution_arguments(build_parser_)
+    build_parser_.add_argument("--output", required=True,
+                               help="artifact directory to write (conventionally *.tipidx)")
+    build_parser_.add_argument("--force", action="store_true",
+                               help="replace an existing artifact at --output")
+
+    query_parser = subparsers.add_parser(
+        "query", help="query a tip-index artifact offline (no re-peeling)")
+    query_parser.add_argument("artifact", help="path to a *.tipidx artifact directory")
+    query_parser.add_argument("--op", default="stats",
+                              choices=["theta", "batch", "top-k", "k-tip", "community",
+                                       "histogram", "stats"],
+                              help="which query to run (default: stats)")
+    query_parser.add_argument("--vertex", type=int, help="vertex id for theta/community")
+    query_parser.add_argument("--vertices", help="comma-separated vertex ids for batch")
+    query_parser.add_argument("--k", type=int, help="level for top-k / k-tip / community")
+    query_parser.add_argument("--limit", type=int, default=None,
+                              help="cap the number of vertices returned by k-tip")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve tip-index artifacts over the JSON HTTP API")
+    serve_parser.add_argument("artifacts", nargs="+",
+                              help="one or more *.tipidx artifact directories")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8750,
+                              help="TCP port (0 picks a free one)")
+    serve_parser.add_argument("--cache-capacity", type=int, default=8,
+                              help="maximum number of indexes kept in memory")
+    serve_parser.add_argument("--no-mmap", action="store_true",
+                              help="load artifact arrays eagerly instead of mmap")
 
     return parser
 
@@ -197,8 +239,90 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def _command_build_index(args: argparse.Namespace) -> int:
+    from .service.build import build_index_artifact
+
+    graph = _load(args)
+    manifest = build_index_artifact(
+        graph,
+        args.output,
+        side=args.side.upper(),
+        algorithm=args.algorithm,
+        peel_kernel=args.peel_kernel,
+        backend=args.backend,
+        n_threads=args.threads,
+        n_partitions=args.partitions,
+        overwrite=args.force,
+    )
+    print(json.dumps(
+        {
+            "artifact": args.output,
+            "name": manifest.name,
+            "fingerprint": manifest.fingerprint,
+            "graph": manifest.graph,
+            "decomposition": manifest.decomposition,
+            "elapsed_seconds": manifest.counters.get("elapsed_seconds"),
+        },
+        indent=2,
+    ))
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    # Answers are produced by the same TipService route handlers the HTTP
+    # server uses, so offline queries are identical to served ones.
+    from .service.server import TipService, to_jsonable
+
+    service = TipService([args.artifact])
+    params: dict = {}
+    if args.op == "theta":
+        if args.vertex is None:
+            raise ReproError("--op theta requires --vertex")
+        route, params = "/theta", {"vertex": args.vertex}
+    elif args.op == "batch":
+        if not args.vertices:
+            raise ReproError("--op batch requires --vertices 1,2,3")
+        route, params = "/theta/batch", {"vertices": args.vertices}
+    elif args.op == "top-k":
+        if args.k is None:
+            raise ReproError("--op top-k requires --k")
+        route, params = "/top-k", {"k": args.k}
+    elif args.op == "k-tip":
+        if args.k is None:
+            raise ReproError("--op k-tip requires --k")
+        route, params = "/k-tip", {"k": args.k}
+        if args.limit is not None:
+            params["limit"] = args.limit
+    elif args.op == "community":
+        if args.k is None:
+            raise ReproError("--op community requires --k")
+        route, params = "/community", {"k": args.k}
+        if args.vertex is not None:
+            params["vertex"] = args.vertex
+    elif args.op == "histogram":
+        route, params = "/stats", {"histogram": "1"}
+    else:  # stats
+        route = "/stats"
+    print(json.dumps(to_jsonable(service.handle(route, params)), indent=2))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    serve(
+        args.artifacts,
+        host=args.host,
+        port=args.port,
+        cache_capacity=args.cache_capacity,
+        mmap=not args.no_mmap,
+        quiet=False,
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point used by the ``repro-tip`` console script."""
+    """Entry point used by the ``repro`` / ``repro-tip`` console scripts."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -212,6 +336,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_decompose(args)
         if args.command == "compare":
             return _command_compare(args)
+        if args.command == "build-index":
+            return _command_build_index(args)
+        if args.command == "query":
+            return _command_query(args)
+        if args.command == "serve":
+            return _command_serve(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -15,6 +15,9 @@ __all__ = [
     "DecompositionError",
     "BudgetExceededError",
     "DatasetError",
+    "ArtifactError",
+    "ArtifactMismatchError",
+    "ServiceError",
 ]
 
 
@@ -63,3 +66,35 @@ class BudgetExceededError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be generated."""
+
+
+class ArtifactError(ReproError):
+    """Raised when a decomposition artifact cannot be written or read.
+
+    Typical causes: the target path already holds an artifact and
+    ``overwrite`` was not requested, a manifest is missing / corrupt, or the
+    artifact was produced by an unsupported format version.
+    """
+
+
+class ArtifactMismatchError(ArtifactError):
+    """Raised when an artifact does not match what the caller expected.
+
+    The serving layer refuses to answer queries from an index whose manifest
+    fingerprint (or recorded graph fingerprint) disagrees with the graph or
+    artifact the caller asked for — silently serving stale tip numbers would
+    be worse than failing loudly.
+    """
+
+
+class ServiceError(ReproError):
+    """Raised for invalid queries against the tip-index serving layer.
+
+    Carries the HTTP status code the JSON API should answer with so the
+    offline ``repro query`` path and the HTTP server surface identical
+    errors.
+    """
+
+    def __init__(self, message: str, *, status: int = 400):
+        super().__init__(message)
+        self.status = int(status)

@@ -1,0 +1,54 @@
+"""Tip-index serving layer: durable, queryable decomposition artifacts.
+
+The compute side of the library (:mod:`repro.core`, :mod:`repro.engine`)
+produces a :class:`~repro.peeling.base.TipDecompositionResult` by peeling —
+an operation that costs seconds to hours.  This subsystem turns that result
+into a read-optimized index that answers the paper's Sec. 6 use-case
+queries (θ lookup, k-tip extraction, dense-community mining) in micro- to
+milliseconds, without ever re-peeling:
+
+* :mod:`repro.service.artifacts` — versioned on-disk artifact format:
+  one uncompressed ``.npz`` of arrays plus a fingerprinted JSON manifest,
+  written atomically and loaded zero-copy through ``mmap``.
+* :mod:`repro.service.index` — :class:`TipIndex`, the in-memory query
+  engine (θ-sorted permutation + level CSR) behind every endpoint.
+* :mod:`repro.service.cache` — LRU cache of loaded indexes keyed by
+  manifest fingerprint, with hit/miss/eviction metrics.
+* :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API
+  plus :class:`TipService`, the transport-free request handler shared by
+  the HTTP server and the offline ``repro query`` command.
+* :mod:`repro.service.build` — ``build_index_artifact``: decompose (via
+  the configured execution backend) and persist in one step.
+"""
+
+from __future__ import annotations
+
+from .artifacts import (
+    ARTIFACT_FORMAT_VERSION,
+    ArtifactManifest,
+    TipArtifact,
+    graph_fingerprint,
+    load_artifact,
+    read_manifest,
+    save_artifact,
+)
+from .build import build_index_artifact
+from .cache import IndexCache
+from .index import TipIndex
+from .server import TipService, create_server, serve
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ArtifactManifest",
+    "TipArtifact",
+    "TipIndex",
+    "IndexCache",
+    "TipService",
+    "graph_fingerprint",
+    "save_artifact",
+    "load_artifact",
+    "read_manifest",
+    "build_index_artifact",
+    "create_server",
+    "serve",
+]

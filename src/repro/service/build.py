@@ -1,0 +1,61 @@
+"""Build a tip-index artifact: decompose (on the configured execution
+backend) and persist in one step.
+
+This is the write path of the serving layer and the body of the
+``repro build-index`` command.  The decomposition itself delegates to
+:func:`repro.core.receipt.tip_decomposition`, so RECEIPT builds run on any
+of the execution-engine backends (serial / thread / multiprocess
+shared-memory pool) from :mod:`repro.engine`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core.receipt import tip_decomposition
+from ..graph.bipartite import BipartiteGraph, validate_side
+from .artifacts import ArtifactManifest, save_artifact
+
+__all__ = ["build_index_artifact"]
+
+
+def build_index_artifact(
+    graph: BipartiteGraph,
+    path: str | Path,
+    *,
+    side: str = "U",
+    algorithm: str = "receipt",
+    peel_kernel: str = "batched",
+    backend: str = "serial",
+    n_threads: int = 1,
+    n_partitions: int | None = None,
+    overwrite: bool = False,
+) -> ArtifactManifest:
+    """Decompose ``side`` of ``graph`` and save the result as an artifact.
+
+    ``backend`` / ``n_threads`` / ``n_partitions`` configure RECEIPT's
+    execution engine and are ignored (but still recorded in the manifest)
+    for the sequential baselines, mirroring the CLI's ``decompose``
+    semantics.  Returns the written manifest.
+    """
+    side = validate_side(side)
+    kwargs: dict = {"peel_kernel": peel_kernel}
+    if algorithm.lower().startswith("receipt"):
+        kwargs["n_threads"] = n_threads
+        kwargs["backend"] = backend
+        if n_partitions is not None:
+            kwargs["n_partitions"] = n_partitions
+    result = tip_decomposition(graph, side, algorithm=algorithm, **kwargs)
+    return save_artifact(
+        path,
+        graph,
+        result,
+        config={
+            "algorithm": result.algorithm,
+            "peel_kernel": peel_kernel,
+            "backend": backend,
+            "n_threads": n_threads,
+            "n_partitions": n_partitions,
+        },
+        overwrite=overwrite,
+    )

@@ -1,0 +1,424 @@
+"""JSON-over-HTTP serving of tip-index artifacts (stdlib only).
+
+Two layers:
+
+* :class:`TipService` — transport-free request handling: route + params in,
+  JSON-able dict out, :class:`~repro.errors.ServiceError` (with an HTTP
+  status) on bad input.  The offline ``repro query`` command calls this
+  directly, which is what guarantees its answers are byte-identical to the
+  HTTP API's.
+* :func:`create_server` / :func:`serve` — a ``ThreadingHTTPServer`` whose
+  handler parses the request, delegates to the shared service, and
+  serializes the response.  Indexes are immutable and the cache is
+  thread-safe, so concurrent handler threads need no further locking.
+
+Endpoints (all JSON)::
+
+    GET  /healthz                          liveness + served artifact names
+    GET  /stats[?histogram=1]              cache metrics, per-artifact summaries
+    GET  /theta?vertex=V                   point θ lookup
+    GET  /theta/batch?vertices=1,2,3       batched θ lookup
+    POST /theta/batch   {"vertices": [..]} batched θ lookup (large batches)
+    GET  /top-k?k=K                        K highest-θ vertices
+    GET  /k-tip?k=K[&limit=L]              members of the union of k-tips
+    GET  /community?k=K[&vertex=V]         butterfly-connected k-tips (Sec. 6)
+
+Every endpoint takes an optional ``artifact=NAME`` parameter; it may be
+omitted when a single artifact is being served.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import Counter
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from ..errors import ReproError, ServiceError
+from .artifacts import read_manifest
+from .cache import IndexCache
+from .index import TipIndex
+
+__all__ = ["TipService", "create_server", "serve", "ENDPOINTS"]
+
+#: The seven routes of the JSON API.
+ENDPOINTS = (
+    "/healthz",
+    "/stats",
+    "/theta",
+    "/theta/batch",
+    "/top-k",
+    "/k-tip",
+    "/community",
+)
+
+#: Hard cap on one response's vertex payload; override per-request with a
+#: smaller ``limit``.
+MAX_RESPONSE_VERTICES = 100_000
+
+#: Hard cap on the candidate set of a ``/community`` query: component
+#: extraction is quadratic in the level's vertex count, so unboundedly low
+#: ``k`` on a big index would pin a handler thread for minutes.
+MAX_COMMUNITY_VERTICES = 10_000
+
+#: Hard cap on a POST body; generous headroom over the largest JSON
+#: encoding of a MAX_RESPONSE_VERTICES-sized batch.
+MAX_REQUEST_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _flag_param(params: dict, key: str) -> bool:
+    """Boolean query parameter: absent/empty/``0``/``false`` mean off."""
+    value = str(params.get(key, "")).strip().lower()
+    return value not in ("", "0", "false", "no")
+
+
+def to_jsonable(value):
+    """Recursively convert numpy scalars/arrays into plain JSON types."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != object:
+            return value.tolist()  # one C-level call on the hot path
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+class TipService:
+    """Route dispatch over one or more artifacts, via the index cache."""
+
+    def __init__(
+        self,
+        artifact_paths,
+        *,
+        cache_capacity: int = 8,
+        mmap: bool = True,
+    ):
+        self.cache = IndexCache(cache_capacity)
+        self.mmap = mmap
+        self.requests: Counter = Counter()
+        self._requests_lock = threading.Lock()
+        self._artifacts: dict[str, Path] = {}
+        for raw_path in artifact_paths:
+            path = Path(raw_path)
+            manifest = read_manifest(path)  # validates eagerly: fail at startup
+            name = manifest.name
+            if name in self._artifacts:
+                name = f"{name}#{len(self._artifacts)}"
+            self._artifacts[name] = path
+        if not self._artifacts:
+            raise ServiceError("no artifacts to serve", status=500)
+
+    # ------------------------------------------------------------------
+    # Artifact resolution
+    # ------------------------------------------------------------------
+    @property
+    def artifact_names(self) -> list[str]:
+        return list(self._artifacts)
+
+    def _manifest_summary(self, name: str | None) -> dict:
+        """Per-artifact /stats summary from the manifest alone (no load)."""
+        if name is None and len(self._artifacts) == 1:
+            name = next(iter(self._artifacts))
+        path = self._artifacts.get(name or "")
+        if path is None:
+            raise ServiceError(
+                f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
+                status=404,
+            )
+        manifest = read_manifest(path)
+        return {
+            "side": manifest.decomposition.get("side"),
+            "algorithm": str(manifest.decomposition.get("algorithm", "")),
+            "n_vertices": manifest.summary.get("n_vertices"),
+            "max_tip_number": manifest.summary.get("max_tip_number"),
+            "n_levels": manifest.summary.get("n_levels"),
+            "fingerprint": manifest.fingerprint,
+            "has_graph": "u_offsets" in manifest.arrays,
+            "loaded": self.cache.peek(manifest.fingerprint),
+        }
+
+    def index_for(self, name: str | None = None) -> TipIndex:
+        if name is None:
+            if len(self._artifacts) == 1:
+                name = next(iter(self._artifacts))
+            else:
+                raise ServiceError(
+                    "multiple artifacts served; pass artifact=NAME "
+                    f"(one of: {', '.join(self._artifacts)})"
+                )
+        path = self._artifacts.get(name)
+        if path is None:
+            raise ServiceError(
+                f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
+                status=404,
+            )
+        return self.cache.get_or_load(path, mmap=self.mmap)
+
+    # ------------------------------------------------------------------
+    # Parameter parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _int_param(params: dict, key: str) -> int:
+        raw = params.get(key)
+        if raw is None:
+            raise ServiceError(f"missing required parameter {key!r}")
+        try:
+            return int(raw)
+        except (TypeError, ValueError):
+            raise ServiceError(f"parameter {key!r} must be an integer, got {raw!r}") from None
+
+    @staticmethod
+    def _vertices_param(params: dict, body: dict | None) -> np.ndarray:
+        if body is not None and "vertices" in body:
+            raw = body["vertices"]
+            if not isinstance(raw, list):
+                raise ServiceError('body field "vertices" must be a JSON array')
+            values = raw
+        else:
+            raw = params.get("vertices")
+            if raw is None:
+                raise ServiceError(
+                    'missing vertices: pass ?vertices=1,2,3 or a JSON body {"vertices": [...]}'
+                )
+            values = [piece for piece in str(raw).split(",") if piece != ""]
+        if len(values) > MAX_RESPONSE_VERTICES:
+            raise ServiceError(
+                f"batch of {len(values)} vertices exceeds the per-request cap "
+                f"of {MAX_RESPONSE_VERTICES}"
+            )
+        vertices = []
+        for value in values:
+            # int(str(x)) rejects floats ("3.7" raises) instead of silently
+            # truncating them; bool must be excluded (int(True) would be 1).
+            if isinstance(value, bool):
+                raise ServiceError("vertices must all be integers")
+            try:
+                vertices.append(int(str(value)))
+            except (TypeError, ValueError):
+                raise ServiceError("vertices must all be integers") from None
+        return np.asarray(vertices, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(self, route: str, params: dict | None = None, body: dict | None = None) -> dict:
+        """Serve one request; returns a JSON-able payload or raises ServiceError."""
+        params = params or {}
+        route = route.rstrip("/") or "/"
+        # Only known routes get their own counter entry; arbitrary scanner
+        # paths would otherwise grow the Counter (and /stats) without bound.
+        with self._requests_lock:
+            self.requests[route if route in ENDPOINTS else "<unknown>"] += 1
+        artifact = params.get("artifact")
+
+        if route == "/healthz":
+            return {"status": "ok", "artifacts": self.artifact_names}
+
+        if route == "/stats":
+            payload: dict = {"artifacts": {}}
+            names = [artifact] if artifact else self.artifact_names
+            want_histogram = _flag_param(params, "histogram")
+            for name in names:
+                if want_histogram:
+                    # The histogram needs the index; everything else comes
+                    # from the manifest so a monitoring poll of /stats never
+                    # cold-loads (and LRU-thrashes) unqueried artifacts.
+                    index = self.index_for(name)
+                    summary = index.stats()
+                    summary["histogram"] = {
+                        str(level): count for level, count in index.histogram().items()
+                    }
+                else:
+                    summary = self._manifest_summary(name)
+                payload["artifacts"][name] = summary
+            # Cache metrics are read after the summaries so the loads they
+            # triggered are reflected in the numbers.
+            payload["cache"] = self.cache.stats()
+            with self._requests_lock:
+                payload["requests"] = dict(self.requests)
+            return payload
+
+        if route == "/theta":
+            index = self.index_for(artifact)
+            vertex = self._int_param(params, "vertex")
+            return {"vertex": vertex, "theta": index.theta(vertex)}
+
+        if route == "/theta/batch":
+            index = self.index_for(artifact)
+            vertices = self._vertices_param(params, body)
+            thetas = index.theta_batch(vertices)
+            return {"vertices": vertices, "thetas": thetas}
+
+        if route == "/top-k":
+            index = self.index_for(artifact)
+            k = self._int_param(params, "k")
+            if k > MAX_RESPONSE_VERTICES:
+                raise ServiceError(
+                    f"top-k is capped at {MAX_RESPONSE_VERTICES} vertices per "
+                    f"response, got k={k}"
+                )
+            vertices, thetas = index.top_k(k)
+            return {"k": k, "vertices": vertices, "thetas": thetas}
+
+        if route == "/k-tip":
+            index = self.index_for(artifact)
+            k = self._int_param(params, "k")
+            limit = (
+                self._int_param(params, "limit")
+                if "limit" in params else MAX_RESPONSE_VERTICES
+            )
+            if limit < 0:
+                raise ServiceError(f"limit must be non-negative, got {limit}")
+            limit = min(limit, MAX_RESPONSE_VERTICES)
+            size = index.k_tip_size(k)
+            members = index.k_tip_members(k, limit=limit)
+            return {
+                "k": k,
+                "size": size,
+                "truncated": bool(size > limit),
+                "vertices": members,
+            }
+
+        if route == "/community":
+            index = self.index_for(artifact)
+            k = self._int_param(params, "k")
+            vertex = self._int_param(params, "vertex") if "vertex" in params else None
+            candidates = index.k_tip_size(k)
+            if candidates > MAX_COMMUNITY_VERTICES:
+                raise ServiceError(
+                    f"level {k} has {candidates} vertices; community extraction "
+                    f"is capped at {MAX_COMMUNITY_VERTICES} — query a higher k"
+                )
+            components = index.communities(k, vertex=vertex)
+            return {
+                "k": k,
+                "vertex": vertex,
+                "n_communities": len(components),
+                "communities": components,
+            }
+
+        raise ServiceError(
+            f"unknown route {route!r}; endpoints: {', '.join(ENDPOINTS)}", status=404
+        )
+
+
+# ----------------------------------------------------------------------
+# HTTP transport
+# ----------------------------------------------------------------------
+def _make_handler(service: TipService, *, quiet: bool) -> type:
+    class TipRequestHandler(BaseHTTPRequestHandler):
+        server_version = "repro-tip-service/1"
+
+        def _respond(self, status: int, payload: dict) -> None:
+            body = json.dumps(to_jsonable(payload)).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, body: dict | None) -> None:
+            parsed = urlsplit(self.path)
+            params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
+            try:
+                payload = service.handle(parsed.path, params, body)
+            except ServiceError as error:
+                self._respond(error.status, {"error": str(error)})
+            except ReproError as error:
+                self._respond(500, {"error": str(error)})
+            else:
+                self._respond(200, payload)
+
+        def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            self._dispatch(None)
+
+        def do_POST(self) -> None:  # noqa: N802
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_REQUEST_BODY_BYTES:
+                self._respond(413, {
+                    "error": f"request body of {length} bytes exceeds the "
+                             f"{MAX_REQUEST_BODY_BYTES}-byte cap"
+                })
+                return
+            raw = self.rfile.read(length) if length else b""
+            try:
+                body = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                self._respond(400, {"error": "request body is not valid JSON"})
+                return
+            if not isinstance(body, dict):
+                self._respond(400, {"error": "request body must be a JSON object"})
+                return
+            self._dispatch(body)
+
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            if not quiet:
+                super().log_message(format, *args)
+
+    return TipRequestHandler
+
+
+def create_server(
+    artifact_paths,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    cache_capacity: int = 8,
+    mmap: bool = True,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server; ``port=0`` picks a free port.
+
+    The :class:`TipService` is attached as ``server.service`` so tests and
+    embedding code can reach the cache and metrics.
+    """
+    service = TipService(artifact_paths, cache_capacity=cache_capacity, mmap=mmap)
+    server = ThreadingHTTPServer((host, port), _make_handler(service, quiet=quiet))
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    artifact_paths,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8750,
+    cache_capacity: int = 8,
+    mmap: bool = True,
+    quiet: bool = False,
+    ready_event: threading.Event | None = None,
+) -> None:
+    """Serve artifacts until interrupted (the ``repro serve`` command body)."""
+    server = create_server(
+        artifact_paths,
+        host=host,
+        port=port,
+        cache_capacity=cache_capacity,
+        mmap=mmap,
+        quiet=quiet,
+    )
+    bound_host, bound_port = server.server_address[0], server.server_address[1]
+    print(
+        f"serving {len(server.service.artifact_names)} artifact(s) "
+        f"({', '.join(server.service.artifact_names)}) "
+        f"on http://{bound_host}:{bound_port}"
+    )
+    if ready_event is not None:
+        ready_event.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()

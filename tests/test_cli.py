@@ -1,6 +1,10 @@
 """Unit tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -91,3 +95,97 @@ class TestCommands:
     def test_unknown_dataset_returns_error_code(self, capsys):
         assert main(["stats", "--dataset", "doesnotexist"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestServingCommands:
+    @pytest.fixture
+    def artifact(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "graph.tipidx"
+        assert main(["build-index", "--path", str(graph_file), "--partitions", "2",
+                     "--output", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["graph"]["n_u"] == 4
+        assert payload["decomposition"]["algorithm"] == "RECEIPT"
+        return path
+
+    def test_build_index_refuses_overwrite_without_force(self, graph_file, artifact, capsys):
+        assert main(["build-index", "--path", str(graph_file), "--partitions", "2",
+                     "--output", str(artifact)]) == 2
+        assert "already exists" in capsys.readouterr().err
+        assert main(["build-index", "--path", str(graph_file), "--partitions", "2",
+                     "--output", str(artifact), "--force"]) == 0
+
+    def test_query_matches_decompose(self, graph_file, artifact, capsys):
+        assert main(["decompose", "--path", str(graph_file), "--algorithm", "bup"]) == 0
+        decompose_summary = json.loads(capsys.readouterr().out)
+
+        assert main(["query", str(artifact), "--op", "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        summary = stats["artifacts"]["graph.U"]
+        assert summary["max_tip_number"] == decompose_summary["max_tip_number"]
+        assert summary["n_vertices"] == decompose_summary["n_vertices"]
+
+    def test_query_theta_and_batch(self, artifact, capsys):
+        assert main(["query", str(artifact), "--op", "theta", "--vertex", "0"]) == 0
+        point = json.loads(capsys.readouterr().out)
+        assert main(["query", str(artifact), "--op", "batch", "--vertices", "0,1,2,3"]) == 0
+        batch = json.loads(capsys.readouterr().out)
+        assert batch["thetas"][0] == point["theta"]
+        assert len(batch["thetas"]) == 4
+
+    def test_query_top_k_k_tip_histogram_community(self, artifact, capsys):
+        assert main(["query", str(artifact), "--op", "top-k", "--k", "2"]) == 0
+        top = json.loads(capsys.readouterr().out)
+        assert len(top["vertices"]) == 2
+
+        assert main(["query", str(artifact), "--op", "k-tip", "--k", "1"]) == 0
+        ktip = json.loads(capsys.readouterr().out)
+        assert ktip["size"] == len(ktip["vertices"])
+
+        assert main(["query", str(artifact), "--op", "histogram"]) == 0
+        histogram = json.loads(capsys.readouterr().out)
+        assert "histogram" in histogram["artifacts"]["graph.U"]
+
+        assert main(["query", str(artifact), "--op", "community", "--k", "1"]) == 0
+        community = json.loads(capsys.readouterr().out)
+        assert community["n_communities"] >= 1
+
+    def test_query_missing_arguments_error(self, artifact, capsys):
+        assert main(["query", str(artifact), "--op", "theta"]) == 2
+        assert "--vertex" in capsys.readouterr().err
+
+    def test_query_missing_artifact_error(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "ghost.tipidx")]) == 2
+        assert "no artifact" in capsys.readouterr().err
+
+
+class TestEntryPoints:
+    """`python -m repro` must behave identically to the console script."""
+
+    @staticmethod
+    def _module_env():
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        return env
+
+    def test_python_dash_m_matches_direct_main(self, capsys):
+        assert main(["datasets"]) == 0
+        direct = capsys.readouterr().out
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True, text=True, timeout=120, env=self._module_env(),
+        )
+        assert completed.returncode == 0
+        assert completed.stdout == direct
+
+    def test_python_dash_m_error_path(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "stats", "--dataset", "doesnotexist"],
+            capture_output=True, text=True, timeout=120, env=self._module_env(),
+        )
+        assert completed.returncode == 2
+        assert "error" in completed.stderr

@@ -1,0 +1,54 @@
+"""Smoke test every script in examples/ so they cannot silently rot.
+
+Each example is executed as a real subprocess (the way a user would run
+it), with small arguments where the script accepts any, and must exit
+cleanly while producing output.  New example scripts are picked up
+automatically by the glob.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Arguments keeping argument-taking examples at smoke-test scale.
+EXAMPLE_ARGS = {
+    "algorithm_comparison.py": ["it", "0.08"],
+}
+
+
+def _example_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_cleanly(example, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, str(example), *EXAMPLE_ARGS.get(example.name, [])],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        env=_example_env(),
+        cwd=tmp_path,  # examples must not depend on the CWD or litter the repo
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} failed\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"

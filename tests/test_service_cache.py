@@ -1,0 +1,112 @@
+"""LRU index-cache behavior: fingerprint keying, eviction, metrics."""
+
+from __future__ import annotations
+
+import shutil
+import threading
+
+import pytest
+
+from repro.core.receipt import tip_decomposition
+from repro.datasets.generators import planted_blocks
+from repro.service.artifacts import save_artifact
+from repro.service.cache import IndexCache
+
+
+def _make_artifact(tmp_path, name, seed):
+    graph = planted_blocks(30, 20, [(6, 5)], background_edges=30, seed=seed)
+    result = tip_decomposition(graph, "U", algorithm="bup")
+    path = tmp_path / f"{name}.tipidx"
+    save_artifact(path, graph, result)
+    return path
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    return [_make_artifact(tmp_path, f"g{i}", seed=i) for i in range(3)]
+
+
+class TestLru:
+    def test_hit_miss_eviction_accounting(self, artifacts):
+        a, b, c = artifacts
+        cache = IndexCache(capacity=2)
+
+        cache.get_or_load(a)
+        cache.get_or_load(b)
+        assert cache.stats()["misses"] == 2 and cache.stats()["hits"] == 0
+
+        cache.get_or_load(a)  # hit; a becomes most-recent
+        assert cache.stats()["hits"] == 1
+
+        cache.get_or_load(c)  # evicts b (LRU), not a
+        stats = cache.stats()
+        assert stats["evictions"] == 1 and stats["entries"] == 2
+
+        cache.get_or_load(a)  # still cached
+        assert cache.stats()["hits"] == 2
+        cache.get_or_load(b)  # was evicted -> miss again
+        assert cache.stats()["misses"] == 4
+
+    def test_same_index_object_on_hit(self, artifacts):
+        cache = IndexCache(capacity=2)
+        first = cache.get_or_load(artifacts[0])
+        second = cache.get_or_load(artifacts[0])
+        assert first is second
+
+    def test_fingerprint_keying_dedupes_copies(self, artifacts, tmp_path):
+        # A byte-identical copy under a different path shares the slot.
+        original = artifacts[0]
+        copy = tmp_path / "copy.tipidx"
+        shutil.copytree(original, copy)
+        cache = IndexCache(capacity=2)
+        first = cache.get_or_load(original)
+        second = cache.get_or_load(copy)
+        assert first is second
+        assert cache.stats() == {**cache.stats(), "entries": 1, "misses": 1, "hits": 1}
+
+    def test_rebuild_invalidates_naturally(self, tmp_path):
+        path = _make_artifact(tmp_path, "re", seed=1)
+        cache = IndexCache(capacity=2)
+        first = cache.get_or_load(path)
+        # Rebuild the artifact in place: new manifest -> new fingerprint.
+        graph = planted_blocks(30, 20, [(6, 5)], background_edges=30, seed=99)
+        result = tip_decomposition(graph, "U", algorithm="bup")
+        save_artifact(path, graph, result, overwrite=True)
+        second = cache.get_or_load(path)
+        assert first is not second
+        assert cache.stats()["misses"] == 2
+        # The stale entry is evicted immediately, not kept until LRU
+        # pressure — its mmaps would pin the replaced arrays on disk.
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["evictions"] == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            IndexCache(capacity=0)
+
+    def test_clear(self, artifacts):
+        cache = IndexCache(capacity=4)
+        cache.get_or_load(artifacts[0])
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_concurrent_loads_are_safe(self, artifacts):
+        cache = IndexCache(capacity=2)
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                for path in artifacts * 5:
+                    index = cache.get_or_load(path)
+                    assert index.n_vertices == 30
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats["hits"] + stats["misses"] == 6 * 5 * len(artifacts)
