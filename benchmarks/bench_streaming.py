@@ -1,0 +1,324 @@
+"""Streaming-update benchmark: incremental repair vs. full rebuild.
+
+A plain script (no pytest harness) so CI can run it directly:
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py [--quick] [--check-speedup]
+
+The streaming engine exists so that absorbing a transactional edge batch
+costs milliseconds instead of a full re-count + re-peel + artifact rebuild.
+This benchmark measures that end-to-end on a *community workload* — many
+dense reviewer×product blocks over a sparse background, the shape of the
+paper's Sec. 6 spam-group use case — with a session-style update stream:
+each batch is a burst of activity inside a couple of communities (the
+access locality transactional workloads exhibit), interleaved with
+butterfly-free background churn.  Every batch stays at or below the
+``--churn`` edge fraction (default 1%).
+
+Per batch, two paths produce the same refreshed ``*.tipidx`` artifact:
+
+* **incremental** — ``POST /update`` semantics via ``TipService.handle``:
+  CSR patch, frontier support maintenance, bounded re-peel, atomic
+  artifact swap, cache refresh;
+* **full rebuild** — construct the updated graph from its edge list,
+  re-count, re-peel (same algorithm/partitions) and persist, which is what
+  the repo had to do before this subsystem existed.
+
+Exactness is always enforced: after every batch the served tip numbers and
+butterfly counts must be bit-identical to the from-scratch decomposition of
+the current graph — for the hostile uniform-churn series too, which is
+measured and reported (it exercises the damage fallback) but not gated.
+``--check-speedup`` gates the session-stream mean speedup at >= 5x.
+
+Results go to ``BENCH_streaming.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.receipt import tip_decomposition
+from repro.datasets.generators import planted_blocks
+from repro.graph.bipartite import BipartiteGraph
+from repro.service.artifacts import load_artifact, read_manifest, save_artifact
+from repro.service.build import build_index_artifact
+from repro.service.server import TipService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Required mean advantage of the incremental update path over a full
+#: re-count + re-peel + artifact rebuild, on the session update stream.
+SPEEDUP_GATE = 5.0
+
+N_PARTITIONS = 12
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+class CommunityWorkload:
+    """A planted-communities graph plus a seeded update-stream generator."""
+
+    def __init__(self, n_blocks: int, *, seed: int):
+        rng = np.random.default_rng(seed)
+        self.blocks = [(int(rng.integers(8, 20)), int(rng.integers(6, 14)))
+                       for _ in range(n_blocks)]
+        self.u_ranges, self.v_ranges = [], []
+        u_cursor = v_cursor = 0
+        for block_u, block_v in self.blocks:
+            self.u_ranges.append((u_cursor, u_cursor + block_u))
+            self.v_ranges.append((v_cursor, v_cursor + block_v))
+            u_cursor += block_u
+            v_cursor += block_v
+        # A roomy background id space keeps stray background butterflies —
+        # and with them accidental bridges between communities — rare.
+        self.n_u = u_cursor + max(40 * n_blocks, 800)
+        self.n_v = v_cursor + max(24 * n_blocks, 480)
+        self.graph = planted_blocks(
+            self.n_u, self.n_v, self.blocks,
+            background_edges=22 * n_blocks, block_density=0.85, seed=rng,
+        )
+        self.rng = rng
+
+    def _insert_candidates(self, existing, count, u_range, v_range, budget=4000):
+        inserts, seen = [], set()
+        for _ in range(budget):
+            if len(inserts) >= count:
+                break
+            u = int(self.rng.integers(*u_range))
+            v = int(self.rng.integers(*v_range))
+            if (u, v) not in existing and (u, v) not in seen:
+                inserts.append([u, v])
+                seen.add((u, v))
+        return inserts
+
+    def session_batch(self, graph: BipartiteGraph, max_changes: int) -> dict:
+        """A burst of activity inside two random communities."""
+        edges = graph.edge_array()
+        existing = set(map(tuple, edges.tolist()))
+        chosen = self.rng.choice(len(self.blocks), size=2, replace=False)
+        in_blocks = np.zeros(edges.shape[0], dtype=bool)
+        for block in chosen:
+            lo, hi = self.u_ranges[block]
+            in_blocks |= (edges[:, 0] >= lo) & (edges[:, 0] < hi)
+        candidates = np.flatnonzero(in_blocks)
+        n_deletes = min(max_changes // 2, max(1, candidates.size // 10))
+        deletes = edges[self.rng.choice(candidates, size=n_deletes, replace=False)]
+        inserts = []
+        for block in chosen:
+            inserts.extend(self._insert_candidates(
+                existing, (max_changes - n_deletes) // 2,
+                self.u_ranges[block], self.v_ranges[block],
+            ))
+        return {"insert": inserts, "delete": deletes.tolist(), "kind": "session"}
+
+    def background_batch(self, graph: BipartiteGraph, max_changes: int) -> dict:
+        """Churn in the sparse background — mostly butterfly-free."""
+        edges = graph.edge_array()
+        existing = set(map(tuple, edges.tolist()))
+        background_u = (self.u_ranges[-1][1], self.n_u)
+        background_v = (self.v_ranges[-1][1], self.n_v)
+        inserts = self._insert_candidates(
+            existing, max_changes // 2, background_u, background_v,
+        )
+        in_background = edges[:, 0] >= background_u[0]
+        candidates = np.flatnonzero(in_background)
+        n_deletes = min(max_changes - len(inserts), candidates.size)
+        deletes = (
+            edges[self.rng.choice(candidates, size=n_deletes, replace=False)]
+            if n_deletes else np.zeros((0, 2), dtype=np.int64)
+        )
+        return {"insert": inserts, "delete": deletes.tolist(), "kind": "background"}
+
+    def uniform_batch(self, graph: BipartiteGraph, max_changes: int) -> dict:
+        """Hostile series: churn spread uniformly over the whole edge set."""
+        edges = graph.edge_array()
+        existing = set(map(tuple, edges.tolist()))
+        n_deletes = max_changes // 2
+        deletes = edges[self.rng.choice(edges.shape[0], size=n_deletes, replace=False)]
+        inserts, seen = [], set()
+        for _ in range(4000):
+            if len(inserts) >= max_changes - n_deletes:
+                break
+            u = int(edges[self.rng.integers(edges.shape[0])][0])
+            v = int(edges[self.rng.integers(edges.shape[0])][1])
+            if (u, v) not in existing and (u, v) not in seen:
+                inserts.append([u, v])
+                seen.add((u, v))
+        return {"insert": inserts, "delete": deletes.tolist(), "kind": "uniform"}
+
+
+def _rebuild_full(graph: BipartiteGraph, path: Path):
+    """The pre-streaming alternative: re-count, re-peel, re-persist."""
+    rebuilt = BipartiteGraph(graph.n_u, graph.n_v, graph.edge_array(),
+                             name=graph.name)
+    result = tip_decomposition(rebuilt, "U", algorithm="receipt",
+                               n_partitions=N_PARTITIONS)
+    save_artifact(path, rebuilt, result, overwrite=True)
+    return result
+
+
+def _run_stream(service, workload, batches, max_changes, artifact_path, scratch_path):
+    records = []
+    current = service.index_for().graph  # the currently served snapshot
+    for index, kind in enumerate(batches):
+        body = getattr(workload, f"{kind}_batch")(current, max_changes)
+        kind_label = body.pop("kind")
+        if not body["insert"] and not body["delete"]:
+            continue
+
+        payload, incremental_seconds = _timed(
+            lambda body=body: service.handle("/update", {}, dict(body))
+        )
+        current = service.index_for().graph
+
+        full_result, full_seconds = _timed(
+            lambda: _rebuild_full(current, scratch_path)
+        )
+
+        served = load_artifact(artifact_path, mmap=False)
+        exact_tips = np.array_equal(served.arrays["tip_numbers"],
+                                    full_result.tip_numbers)
+        exact_counts = np.array_equal(served.arrays["initial_butterflies"],
+                                      full_result.initial_butterflies)
+        records.append({
+            "batch": index,
+            "kind": kind_label,
+            "changes": payload["inserted"] + payload["deleted"],
+            "mode": payload["mode"],
+            "k_seed": payload["k_seed"],
+            "repeeled_vertices": payload["repeeled_vertices"],
+            "damage_ratio": payload["damage_ratio"],
+            "incremental_ms": round(incremental_seconds * 1000, 2),
+            "full_rebuild_ms": round(full_seconds * 1000, 2),
+            "speedup": round(full_seconds / max(incremental_seconds, 1e-9), 2),
+            "exact": bool(exact_tips and exact_counts),
+        })
+        print(f"  [{kind_label:>10}] batch {index}: {records[-1]['changes']:>3} edges "
+              f"mode={payload['mode']:<11} inc={records[-1]['incremental_ms']:>8.1f}ms "
+              f"full={records[-1]['full_rebuild_ms']:>8.1f}ms "
+              f"{records[-1]['speedup']:>6.1f}x exact={records[-1]['exact']}")
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--blocks", type=int, default=None,
+                        help="number of planted communities (default 80, quick 40)")
+    parser.add_argument("--batches", type=int, default=None,
+                        help="session batches in the gated stream (default 12, quick 8)")
+    parser.add_argument("--churn", type=float, default=0.01,
+                        help="max per-batch edge churn as a fraction of |E| (default 0.01)")
+    parser.add_argument("--seed", type=int, default=20)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload (CI smoke mode)")
+    parser.add_argument("--check-speedup", action="store_true",
+                        help=f"fail unless the session-stream mean speedup is "
+                             f">= {SPEEDUP_GATE:.0f}x")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_streaming.json"))
+    args = parser.parse_args(argv)
+
+    n_blocks = args.blocks if args.blocks is not None else (40 if args.quick else 80)
+    n_batches = args.batches if args.batches is not None else (8 if args.quick else 12)
+
+    workload = CommunityWorkload(n_blocks, seed=args.seed)
+    graph = workload.graph
+    max_changes = max(2, int(args.churn * graph.n_edges))
+    print(f"community workload: {n_blocks} blocks, |U|={graph.n_u:,} "
+          f"|V|={graph.n_v:,} |E|={graph.n_edges:,}; "
+          f"<= {max_changes} changed edges per batch ({args.churn:.1%} churn)")
+
+    with tempfile.TemporaryDirectory(prefix="bench-streaming-") as workdir:
+        artifact_path = Path(workdir) / "stream.tipidx"
+        scratch_path = Path(workdir) / "scratch.tipidx"
+        _, build_seconds = _timed(lambda: build_index_artifact(
+            graph, artifact_path, side="U", n_partitions=N_PARTITIONS,
+        ))
+        print(f"initial build: {build_seconds:.3f}s")
+        service = TipService([artifact_path])
+
+        # Gated series: session bursts with background churn interleaved.
+        kinds = ["session" if i % 4 != 3 else "background" for i in range(n_batches)]
+        print("session stream (gated):")
+        session_records = _run_stream(
+            service, workload, kinds, max_changes, artifact_path, scratch_path,
+        )
+        # Hostile series: uniform churn across every community at once.
+        print("uniform stream (reported, not gated):")
+        uniform_records = _run_stream(
+            service, workload, ["uniform", "uniform"], max_changes,
+            artifact_path, scratch_path,
+        )
+        manifest = read_manifest(artifact_path)
+        streaming_stats = manifest.streaming
+
+    all_exact = all(r["exact"] for r in session_records + uniform_records)
+    incremental_ms = [r["incremental_ms"] for r in session_records]
+    full_ms = [r["full_rebuild_ms"] for r in session_records]
+    mean_speedup = statistics.fmean(full_ms) / max(statistics.fmean(incremental_ms), 1e-9)
+    median_speedup = statistics.median(r["speedup"] for r in session_records)
+    modes = {}
+    for record in session_records + uniform_records:
+        modes[record["mode"]] = modes.get(record["mode"], 0) + 1
+
+    report = {
+        "benchmark": "streaming",
+        "mode": "quick" if args.quick else "full",
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "n_blocks": n_blocks,
+            "n_u": graph.n_u,
+            "n_v": graph.n_v,
+            "n_edges": graph.n_edges,
+            "max_changes_per_batch": max_changes,
+            "churn_fraction": args.churn,
+            "seed": args.seed,
+        },
+        "initial_build_seconds": round(build_seconds, 4),
+        "session_stream": {
+            "records": session_records,
+            "mean_incremental_ms": round(statistics.fmean(incremental_ms), 2),
+            "mean_full_rebuild_ms": round(statistics.fmean(full_ms), 2),
+            "mean_speedup": round(mean_speedup, 2),
+            "median_speedup": round(median_speedup, 2),
+        },
+        "uniform_stream": {"records": uniform_records},
+        "update_modes": modes,
+        "staleness": streaming_stats,
+        "all_exact": all_exact,
+        "speedup_gate": SPEEDUP_GATE,
+        "speedup_gate_passed": bool(mean_speedup >= SPEEDUP_GATE),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {output}")
+    print(f"session stream: mean incremental {report['session_stream']['mean_incremental_ms']}ms "
+          f"vs full rebuild {report['session_stream']['mean_full_rebuild_ms']}ms "
+          f"-> {mean_speedup:.1f}x (median {median_speedup:.1f}x)")
+
+    if not all_exact:
+        print("FAIL: a repaired decomposition diverged from the from-scratch peel",
+              file=sys.stderr)
+        return 1
+    if args.check_speedup and mean_speedup < SPEEDUP_GATE:
+        print(f"FAIL: incremental updates are only {mean_speedup:.1f}x faster than "
+              f"full rebuild (gate: {SPEEDUP_GATE:.0f}x)", file=sys.stderr)
+        return 1
+    print(f"OK: exact everywhere; session-stream speedup {mean_speedup:.1f}x "
+          f"(gate: {SPEEDUP_GATE:.0f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

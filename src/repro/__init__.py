@@ -20,7 +20,10 @@ decomposition of Bipartite Graphs* (Lakhotia, Kannan, Prasanna, De Rose):
   (:mod:`repro.analysis`),
 * a tip-index serving layer — persistent decomposition artifacts, a
   vectorized query engine, an LRU index cache and a JSON HTTP service
-  (:mod:`repro.service`), and
+  (:mod:`repro.service`),
+* a streaming update engine — batched edge deltas applied as CSR patches,
+  incremental butterfly-support maintenance and bounded tip-number repair
+  with live index refresh (:mod:`repro.streaming`), and
 * the wing-decomposition extension of Sec. 7 (:mod:`repro.wing`).
 
 Quickstart
@@ -32,7 +35,7 @@ Quickstart
 True
 """
 
-from . import analysis, butterfly, core, datasets, distributed, engine, graph, kernels, parallel, peeling, service, wing
+from . import analysis, butterfly, core, datasets, distributed, engine, graph, kernels, parallel, peeling, service, streaming, wing
 from .butterfly import ButterflyCounts, count_per_edge, count_per_vertex, count_total_butterflies
 from .core import (
     ReceiptConfig,
@@ -53,6 +56,7 @@ from .errors import (
     GraphFormatError,
     ReproError,
     ServiceError,
+    StreamingError,
     VertexSideError,
 )
 from .graph import BipartiteGraph, from_biadjacency, from_edge_list, from_labelled_edges, load_graph
@@ -70,6 +74,7 @@ from .service import (
     load_artifact,
     save_artifact,
 )
+from .streaming import EdgeBatch, StreamingConfig, StreamingUpdateResult, apply_update
 from .wing import WingDecompositionResult, receipt_wing_decomposition, wing_decomposition
 
 __version__ = "1.0.0"
@@ -87,6 +92,7 @@ __all__ = [
     "parallel",
     "peeling",
     "service",
+    "streaming",
     "wing",
     # graphs
     "BipartiteGraph",
@@ -122,6 +128,11 @@ __all__ = [
     "build_index_artifact",
     "save_artifact",
     "load_artifact",
+    # streaming updates
+    "EdgeBatch",
+    "StreamingConfig",
+    "StreamingUpdateResult",
+    "apply_update",
     # errors
     "ReproError",
     "GraphConstructionError",
@@ -132,5 +143,6 @@ __all__ = [
     "DatasetError",
     "ArtifactError",
     "ArtifactMismatchError",
+    "StreamingError",
     "ServiceError",
 ]

@@ -12,6 +12,9 @@ Sub-commands:
 * ``build-index`` — decompose and persist a queryable tip-index artifact.
 * ``query`` — answer θ / top-k / k-tip / community queries from an
   artifact offline, without re-peeling.
+* ``update`` — apply an insert/delete edge batch to an artifact through
+  the streaming engine (incremental support maintenance + bounded
+  tip-number repair) instead of rebuilding it.
 * ``serve`` — expose one or more artifacts over the JSON HTTP API.
 
 ``decompose`` and ``compare`` accept ``--backend {serial,thread,process}``
@@ -155,6 +158,18 @@ def build_parser() -> argparse.ArgumentParser:
     query_parser.add_argument("--k", type=int, help="level for top-k / k-tip / community")
     query_parser.add_argument("--limit", type=int, default=None,
                               help="cap the number of vertices returned by k-tip")
+
+    update_parser = subparsers.add_parser(
+        "update", help="apply an edge-update batch to a tip-index artifact in place")
+    update_parser.add_argument("artifact", help="path to a *.tipidx artifact directory")
+    update_parser.add_argument("--insert", help='edges to insert as comma-separated u:v '
+                                                'pairs, e.g. "3:7,9:2"')
+    update_parser.add_argument("--delete", help="edges to delete as comma-separated u:v pairs")
+    update_parser.add_argument("--updates-file",
+                               help='JSON file {"insert": [[u,v],...], "delete": [[u,v],...]}')
+    update_parser.add_argument("--damage-threshold", type=float, default=None,
+                               help="re-peel work share beyond which the update falls "
+                                    "back to a full re-decomposition")
 
     serve_parser = subparsers.add_parser(
         "serve", help="serve tip-index artifacts over the JSON HTTP API")
@@ -307,6 +322,50 @@ def _command_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_edge_pairs(text: str) -> list[list[int]]:
+    """Parse ``"3:7,9:2"`` into ``[[3, 7], [9, 2]]``."""
+    pairs = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        head, separator, tail = piece.partition(":")
+        if not separator:
+            raise ReproError(f"edge {piece!r} is not a u:v pair")
+        try:
+            pairs.append([int(head), int(tail)])
+        except ValueError:
+            raise ReproError(f"edge {piece!r} is not an integer u:v pair") from None
+    return pairs
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    # The batch is routed through the same TipService handler the HTTP
+    # POST /update uses, so offline updates behave identically to served
+    # ones (validation, repair, atomic artifact refresh, staleness stats).
+    from .service.server import TipService, to_jsonable
+
+    body: dict = {}
+    if args.updates_file:
+        with open(args.updates_file, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict):
+            raise ReproError("--updates-file must hold a JSON object")
+        body.update({key: payload[key] for key in ("insert", "delete") if key in payload})
+    if args.insert:
+        body["insert"] = body.get("insert", []) + _parse_edge_pairs(args.insert)
+    if args.delete:
+        body["delete"] = body.get("delete", []) + _parse_edge_pairs(args.delete)
+    if not body.get("insert") and not body.get("delete"):
+        raise ReproError("update needs edges: pass --insert, --delete or --updates-file")
+    if args.damage_threshold is not None:
+        body["damage_threshold"] = args.damage_threshold
+
+    service = TipService([args.artifact])
+    print(json.dumps(to_jsonable(service.handle("/update", {}, body)), indent=2))
+    return 0
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from .service.server import serve
 
@@ -340,6 +399,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_build_index(args)
         if args.command == "query":
             return _command_query(args)
+        if args.command == "update":
+            return _command_update(args)
         if args.command == "serve":
             return _command_serve(args)
     except ReproError as error:

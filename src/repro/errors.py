@@ -17,6 +17,7 @@ __all__ = [
     "DatasetError",
     "ArtifactError",
     "ArtifactMismatchError",
+    "StreamingError",
     "ServiceError",
 ]
 
@@ -84,6 +85,16 @@ class ArtifactMismatchError(ArtifactError):
     fingerprint (or recorded graph fingerprint) disagrees with the graph or
     artifact the caller asked for — silently serving stale tip numbers would
     be worse than failing loudly.
+    """
+
+
+class StreamingError(ReproError):
+    """Raised when an edge-update batch cannot be applied to a graph.
+
+    Typical causes: inserting an edge that already exists, deleting one that
+    does not, out-of-range vertex ids, or the same edge appearing twice in
+    one batch.  Validation happens before any state is touched, so a failed
+    batch leaves the graph and the served index unchanged.
     """
 
 

@@ -20,6 +20,10 @@ __all__ = [
     "segment_sums",
     "compact_csr",
     "int_bincount",
+    "csr_entry_keys",
+    "locate_csr_entries",
+    "insert_csr_entries",
+    "delete_csr_entries",
 ]
 
 
@@ -92,6 +96,117 @@ def compact_csr(
     kept_before = np.zeros(values.shape[0] + 1, dtype=np.int64)
     np.cumsum(keep, out=kept_before[1:])
     return kept_before[offsets], values[keep]
+
+
+def csr_entry_keys(offsets: np.ndarray, values: np.ndarray, value_bound: int) -> np.ndarray:
+    """Scalar sort key ``row * value_bound + value`` of every CSR entry.
+
+    When every row's values are sorted ascending (the invariant all CSR
+    adjacencies in this library maintain), the returned key array is globally
+    sorted, which turns membership tests and patch-position lookups into one
+    ``searchsorted`` each (:func:`locate_csr_entries`).
+    """
+    rows = segment_ids(np.diff(offsets))
+    return rows * np.int64(value_bound) + values
+
+
+def locate_csr_entries(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    rows: np.ndarray,
+    query_values: np.ndarray,
+    value_bound: int,
+    *,
+    entry_keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Position of each ``(row, value)`` query in the flat CSR value array.
+
+    Returns ``(positions, present)``: ``positions[i]`` is where the query
+    would sit in ``values`` (the exact index when ``present[i]``, the
+    insertion point otherwise).  ``entry_keys`` may be passed to reuse a
+    previously built :func:`csr_entry_keys` array across several lookups.
+    """
+    if entry_keys is None:
+        entry_keys = csr_entry_keys(offsets, values, value_bound)
+    query_keys = (
+        np.asarray(rows, dtype=np.int64) * np.int64(value_bound)
+        + np.asarray(query_values, dtype=np.int64)
+    )
+    positions = np.searchsorted(entry_keys, query_keys, side="left")
+    present = np.zeros(positions.shape[0], dtype=bool)
+    in_range = positions < entry_keys.shape[0]
+    present[in_range] = entry_keys[positions[in_range]] == query_keys[in_range]
+    return positions, present
+
+
+def insert_csr_entries(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    rows: np.ndarray,
+    new_values: np.ndarray,
+    value_bound: int,
+    *,
+    entry_keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Insert ``(row, value)`` entries into a CSR, keeping rows sorted.
+
+    The streaming write path: one ``searchsorted`` finds every insertion
+    point against the globally sorted entry keys (pass ``entry_keys`` to
+    reuse a prebuilt :func:`csr_entry_keys` array) and one ``np.insert``
+    splices all new entries in a single pass — no per-row Python loop and no
+    full rebuild/sort of the adjacency.  Entries must not already be present
+    and must be unique within the batch (``ValueError`` otherwise).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    new_values = np.asarray(new_values, dtype=np.int64)
+    if rows.size == 0:
+        return offsets, values
+    order = np.argsort(rows * np.int64(value_bound) + new_values, kind="stable")
+    rows = rows[order]
+    new_values = new_values[order]
+    sorted_keys = rows * np.int64(value_bound) + new_values
+    if np.any(sorted_keys[1:] == sorted_keys[:-1]):
+        raise ValueError("duplicate (row, value) entries in the insert batch")
+    positions, present = locate_csr_entries(
+        offsets, values, rows, new_values, value_bound, entry_keys=entry_keys
+    )
+    if present.any():
+        raise ValueError(f"{int(present.sum())} inserted entries already present in the CSR")
+    merged = np.insert(values, positions, new_values)
+    per_row = np.zeros(offsets.shape[0], dtype=np.int64)
+    np.add.at(per_row, rows + 1, 1)
+    return offsets + np.cumsum(per_row), merged
+
+
+def delete_csr_entries(
+    offsets: np.ndarray,
+    values: np.ndarray,
+    rows: np.ndarray,
+    del_values: np.ndarray,
+    value_bound: int,
+    *,
+    entry_keys: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Remove ``(row, value)`` entries from a CSR in one compaction pass.
+
+    Every entry must be present and unique within the batch
+    (``ValueError`` otherwise); removal reuses :func:`compact_csr`, and
+    ``entry_keys`` may carry a prebuilt :func:`csr_entry_keys` array.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    del_values = np.asarray(del_values, dtype=np.int64)
+    if rows.size == 0:
+        return offsets, values
+    positions, present = locate_csr_entries(
+        offsets, values, rows, del_values, value_bound, entry_keys=entry_keys
+    )
+    if not present.all():
+        raise ValueError(f"{int((~present).sum())} deleted entries not present in the CSR")
+    if np.unique(positions).shape[0] != positions.shape[0]:
+        raise ValueError("duplicate (row, value) entries in the delete batch")
+    keep = np.ones(values.shape[0], dtype=bool)
+    keep[positions] = False
+    return compact_csr(offsets, values, keep)
 
 
 def int_bincount(

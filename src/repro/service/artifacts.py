@@ -115,6 +115,7 @@ class ArtifactManifest:
     phase_counters: dict = field(default_factory=dict)
     arrays: dict = field(default_factory=dict)
     summary: dict = field(default_factory=dict)
+    streaming: dict = field(default_factory=dict)
     fingerprint: str = ""
 
     def as_dict(self) -> dict:
@@ -128,6 +129,7 @@ class ArtifactManifest:
             "phase_counters": self.phase_counters,
             "arrays": self.arrays,
             "summary": self.summary,
+            "streaming": self.streaming,
             "fingerprint": self.fingerprint,
         }
 
@@ -144,6 +146,7 @@ class ArtifactManifest:
                 phase_counters=dict(payload.get("phase_counters", {})),
                 arrays=dict(payload.get("arrays", {})),
                 summary=dict(payload.get("summary", {})),
+                streaming=dict(payload.get("streaming", {})),
                 fingerprint=str(payload.get("fingerprint", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -215,6 +218,8 @@ def save_artifact(
     *,
     config: dict | None = None,
     overwrite: bool = False,
+    streaming: dict | None = None,
+    center_butterflies: np.ndarray | None = None,
 ) -> ArtifactManifest:
     """Persist a decomposition (plus its graph CSR) as an artifact directory.
 
@@ -235,6 +240,14 @@ def save_artifact(
     overwrite:
         Replace an existing artifact at ``path``.  Without it, an existing
         path raises :class:`~repro.errors.ArtifactError`.
+    streaming:
+        Staleness bookkeeping recorded when the artifact is refreshed by
+        the streaming update engine (update/edge counters, last-update
+        timestamp, the fingerprint the update stream started from).
+    center_butterflies:
+        Optional per-vertex butterfly counts of the *non*-decomposed side.
+        When stored, streaming updates maintain them incrementally and a
+        damage fallback can skip its global re-count phase.
     """
     path = Path(path)
     if result.tip_numbers.shape[0] != graph.side_size(result.side):
@@ -258,6 +271,8 @@ def save_artifact(
         "level_offsets": level_offsets,
         **{key: np.ascontiguousarray(value, dtype=np.int64) for key, value in csr.items()},
     }
+    if center_butterflies is not None:
+        arrays["center_butterflies"] = np.ascontiguousarray(center_butterflies, dtype=np.int64)
 
     decomposition = {
         "algorithm": result.algorithm,
@@ -301,6 +316,7 @@ def save_artifact(
             "max_tip_number": int(level_values[-1]) if level_values.size else 0,
             "n_levels": int(level_values.shape[0]),
         },
+        "streaming": dict(streaming or {}),
     }
     payload["fingerprint"] = _manifest_digest(payload)
 

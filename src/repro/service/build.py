@@ -5,15 +5,20 @@ This is the write path of the serving layer and the body of the
 ``repro build-index`` command.  The decomposition itself delegates to
 :func:`repro.core.receipt.tip_decomposition`, so RECEIPT builds run on any
 of the execution-engine backends (serial / thread / multiprocess
-shared-memory pool) from :mod:`repro.engine`.
+shared-memory pool) from :mod:`repro.engine`.  Butterfly counts are
+computed once up front and both sides are persisted: the decomposed side as
+the index's ``initial_butterflies``, the other side as
+``center_butterflies`` so streaming updates (:mod:`repro.streaming`) can
+maintain both incrementally and skip global re-counts.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
 
+from ..butterfly.counting import count_per_vertex
 from ..core.receipt import tip_decomposition
-from ..graph.bipartite import BipartiteGraph, validate_side
+from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
 from .artifacts import ArtifactManifest, save_artifact
 
 __all__ = ["build_index_artifact"]
@@ -39,7 +44,8 @@ def build_index_artifact(
     semantics.  Returns the written manifest.
     """
     side = validate_side(side)
-    kwargs: dict = {"peel_kernel": peel_kernel}
+    counts = count_per_vertex(graph)
+    kwargs: dict = {"peel_kernel": peel_kernel, "counts": counts}
     if algorithm.lower().startswith("receipt"):
         kwargs["n_threads"] = n_threads
         kwargs["backend"] = backend
@@ -58,4 +64,5 @@ def build_index_artifact(
             "n_partitions": n_partitions,
         },
         overwrite=overwrite,
+        center_butterflies=counts.counts(opposite_side(side)),
     )

@@ -121,6 +121,19 @@ class IndexCache:
         self.put(fingerprint, index)
         return index
 
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop a cached index (e.g. after an in-place streaming refresh).
+
+        Returns whether an entry was evicted.  The path → fingerprint map
+        is left alone: the next ``get_or_load`` of the path re-reads the
+        manifest and records the successor fingerprint.
+        """
+        with self._lock:
+            if self._entries.pop(fingerprint, None) is not None:
+                self._evictions += 1
+                return True
+            return False
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()

@@ -69,6 +69,7 @@ class TipIndex:
     initial_butterflies: np.ndarray | None = None
     graph: BipartiteGraph | None = None
     fingerprint: str = ""
+    center_butterflies: np.ndarray | None = None
     _sorted_tips: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -139,6 +140,7 @@ class TipIndex:
             initial_butterflies=arrays["initial_butterflies"],
             graph=graph,
             fingerprint=manifest.fingerprint,
+            center_butterflies=arrays.get("center_butterflies"),
         )
 
     # ------------------------------------------------------------------
@@ -256,6 +258,69 @@ class TipIndex:
             return components
         vertex = int(self._validate_vertices([vertex])[0])
         return [component for component in components if vertex in component]
+
+    # ------------------------------------------------------------------
+    # Streaming updates
+    # ------------------------------------------------------------------
+    def apply_delta(self, inserts=None, deletes=None, *, config=None):
+        """Apply an edge-update batch and return the repaired index.
+
+        The index itself is immutable: the streaming engine
+        (:func:`repro.streaming.apply_update`) patches the graph, maintains
+        the butterfly counts incrementally and re-peels only the affected
+        region, and a *new* :class:`TipIndex` is built over the result.
+        Readers keep answering from this index until the caller swaps the
+        new one in (the serving layer does so atomically under its update
+        lock after persisting the refreshed artifact).
+
+        Parameters
+        ----------
+        inserts, deletes:
+            Edge lists in the graph's canonical ``(u, v)`` orientation.
+        config:
+            Optional :class:`repro.streaming.StreamingConfig`.
+
+        Returns
+        -------
+        (TipIndex, StreamingUpdateResult)
+            The repaired index (fingerprint unset until persisted) and the
+            repair statistics.
+        """
+        if self.graph is None or self.initial_butterflies is None:
+            raise ServiceError(
+                "this index was built without graph arrays; "
+                "streaming updates require them", status=409,
+            )
+        from ..streaming import EdgeBatch, apply_update
+
+        batch = EdgeBatch.from_lists(inserts, deletes)
+        update = apply_update(
+            self.graph,
+            self.side,
+            self.tip_numbers,
+            np.asarray(self.initial_butterflies, dtype=np.int64),
+            batch,
+            center_butterflies=(
+                None if self.center_butterflies is None
+                else np.asarray(self.center_butterflies, dtype=np.int64)
+            ),
+            config=config,
+        )
+        order = sorted_order(update.tip_numbers)
+        level_values, level_offsets = level_csr(update.tip_numbers[order])
+        repaired = TipIndex(
+            tip_numbers=update.tip_numbers,
+            order=order,
+            level_values=level_values,
+            level_offsets=level_offsets,
+            side=self.side,
+            algorithm=self.algorithm,
+            initial_butterflies=update.butterflies,
+            graph=update.graph,
+            fingerprint="",
+            center_butterflies=update.center_butterflies,
+        )
+        return repaired, update
 
     # ------------------------------------------------------------------
     # Introspection

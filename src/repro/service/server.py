@@ -22,6 +22,17 @@ Endpoints (all JSON)::
     GET  /top-k?k=K                        K highest-θ vertices
     GET  /k-tip?k=K[&limit=L]              members of the union of k-tips
     GET  /community?k=K[&vertex=V]         butterfly-connected k-tips (Sec. 6)
+    POST /update {"insert": [[u,v],..],    apply an edge-update batch: CSR
+                  "delete": [[u,v],..]}    patch + incremental tip repair
+
+``/update`` is the one write path: it routes the batch through the
+streaming engine (:mod:`repro.streaming`), persists the refreshed artifact
+with the usual atomic directory swap, and puts the repaired index straight
+into the cache under its new fingerprint — readers keep answering from the
+previous snapshot until that swap and are never blocked by a writer
+(updates themselves serialize on a per-service lock).  ``/stats`` reports
+the artifact's schema version, fingerprints and streaming staleness
+counters so monitoring can watch the update stream.
 
 Every endpoint takes an optional ``artifact=NAME`` parameter; it may be
 omitted when a single artifact is being served.
@@ -31,6 +42,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import Counter
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
@@ -38,14 +50,14 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from ..errors import ReproError, ServiceError
-from .artifacts import read_manifest
+from ..errors import ReproError, ServiceError, StreamingError
+from .artifacts import read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
 
 __all__ = ["TipService", "create_server", "serve", "ENDPOINTS"]
 
-#: The seven routes of the JSON API.
+#: The eight routes of the JSON API.
 ENDPOINTS = (
     "/healthz",
     "/stats",
@@ -54,6 +66,7 @@ ENDPOINTS = (
     "/top-k",
     "/k-tip",
     "/community",
+    "/update",
 )
 
 #: Hard cap on one response's vertex payload; override per-request with a
@@ -106,7 +119,11 @@ class TipService:
         self.cache = IndexCache(cache_capacity)
         self.mmap = mmap
         self.requests: Counter = Counter()
+        self.update_modes: Counter = Counter()
         self._requests_lock = threading.Lock()
+        # One writer at a time: /update batches serialize here while readers
+        # keep answering from the previous snapshot.
+        self._update_lock = threading.Lock()
         self._artifacts: dict[str, Path] = {}
         for raw_path in artifact_paths:
             path = Path(raw_path)
@@ -125,6 +142,27 @@ class TipService:
     def artifact_names(self) -> list[str]:
         return list(self._artifacts)
 
+    @staticmethod
+    def _read_manifest_retrying(path: Path):
+        """Manifest read that tolerates an in-flight artifact swap.
+
+        ``save_artifact(overwrite=True)`` — the ``/update`` write path —
+        swaps the artifact directory with two renames, leaving a
+        microsecond window with no directory at the path.  The index cache
+        already retries its reads across that window; manifest-only reads
+        (``/stats`` polls) need the same treatment.
+        """
+        from ..errors import ArtifactError
+
+        for attempt in range(3):
+            try:
+                return read_manifest(path)
+            except ArtifactError:
+                if attempt == 2:
+                    raise
+                time.sleep(0.05)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _manifest_summary(self, name: str | None) -> dict:
         """Per-artifact /stats summary from the manifest alone (no load)."""
         if name is None and len(self._artifacts) == 1:
@@ -135,16 +173,30 @@ class TipService:
                 f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
                 status=404,
             )
-        manifest = read_manifest(path)
+        manifest = self._read_manifest_retrying(path)
+        streaming = manifest.streaming
         return {
             "side": manifest.decomposition.get("side"),
             "algorithm": str(manifest.decomposition.get("algorithm", "")),
             "n_vertices": manifest.summary.get("n_vertices"),
             "max_tip_number": manifest.summary.get("max_tip_number"),
             "n_levels": manifest.summary.get("n_levels"),
+            "format_version": manifest.format_version,
             "fingerprint": manifest.fingerprint,
+            "graph_fingerprint": str(manifest.graph.get("fingerprint", "")),
+            "n_edges": manifest.graph.get("n_edges"),
             "has_graph": "u_offsets" in manifest.arrays,
             "loaded": self.cache.peek(manifest.fingerprint),
+            # Staleness bookkeeping: zeroed for a freshly built artifact,
+            # advanced by every applied /update batch.
+            "streaming": {
+                "updates_applied": int(streaming.get("updates_applied", 0)),
+                "edges_inserted": int(streaming.get("edges_inserted", 0)),
+                "edges_deleted": int(streaming.get("edges_deleted", 0)),
+                "last_update_unix": streaming.get("last_update_unix"),
+                "base_fingerprint": streaming.get("base_fingerprint"),
+                "modes": dict(streaming.get("modes", {})),
+            },
         }
 
     def index_for(self, name: str | None = None) -> TipIndex:
@@ -163,6 +215,132 @@ class TipService:
                 status=404,
             )
         return self.cache.get_or_load(path, mmap=self.mmap)
+
+    # ------------------------------------------------------------------
+    # Streaming updates (the one write path)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _edge_list(body: dict, key: str):
+        raw = body.get(key)
+        if raw is None:
+            return None
+        if not isinstance(raw, list):
+            raise ServiceError(f'body field "{key}" must be a JSON array of [u, v] pairs')
+        for pair in raw:
+            if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                    or any(isinstance(value, bool) or not isinstance(value, int)
+                           for value in pair)):
+                raise ServiceError(f'body field "{key}" must contain [u, v] integer pairs')
+            # JSON integers are unbounded; anything outside int64 would blow
+            # up inside numpy instead of answering 400.
+            if any(not (-2**63 <= value < 2**63) for value in pair):
+                raise ServiceError(f'body field "{key}" contains an id outside int64 range')
+        return raw
+
+    def _apply_update(self, artifact: str | None, params: dict, body: dict | None) -> dict:
+        if body is None:
+            raise ServiceError(
+                "update requires a POST body with insert/delete edge lists", status=405
+            )
+        from ..streaming import StreamingConfig
+
+        inserts = self._edge_list(body, "insert")
+        deletes = self._edge_list(body, "delete")
+        if not inserts and not deletes:
+            raise ServiceError('update body must carry "insert" and/or "delete" edges')
+
+        name = artifact
+        if name is None:
+            if len(self._artifacts) != 1:
+                raise ServiceError(
+                    "multiple artifacts served; pass artifact=NAME "
+                    f"(one of: {', '.join(self._artifacts)})"
+                )
+            name = next(iter(self._artifacts))
+        path = self._artifacts.get(name)
+        if path is None:
+            raise ServiceError(
+                f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
+                status=404,
+            )
+
+        with self._update_lock:
+            index = self.cache.get_or_load(path, mmap=self.mmap)
+            manifest = read_manifest(path)
+            decomposition = dict(manifest.decomposition)
+            config_kwargs: dict = {}
+            if "damage_threshold" in body:
+                try:
+                    config_kwargs["damage_threshold"] = float(body["damage_threshold"])
+                except (TypeError, ValueError):
+                    raise ServiceError('"damage_threshold" must be a number') from None
+            algorithm = str(decomposition.get("algorithm") or "receipt").lower()
+            config_kwargs["full_algorithm"] = algorithm
+            if algorithm.startswith("receipt"):
+                full_kwargs = {}
+                if decomposition.get("n_partitions") is not None:
+                    full_kwargs["n_partitions"] = int(decomposition["n_partitions"])
+                config_kwargs["full_kwargs"] = full_kwargs
+            if decomposition.get("peel_kernel"):
+                config_kwargs["peel_kernel"] = str(decomposition["peel_kernel"])
+
+            try:
+                repaired, update = index.apply_delta(
+                    inserts, deletes, config=StreamingConfig(**config_kwargs)
+                )
+            except StreamingError as error:
+                # The batch conflicts with the current graph state (missing
+                # delete, duplicate insert, out-of-range id); nothing was
+                # modified.
+                raise ServiceError(str(error), status=409) from None
+
+            from ..peeling.base import TipDecompositionResult
+
+            result = TipDecompositionResult(
+                tip_numbers=update.tip_numbers,
+                side=update.side,
+                initial_butterflies=update.butterflies,
+                algorithm=str(decomposition.get("algorithm", "")),
+                counters=update.counters,
+            )
+            previous = manifest.streaming
+            modes = Counter({str(key): int(value)
+                             for key, value in dict(previous.get("modes", {})).items()})
+            modes[update.mode] += 1
+            streaming = {
+                "updates_applied": int(previous.get("updates_applied", 0)) + 1,
+                "edges_inserted": int(previous.get("edges_inserted", 0)) + update.inserted,
+                "edges_deleted": int(previous.get("edges_deleted", 0)) + update.deleted,
+                "last_update_unix": time.time(),
+                "base_fingerprint": previous.get("base_fingerprint") or manifest.fingerprint,
+                "modes": dict(modes),
+            }
+            new_manifest = save_artifact(
+                path,
+                update.graph,
+                result,
+                config=decomposition,
+                overwrite=True,
+                streaming=streaming,
+                center_butterflies=update.center_butterflies,
+            )
+            # Atomic swap: the repaired index goes straight into the cache
+            # under its new fingerprint, the displaced snapshot is dropped.
+            repaired.fingerprint = new_manifest.fingerprint
+            self.cache.invalidate(manifest.fingerprint)
+            self.cache.put(new_manifest.fingerprint, repaired)
+            with self._requests_lock:
+                self.update_modes[update.mode] += 1
+
+        payload = update.summary()
+        payload.update({
+            "artifact": name,
+            "fingerprint": new_manifest.fingerprint,
+            "previous_fingerprint": manifest.fingerprint,
+            "n_edges": update.graph.n_edges,
+            "streaming": streaming,
+        })
+        return payload
 
     # ------------------------------------------------------------------
     # Parameter parsing
@@ -229,24 +407,26 @@ class TipService:
             names = [artifact] if artifact else self.artifact_names
             want_histogram = _flag_param(params, "histogram")
             for name in names:
+                summary = self._manifest_summary(name)
                 if want_histogram:
                     # The histogram needs the index; everything else comes
                     # from the manifest so a monitoring poll of /stats never
                     # cold-loads (and LRU-thrashes) unqueried artifacts.
                     index = self.index_for(name)
-                    summary = index.stats()
                     summary["histogram"] = {
                         str(level): count for level, count in index.histogram().items()
                     }
-                else:
-                    summary = self._manifest_summary(name)
                 payload["artifacts"][name] = summary
             # Cache metrics are read after the summaries so the loads they
             # triggered are reflected in the numbers.
             payload["cache"] = self.cache.stats()
             with self._requests_lock:
                 payload["requests"] = dict(self.requests)
+                payload["updates"] = dict(self.update_modes)
             return payload
+
+        if route == "/update":
+            return self._apply_update(artifact, params, body)
 
         if route == "/theta":
             index = self.index_for(artifact)

@@ -1,0 +1,34 @@
+"""Streaming update engine: incremental butterfly/tip maintenance.
+
+This package turns the repo's frozen-graph pipeline into a read-write
+system: validated edge-update batches are applied as CSR patches
+(:mod:`~repro.streaming.deltas`), butterfly supports are maintained
+incrementally on the delta frontier (:mod:`~repro.streaming.support`), and
+tip numbers are repaired by an exact bounded re-peel that falls back to a
+full re-decomposition past a damage threshold
+(:mod:`~repro.streaming.repair`).  The serving layer builds on this through
+:meth:`repro.service.index.TipIndex.apply_delta`, the ``POST /update``
+endpoint and the ``repro update`` command.
+"""
+
+from .deltas import EdgeBatch, apply_batch, validate_batch
+from .repair import (
+    StreamingConfig,
+    StreamingUpdateResult,
+    apply_update,
+    butterfly_closure,
+)
+from .support import RegionDelta, region_butterflies, support_delta
+
+__all__ = [
+    "EdgeBatch",
+    "apply_batch",
+    "validate_batch",
+    "RegionDelta",
+    "region_butterflies",
+    "support_delta",
+    "StreamingConfig",
+    "StreamingUpdateResult",
+    "apply_update",
+    "butterfly_closure",
+]

@@ -1,0 +1,173 @@
+"""Incremental butterfly-support maintenance for edge-update batches.
+
+Every butterfly created or destroyed by a batch contains a changed edge
+``(u, v)``, and the butterfly's two peeled-side vertices are ``u`` and a
+neighbor of ``v`` — so every vertex *pair* whose shared-butterfly count
+moves has at least one endpoint among the batch's peeled-side endpoints.
+Maintenance therefore only recounts those endpoints (≤ batch size, never
+the whole neighborhood):
+
+* one :func:`~repro.kernels.wedges.gather_batch_wedges` collects their
+  two-hop wedge multiset on each graph version,
+* one :func:`~repro.kernels.peel.count_pair_wedges` groups it into
+  per-(vertex, partner) shared-butterfly counts ``C(wedges, 2)``,
+* differencing the two sparse pair maps yields exactly the pairs that
+  changed, the per-vertex count deltas, and the *dirty* vertex set that
+  seeds tip-number repair (:mod:`repro.streaming.repair`).
+
+Cost is the wedge neighborhood of the changed edges' endpoints — a batch
+that touches no butterfly at all (the common case for fringe churn) is
+detected here and short-circuits the repair entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
+from ..kernels.csr import int_bincount
+from ..kernels.peel import count_pair_wedges
+from ..kernels.wedges import gather_batch_wedges
+from .deltas import EdgeBatch
+
+__all__ = ["RegionDelta", "region_butterflies", "support_delta"]
+
+
+@dataclass(frozen=True)
+class RegionDelta:
+    """Support changes of one batch on one side's butterfly counts.
+
+    Attributes
+    ----------
+    side:
+        The peeled side the counts refer to.
+    scanned:
+        The recounted vertices: peeled-side endpoints of the changed edges.
+    dirty:
+        Sorted vertices participating in at least one pair whose
+        shared-butterfly count changed.  Only dirty vertices can influence
+        peeling; a batch with no dirty vertex provably leaves every tip
+        number unchanged.
+    delta:
+        Per-dirty-vertex butterfly-count change (aligned with
+        :attr:`dirty`; zero when a vertex's created and destroyed
+        butterflies cancel).
+    wedges_traversed:
+        Wedge endpoints touched by the two recounts (the paper's work
+        unit, charged to the streaming counters).
+    """
+
+    side: str
+    scanned: np.ndarray
+    dirty: np.ndarray
+    delta: np.ndarray
+    wedges_traversed: int
+
+    @property
+    def dirty_vertices(self) -> np.ndarray:
+        """Vertices that can influence peeling (sorted ids)."""
+        return self.dirty
+
+    def apply_to(self, butterflies: np.ndarray) -> np.ndarray:
+        """Return a copy of a per-vertex count array with the delta applied."""
+        updated = np.array(butterflies, dtype=np.int64, copy=True)
+        updated[self.dirty] += self.delta
+        return updated
+
+
+def region_butterflies(
+    graph: BipartiteGraph, side: str, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Exact butterfly counts of a vertex subset, plus the pair signature.
+
+    Returns ``(counts, pair_keys, pair_butterflies, wedges)``:
+    ``counts[i]`` is the full butterfly count of ``vertices[i]`` in
+    ``graph``; ``pair_keys`` (sorted ``position * n_side + partner``) and
+    ``pair_butterflies`` describe every partner pair carrying at least one
+    shared butterfly.  Work is the subset's wedge neighborhood only.
+    """
+    side = validate_side(side)
+    vertices = np.asarray(vertices, dtype=np.int64)
+    n_side = graph.side_size(side)
+    empty = np.zeros(0, dtype=np.int64)
+    if vertices.size == 0:
+        return np.zeros(0, dtype=np.int64), empty, empty, 0
+
+    peel_offsets, peel_neighbors = graph.csr(side)
+    center_offsets, center_neighbors = graph.csr(opposite_side(side))
+    endpoints, endpoints_per_vertex = gather_batch_wedges(
+        peel_offsets, peel_neighbors, center_offsets, center_neighbors, vertices
+    )
+    wedges = int(endpoints.size)
+    positions = np.arange(vertices.shape[0], dtype=np.int64)
+    pairs = count_pair_wedges(
+        endpoints, positions, endpoints_per_vertex, vertices,
+        np.ones(n_side, dtype=bool), filter_alive=False,
+    )
+    counts = int_bincount(pairs.segments, pairs.decrements, vertices.shape[0])
+    pair_keys = pairs.segments * np.int64(n_side) + pairs.endpoints
+    return counts, pair_keys, pairs.decrements, wedges
+
+
+def support_delta(
+    old_graph: BipartiteGraph,
+    new_graph: BipartiteGraph,
+    batch: EdgeBatch,
+    side: str,
+) -> RegionDelta:
+    """Compute the batch's exact peeled-side support changes.
+
+    Recounts the changed edges' peeled-side endpoints on both graph
+    versions and differences the sparse pair maps.  Every changed pair has
+    an endpoint among the recounted vertices, so the diff is complete.
+    """
+    side = validate_side(side)
+    edges = batch.changed_edges()
+    column = 0 if side == "U" else 1
+    scanned = np.unique(edges[:, column]).astype(np.int64)
+    n_side = old_graph.side_size(side)
+
+    _, keys_old, pairs_old, wedges_old = region_butterflies(old_graph, side, scanned)
+    _, keys_new, pairs_new, wedges_new = region_butterflies(new_graph, side, scanned)
+
+    # Sparse sorted key → shared-butterfly maps (absent = zero); the union
+    # with per-key differencing yields every changed pair exactly once per
+    # owning scanned vertex.
+    all_keys = np.union1d(keys_old, keys_new)
+    value_old = np.zeros(all_keys.shape[0], dtype=np.int64)
+    value_old[np.searchsorted(all_keys, keys_old)] = pairs_old
+    value_new = np.zeros(all_keys.shape[0], dtype=np.int64)
+    value_new[np.searchsorted(all_keys, keys_new)] = pairs_new
+    changed = value_old != value_new
+    changed_keys = all_keys[changed]
+    pair_delta = value_new[changed] - value_old[changed]
+
+    if changed_keys.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return RegionDelta(side=side, scanned=scanned, dirty=empty, delta=empty,
+                           wedges_traversed=wedges_old + wedges_new)
+
+    owners = scanned[changed_keys // n_side]
+    partners = changed_keys % n_side
+
+    # A changed pair contributes its delta to both endpoints.  Pairs whose
+    # two endpoints are both scanned appear twice in the diff (once per
+    # owner), so the owner-side contribution is only added when the partner
+    # is not itself scanned.
+    delta_full = np.zeros(n_side, dtype=np.int64)
+    np.add.at(delta_full, partners, pair_delta)
+    partner_scanned = np.isin(partners, scanned)
+    outward = ~partner_scanned
+    if outward.any():
+        np.add.at(delta_full, owners[outward], pair_delta[outward])
+
+    dirty = np.unique(np.concatenate([owners, partners]))
+    return RegionDelta(
+        side=side,
+        scanned=scanned,
+        dirty=dirty,
+        delta=delta_full[dirty],
+        wedges_traversed=wedges_old + wedges_new,
+    )

@@ -1,0 +1,174 @@
+"""CSR patch kernels and the validated edge-update batch log."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StreamingError
+from repro.graph.bipartite import BipartiteGraph
+from repro.kernels.csr import (
+    csr_entry_keys,
+    delete_csr_entries,
+    insert_csr_entries,
+    locate_csr_entries,
+)
+from repro.service.artifacts import graph_fingerprint
+from repro.streaming import EdgeBatch, apply_batch, validate_batch
+
+
+def _graph():
+    edges = [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 2), (3, 0), (3, 3)]
+    return BipartiteGraph(4, 4, edges)
+
+
+# ----------------------------------------------------------------------
+# kernels.csr patch primitives
+# ----------------------------------------------------------------------
+class TestCsrPatchKernels:
+    def test_entry_keys_are_globally_sorted(self):
+        offsets, neighbors = _graph().csr("U")
+        keys = csr_entry_keys(offsets, neighbors, 4)
+        assert np.all(np.diff(keys) > 0)
+
+    def test_locate_finds_present_and_absent(self):
+        offsets, neighbors = _graph().csr("U")
+        positions, present = locate_csr_entries(
+            offsets, neighbors, np.array([1, 1, 2]), np.array([2, 3, 2]), 4
+        )
+        assert present.tolist() == [True, False, True]
+        assert neighbors[positions[0]] == 2
+        assert neighbors[positions[2]] == 2
+
+    def test_insert_keeps_rows_sorted(self):
+        offsets, neighbors = _graph().csr("U")
+        new_offsets, new_neighbors = insert_csr_entries(
+            offsets, neighbors, np.array([0, 2, 2]), np.array([3, 0, 1]), 4
+        )
+        assert new_neighbors.shape[0] == neighbors.shape[0] + 3
+        for row in range(4):
+            row_values = new_neighbors[new_offsets[row]: new_offsets[row + 1]]
+            assert np.all(np.diff(row_values) > 0)
+        assert new_neighbors[new_offsets[0]: new_offsets[1]].tolist() == [0, 1, 3]
+
+    def test_insert_rejects_existing_and_duplicates(self):
+        offsets, neighbors = _graph().csr("U")
+        with pytest.raises(ValueError, match="already present"):
+            insert_csr_entries(offsets, neighbors, np.array([0]), np.array([0]), 4)
+        with pytest.raises(ValueError, match="duplicate"):
+            insert_csr_entries(offsets, neighbors, np.array([2, 2]), np.array([0, 0]), 4)
+
+    def test_delete_rejects_missing(self):
+        offsets, neighbors = _graph().csr("U")
+        with pytest.raises(ValueError, match="not present"):
+            delete_csr_entries(offsets, neighbors, np.array([0]), np.array([3]), 4)
+
+    def test_delete_then_insert_roundtrip(self):
+        offsets, neighbors = _graph().csr("U")
+        deleted = delete_csr_entries(offsets, neighbors, np.array([1]), np.array([1]), 4)
+        restored = insert_csr_entries(*deleted, np.array([1]), np.array([1]), 4)
+        assert np.array_equal(restored[0], offsets)
+        assert np.array_equal(restored[1], neighbors)
+
+
+# ----------------------------------------------------------------------
+# EdgeBatch validation
+# ----------------------------------------------------------------------
+class TestBatchValidation:
+    def test_out_of_range_rejected(self):
+        graph = _graph()
+        with pytest.raises(StreamingError, match="out of range"):
+            validate_batch(graph, EdgeBatch.from_lists(inserts=[(7, 0)]))
+        with pytest.raises(StreamingError, match="out of range"):
+            validate_batch(graph, EdgeBatch.from_lists(deletes=[(0, -1)]))
+
+    def test_duplicate_within_list_rejected(self):
+        with pytest.raises(StreamingError, match="more than once"):
+            validate_batch(_graph(), EdgeBatch.from_lists(inserts=[(2, 0), (2, 0)]))
+
+    def test_insert_and_delete_overlap_rejected(self):
+        with pytest.raises(StreamingError, match="both the insert and the delete"):
+            validate_batch(
+                _graph(), EdgeBatch.from_lists(inserts=[(0, 0)], deletes=[(0, 0)])
+            )
+
+    def test_existing_insert_rejected(self):
+        with pytest.raises(StreamingError, match="already exists"):
+            validate_batch(_graph(), EdgeBatch.from_lists(inserts=[(0, 0)]))
+
+    def test_missing_delete_rejected(self):
+        with pytest.raises(StreamingError, match="does not exist"):
+            validate_batch(_graph(), EdgeBatch.from_lists(deletes=[(0, 3)]))
+
+    def test_malformed_shape_rejected(self):
+        with pytest.raises(StreamingError, match="pairs"):
+            EdgeBatch.from_lists(inserts=[(1, 2, 3)])
+
+    def test_failed_batch_leaves_graph_untouched(self):
+        graph = _graph()
+        before = graph_fingerprint(graph)
+        with pytest.raises(StreamingError):
+            apply_batch(graph, EdgeBatch.from_lists(inserts=[(2, 0)], deletes=[(0, 3)]))
+        assert graph_fingerprint(graph) == before
+
+
+# ----------------------------------------------------------------------
+# apply_batch == full rebuild
+# ----------------------------------------------------------------------
+class TestApplyBatch:
+    def test_empty_batch_is_identity(self):
+        graph = _graph()
+        assert apply_batch(graph, EdgeBatch()) is graph
+
+    def test_patch_matches_rebuild(self):
+        graph = _graph()
+        batch = EdgeBatch.from_lists(inserts=[(2, 0), (0, 2)], deletes=[(1, 1), (3, 3)])
+        patched = apply_batch(graph, batch)
+        rebuilt = BipartiteGraph(
+            4, 4, [(0, 0), (0, 1), (0, 2), (1, 0), (1, 2), (2, 0), (2, 2), (3, 0)]
+        )
+        assert patched == rebuilt
+        assert graph_fingerprint(patched) == graph_fingerprint(rebuilt)
+
+    def test_preserves_name_and_sizes(self):
+        graph = BipartiteGraph(5, 6, [(0, 0), (4, 5)], name="stream-me")
+        patched = apply_batch(graph, EdgeBatch.from_lists(inserts=[(2, 3)]))
+        assert patched.name == "stream-me"
+        assert (patched.n_u, patched.n_v) == (5, 6)
+        assert patched.n_edges == 3
+
+
+@st.composite
+def graph_and_batch(draw, max_u=10, max_v=10, max_edges=40, max_changes=8):
+    """A random graph plus a valid insert/delete batch against it."""
+    n_u = draw(st.integers(min_value=1, max_value=max_u))
+    n_v = draw(st.integers(min_value=1, max_value=max_v))
+    possible = [(u, v) for u in range(n_u) for v in range(n_v)]
+    n_edges = draw(st.integers(min_value=0, max_value=min(max_edges, len(possible))))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=len(possible) - 1),
+                 min_size=n_edges, max_size=n_edges, unique=True)
+    )
+    present = [possible[i] for i in indices]
+    absent = [edge for i, edge in enumerate(possible) if i not in set(indices)]
+    n_del = draw(st.integers(min_value=0, max_value=min(len(present), max_changes)))
+    n_ins = draw(st.integers(min_value=0, max_value=min(len(absent), max_changes)))
+    deletes = present[:n_del]
+    inserts = absent[:n_ins]
+    return BipartiteGraph(n_u, n_v, present), EdgeBatch.from_lists(inserts or None, deletes or None)
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_and_batch())
+def test_patched_csr_is_bit_identical_to_rebuild(case):
+    graph, batch = case
+    patched = apply_batch(graph, batch)
+    deleted = set(map(tuple, batch.deletes.tolist()))
+    edges = [edge for edge in map(tuple, graph.edge_array().tolist()) if edge not in deleted]
+    edges.extend(map(tuple, batch.inserts.tolist()))
+    rebuilt = BipartiteGraph(graph.n_u, graph.n_v, edges)
+    assert patched == rebuilt
+    # Both CSR directions, not just the U side compared by __eq__.
+    for side in ("U", "V"):
+        for patched_array, rebuilt_array in zip(patched.csr(side), rebuilt.csr(side)):
+            assert np.array_equal(patched_array, rebuilt_array)
+    assert graph_fingerprint(patched) == graph_fingerprint(rebuilt)

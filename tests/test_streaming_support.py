@@ -1,0 +1,109 @@
+"""Incremental butterfly-support maintenance vs. fresh counting."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.butterfly.counting import count_per_vertex
+from repro.graph.bipartite import BipartiteGraph
+from repro.streaming import EdgeBatch, apply_batch, region_butterflies, support_delta
+
+
+def _graph():
+    # Two butterflies sharing vertex u1, plus a pendant edge.
+    edges = [(0, 0), (0, 1), (1, 0), (1, 1), (1, 2), (2, 1), (2, 2), (3, 3)]
+    return BipartiteGraph(4, 4, edges)
+
+
+class TestRegionButterflies:
+    def test_matches_global_count_on_any_subset(self):
+        graph = _graph()
+        expected = count_per_vertex(graph).u_counts
+        for subset in ([0], [1, 3], [0, 1, 2, 3]):
+            counts, _, _, _ = region_butterflies(graph, "U", np.asarray(subset))
+            assert counts.tolist() == expected[subset].tolist()
+
+    def test_v_side_counts(self):
+        graph = _graph()
+        expected = count_per_vertex(graph).v_counts
+        counts, _, _, _ = region_butterflies(graph, "V", np.arange(4))
+        assert counts.tolist() == expected.tolist()
+
+    def test_empty_subset(self):
+        counts, keys, pairs, wedges = region_butterflies(_graph(), "U", np.zeros(0, np.int64))
+        assert counts.size == keys.size == pairs.size == wedges == 0
+
+    def test_pair_signature_carries_shared_butterflies(self):
+        graph = _graph()
+        counts, keys, pairs, _ = region_butterflies(graph, "U", np.asarray([1]))
+        partners = (keys % graph.n_u).tolist()
+        # u1 shares one butterfly with u0 and one with u2.
+        assert partners == [0, 2]
+        assert pairs.tolist() == [1, 1]
+        assert counts.tolist() == [2]
+
+
+class TestSupportDelta:
+    def test_butterfly_free_insert_is_not_dirty(self):
+        graph = _graph()
+        batch = EdgeBatch.from_lists(inserts=[(3, 0)])
+        delta = support_delta(graph, apply_batch(graph, batch), batch, "U")
+        assert delta.dirty.size == 0
+
+    def test_insert_creating_butterflies(self):
+        graph = _graph()
+        # u3 gains v1 and v2, closing one butterfly with u1 and one with u2.
+        batch = EdgeBatch.from_lists(inserts=[(3, 1), (3, 2)])
+        new_graph = apply_batch(graph, batch)
+        delta = support_delta(graph, new_graph, batch, "U")
+        updated = delta.apply_to(count_per_vertex(graph).u_counts)
+        assert updated.tolist() == count_per_vertex(new_graph).u_counts.tolist()
+        assert set(delta.dirty.tolist()) == {1, 2, 3}
+
+    def test_delete_destroying_butterfly(self):
+        graph = _graph()
+        batch = EdgeBatch.from_lists(deletes=[(0, 0)])
+        new_graph = apply_batch(graph, batch)
+        delta = support_delta(graph, new_graph, batch, "U")
+        assert set(delta.dirty.tolist()) == {0, 1}
+        updated = delta.apply_to(count_per_vertex(graph).u_counts)
+        assert updated.tolist() == count_per_vertex(new_graph).u_counts.tolist()
+
+
+@st.composite
+def graph_and_batch(draw, max_u=10, max_v=10, max_edges=45, max_changes=6):
+    n_u = draw(st.integers(min_value=1, max_value=max_u))
+    n_v = draw(st.integers(min_value=1, max_value=max_v))
+    possible = [(u, v) for u in range(n_u) for v in range(n_v)]
+    n_edges = draw(st.integers(min_value=0, max_value=min(max_edges, len(possible))))
+    indices = draw(
+        st.lists(st.integers(min_value=0, max_value=len(possible) - 1),
+                 min_size=n_edges, max_size=n_edges, unique=True)
+    )
+    present = [possible[i] for i in indices]
+    absent = [edge for i, edge in enumerate(possible) if i not in set(indices)]
+    n_del = draw(st.integers(min_value=0, max_value=min(len(present), max_changes)))
+    n_ins = draw(st.integers(min_value=0, max_value=min(len(absent), max_changes)))
+    if n_del + n_ins == 0 and absent:
+        n_ins = 1
+    return (
+        BipartiteGraph(n_u, n_v, present),
+        EdgeBatch.from_lists(absent[:n_ins] or None, present[:n_del] or None),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=graph_and_batch())
+def test_incremental_counts_match_fresh_counts_both_sides(case):
+    graph, batch = case
+    new_graph = apply_batch(graph, batch)
+    fresh_old = count_per_vertex(graph)
+    fresh_new = count_per_vertex(new_graph)
+    for side, old_counts, new_counts in (
+        ("U", fresh_old.u_counts, fresh_new.u_counts),
+        ("V", fresh_old.v_counts, fresh_new.v_counts),
+    ):
+        delta = support_delta(graph, new_graph, batch, side)
+        assert delta.apply_to(old_counts).tolist() == new_counts.tolist()
+        # Vertices outside the dirty set must not have moved.
+        moved = np.flatnonzero(old_counts != new_counts)
+        assert set(moved.tolist()) <= set(delta.dirty.tolist())
