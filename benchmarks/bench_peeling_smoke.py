@@ -17,9 +17,11 @@ CI smoke job); the default covers every registry dataset at the harness's
 usual 0.4 scale.  The script exits non-zero if the kernels disagree on any
 counter, or — in full mode, where batches are large enough for the
 per-vertex interpreter overhead to dominate the reference — if the batched
-kernel fails to deliver a >= 3x CD-phase speedup on the largest benchmarked
-dataset.  Quick mode records the speedup without gating on it (tiny graphs
-are fixed-overhead-bound on both paths).
+kernel fails to deliver a >= 3.5x CD-phase speedup on the largest
+benchmarked dataset (raised from 3x once the wedge pipeline moved
+allocations off the hot path; see ``bench_kernels.py`` for the dedicated
+memory-policy gates).  Quick mode records the speedup without gating on it
+(tiny graphs are fixed-overhead-bound on both paths).
 """
 
 from __future__ import annotations
@@ -35,16 +37,18 @@ import numpy as np
 from repro.butterfly.counting import count_per_vertex_priority
 from repro.core.cd import coarse_grained_decomposition
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.kernels.workspace import WedgeWorkspace
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 QUICK_DATASETS = ("it", "de")
-SPEEDUP_FLOOR = 3.0
+SPEEDUP_FLOOR = 3.5
 
 
 def run_cd(graph, initial_supports, *, kernel: str, n_partitions: int,
            rounds: int = 1) -> dict:
     elapsed = None
     for _ in range(rounds):
+        workspace = WedgeWorkspace()  # fresh arena per run: exact peak accounting
         start = time.perf_counter()
         result = coarse_grained_decomposition(
             graph,
@@ -53,12 +57,14 @@ def run_cd(graph, initial_supports, *, kernel: str, n_partitions: int,
             enable_huc=False,  # isolate the peel kernel: no re-count shortcuts
             enable_dgm=True,
             peel_kernel=kernel,
+            workspace=workspace,
         )
         lap = time.perf_counter() - start
         elapsed = lap if elapsed is None else min(elapsed, lap)
     return {
         "kernel": kernel,
         "cd_seconds": elapsed,
+        "peak_scratch_bytes": int(result.counters.peak_scratch_bytes),
         "wedges_traversed": int(result.counters.wedges_traversed),
         "support_updates": int(result.counters.support_updates),
         "synchronization_rounds": int(result.counters.synchronization_rounds),
@@ -94,6 +100,7 @@ def bench_dataset(key: str, *, scale: float, n_partitions: int, rounds: int) -> 
         "batched_cd_seconds": round(runs["batched"]["cd_seconds"], 4),
         "reference_cd_seconds": round(runs["reference"]["cd_seconds"], 4),
         "cd_speedup": round(speedup, 2),
+        "batched_peak_scratch_bytes": runs["batched"]["peak_scratch_bytes"],
     }
 
 

@@ -175,7 +175,9 @@ def main(argv=None) -> int:
                 "/k-tip": f"/k-tip?k={k_mid}&limit=16",
                 "/community": f"/community?k={index.max_tip_number}",
             }
-            assert set(endpoint_routes) == set(ENDPOINTS)
+            # Every GET endpoint is exercised; /update is POST-only and is
+            # covered by bench_streaming.py and the service test suite.
+            assert set(endpoint_routes) == set(ENDPOINTS) - {"/update"}
             endpoint_status = {}
             # The first request hits a fresh service cache: the HTTP cold path.
             _, _, http_cold_first_ms = _http_get(base_url, "/theta?vertex=0")

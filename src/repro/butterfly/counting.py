@@ -7,6 +7,17 @@ degree and a wedge ``sp - mp - ep`` is traversed only from the start vertex
 bounds traversal by ``O(sum_{(u,v) in E} min(d_u, d_v)) = O(alpha * m)``
 wedges while still attributing every butterfly to all four of its vertices.
 
+The enumeration is *start-major*: a rank-sorted adjacency index is built
+once per side (:func:`_build_ranked_index`), the rank-filtered wedge prefix
+of every ``(start, mid)`` edge is located with one global ``searchsorted``,
+and the wedge endpoints are gathered and aggregated start-by-start in
+wedge-budgeted chunks.  Because every wedge of a ``(start, endpoint)`` pair
+is enumerated under its start vertex, chunking over starts folds partial
+``C(wedges, 2)`` results into the running per-vertex counts *exactly* —
+peak scratch is bounded by the workspace's wedge budget while counts and
+the wedge-traversal counter stay bit-identical to the monolithic
+enumeration (the wedge set is precisely the one Alg. 1 visits).
+
 Three entry points are provided:
 
 * :func:`count_per_vertex` — the public API; picks an algorithm by name.
@@ -26,7 +37,18 @@ import numpy as np
 from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph
 from ..graph.relabel import degree_priority
-from ..kernels.wedges import ranked_wedge_pairs
+from ..kernels.csr import (
+    gather_ranges,
+    gather_rows,
+    segment_ids,
+    segment_offsets,
+    segment_sums,
+)
+from ..kernels.workspace import (
+    WedgeWorkspace,
+    budget_spans,
+    workspace_or_default,
+)
 from ..parallel.threadpool import ExecutionContext
 from .naive import count_per_vertex_wedge
 
@@ -74,198 +96,242 @@ class ButterflyCounts:
 
 
 @dataclass(frozen=True)
-class _RankedAdjacency:
-    """Adjacency lists re-sorted by global degree rank, per side."""
+class _RankedWedgeIndex:
+    """Rank-sorted flat CSR of one (middle) side plus its lookup keys.
 
-    # neighbors_by_rank[vertex] lists neighbor ids ordered by increasing rank
-    # (i.e. decreasing degree); neighbor_ranks[vertex] carries their ranks so
-    # prefix cut-offs are a binary search away.
-    neighbors_by_rank: list[np.ndarray]
-    neighbor_ranks: list[np.ndarray]
+    ``neighbors`` holds every middle vertex's endpoint-side neighbours
+    sorted by increasing endpoint rank; ``entry_keys[e] = mid(e) *
+    rank_bound + rank(neighbor(e))`` is then globally sorted, so the
+    rank-filtered prefix length of any ``(mid, cutoff)`` query is one
+    ``searchsorted`` away.  Neighbor ids are narrowed to int32 when the
+    endpoint side fits, halving the bytes of every wedge gather.
+    """
 
-
-def _rank_sorted_adjacency(graph: BipartiteGraph, side: str, opposite_rank: np.ndarray) -> _RankedAdjacency:
-    neighbors_by_rank: list[np.ndarray] = []
-    neighbor_ranks: list[np.ndarray] = []
-    for vertex in range(graph.side_size(side)):
-        neighbors = graph.neighbors(vertex, side)
-        ranks = opposite_rank[neighbors]
-        order = np.argsort(ranks, kind="stable")
-        neighbors_by_rank.append(neighbors[order])
-        neighbor_ranks.append(ranks[order])
-    return _RankedAdjacency(neighbors_by_rank=neighbors_by_rank, neighbor_ranks=neighbor_ranks)
+    offsets: np.ndarray
+    neighbors: np.ndarray
+    entry_keys: np.ndarray
+    rank_bound: int
 
 
-def _count_from_starts(
+def _build_ranked_index(
+    graph: BipartiteGraph,
+    mid_side: str,
+    endpoint_ranks: np.ndarray,
+    workspace: WedgeWorkspace,
+) -> _RankedWedgeIndex:
+    offsets, neighbors = graph.csr(mid_side)
+    lengths = np.diff(offsets)
+    mid_of_entry = segment_ids(lengths)
+    neighbor_ranks = endpoint_ranks[neighbors]
+    order = np.lexsort((neighbor_ranks, mid_of_entry))
+    # Ranks are a global permutation of U ∪ V, so cutoff queries range up
+    # to the total vertex count.
+    rank_bound = graph.n_u + graph.n_v + 1
+    return _RankedWedgeIndex(
+        offsets=offsets,
+        neighbors=neighbors[order].astype(
+            workspace.ids_dtype(endpoint_ranks.shape[0])
+        ),
+        entry_keys=mid_of_entry * np.int64(rank_bound) + neighbor_ranks[order],
+        rank_bound=rank_bound,
+    )
+
+
+def _fold_priority_starts(
     graph: BipartiteGraph,
     start_side: str,
-    start_vertices: np.ndarray,
-    start_ranks: np.ndarray,
+    starts: np.ndarray,
+    endpoint_ranks: np.ndarray,
     mid_ranks: np.ndarray,
-    start_adjacency: _RankedAdjacency,
-    mid_adjacency: _RankedAdjacency,
-    same_counts: np.ndarray,
-    other_counts: np.ndarray,
+    index: _RankedWedgeIndex,
+    endpoint_counts: np.ndarray,
+    mid_counts: np.ndarray,
+    workspace: WedgeWorkspace,
 ) -> int:
-    """Process a batch of start vertices, accumulating counts in place.
+    """Aggregate every priority-filtered wedge of the given start vertices.
 
-    Returns the number of wedges traversed.  ``same_counts`` indexes the
-    start side and ``other_counts`` the middle side.
+    For each start ``sp`` the wedges ``sp - mp - ep`` with ``rank(ep) <
+    min(rank(sp), rank(mp))`` are gathered through the ranked index and
+    grouped by ``(start, endpoint)`` pair: the pair's two endpoint-side
+    vertices each gain ``C(wedges, 2)`` butterflies and every wedge's
+    middle vertex gains ``wedges - 1``.  Work is streamed in
+    wedge-budgeted spans of starts; partial sums fold exactly because a
+    pair's wedges never cross its start's span.  Returns the number of
+    wedges traversed (one per gathered endpoint).
     """
-    n_same = same_counts.shape[0]
-    wedge_buffer = np.zeros(n_same, dtype=np.int64)
+    start_offsets, start_neighbors = graph.csr(start_side)
+    mids, mids_per_start = gather_rows(start_offsets, start_neighbors, starts)
+    if mids.size == 0:
+        return 0
+    # Rank-filtered prefix length of every (start, mid) edge in one global
+    # searchsorted over the index keys.
+    cutoffs = np.minimum(
+        np.repeat(endpoint_ranks[starts], mids_per_start), mid_ranks[mids]
+    )
+    positions = np.searchsorted(
+        index.entry_keys, mids * np.int64(index.rank_bound) + cutoffs, side="left"
+    )
+    row_starts = index.offsets[mids]
+    prefix = positions - row_starts
+    wedges_per_start = segment_sums(prefix, mids_per_start)
+    entry_offsets = segment_offsets(mids_per_start)
+
+    n_endpoint = np.int64(endpoint_counts.shape[0])
     wedges_traversed = 0
-
-    for start in start_vertices:
-        start = int(start)
-        start_rank = int(start_ranks[start])
-        mids = start_adjacency.neighbors_by_rank[start]
-        if mids.size == 0:
+    for lo, hi in budget_spans(wedges_per_start, workspace.wedge_budget):
+        e_lo, e_hi = int(entry_offsets[lo]), int(entry_offsets[hi])
+        endpoints = gather_ranges(
+            index.neighbors, row_starts[e_lo:e_hi], prefix[e_lo:e_hi],
+            workspace=workspace, name="pc_ep",
+        )
+        n_wedges = int(endpoints.shape[0])
+        if n_wedges == 0:
             continue
-        touched: list[np.ndarray] = []
-        per_mid: list[tuple[int, np.ndarray]] = []
-        for mid in mids:
-            mid = int(mid)
-            cutoff = min(start_rank, int(mid_ranks[mid]))
-            candidate_ranks = mid_adjacency.neighbor_ranks[mid]
-            prefix = int(np.searchsorted(candidate_ranks, cutoff, side="left"))
-            if prefix == 0:
-                continue
-            endpoints = mid_adjacency.neighbors_by_rank[mid][:prefix]
-            wedge_buffer[endpoints] += 1
-            wedges_traversed += prefix
-            touched.append(endpoints)
-            per_mid.append((mid, endpoints))
-        if not touched:
-            continue
+        wedges_traversed += n_wedges
 
-        unique_endpoints = np.unique(np.concatenate(touched))
-        pair_wedges = wedge_buffer[unique_endpoints]
+        # (start, endpoint) pair keys, narrowed to the span's bound.
+        span = hi - lo
+        key_dtype = workspace.ids_dtype(span * int(n_endpoint))
+        keys = np.repeat(
+            (np.arange(span, dtype=np.int64) * n_endpoint).astype(key_dtype),
+            wedges_per_start[lo:hi],
+        )
+        np.add(keys, endpoints, out=keys, casting="unsafe")
+        sort_keys = workspace.take("pc_sort", n_wedges, key_dtype)
+        np.copyto(sort_keys, keys)
+        sort_keys.sort()
+        boundary = workspace.take("pc_boundary", n_wedges, np.bool_)
+        boundary[0] = True
+        np.not_equal(sort_keys[1:], sort_keys[:-1], out=boundary[1:])
+        run_starts = np.flatnonzero(boundary)
+        pair_wedges = np.empty(run_starts.shape[0], dtype=np.int64)
+        np.subtract(run_starts[1:], run_starts[:-1], out=pair_wedges[:-1])
+        pair_wedges[-1] = n_wedges - run_starts[-1]
+        unique_keys = sort_keys[run_starts]
+
+        # Endpoint-side attribution: both pair members gain C(wedges, 2).
         pair_butterflies = pair_wedges * (pair_wedges - 1) // 2
-        # Same-side contribution: the endpoint and the start vertex each gain
-        # C(wedges, 2) butterflies for this (start, endpoint) pair.
-        same_counts[unique_endpoints] += pair_butterflies
-        same_counts[start] += int(pair_butterflies.sum())
-        # Opposite-side contribution: the middle vertex of a wedge pairs with
-        # the other (wedges - 1) wedges sharing the same endpoint.
-        for mid, endpoints in per_mid:
-            other_counts[mid] += int(wedge_buffer[endpoints].sum()) - endpoints.size
+        unique64 = unique_keys.astype(np.int64)
+        pair_position = unique64 // n_endpoint
+        pair_endpoint = unique64 - pair_position * n_endpoint
+        np.add.at(endpoint_counts, pair_endpoint, pair_butterflies)
+        np.add.at(endpoint_counts, starts[lo + pair_position], pair_butterflies)
 
-        wedge_buffer[unique_endpoints] = 0
-
+        # Middle-vertex attribution: a wedge's mid pairs with the other
+        # (pair wedges - 1) wedges sharing its (start, endpoint) key.
+        pair_of_wedge = np.searchsorted(unique_keys, keys)
+        contribution = workspace.take("pc_contrib", n_wedges, np.int64)
+        np.take(pair_wedges, pair_of_wedge, out=contribution, mode="clip")
+        contribution -= 1
+        mid_of_wedge = np.repeat(mids[e_lo:e_hi], prefix[e_lo:e_hi])
+        np.add.at(mid_counts, mid_of_wedge, contribution)
     return wedges_traversed
 
 
-def _count_wedges_through_mids(
+def _count_priority_side(
     graph: BipartiteGraph,
     mid_side: str,
     mid_ranks: np.ndarray,
     endpoint_ranks: np.ndarray,
     endpoint_counts: np.ndarray,
     mid_counts: np.ndarray,
+    workspace: WedgeWorkspace,
 ) -> int:
-    """Vectorised traversal of all priority-filtered wedges centred on ``mid_side``.
-
-    For every middle vertex ``mp`` the wedges ``sp - mp - ep`` with
-    ``rank(ep) < rank(mp)`` and ``rank(ep) < rank(sp)`` are enumerated by
-    the shared :func:`~repro.kernels.wedges.ranked_wedge_pairs` kernel (the
-    exact wedge set Alg. 1 visits), then butterflies are attributed to the
-    endpoints (``C(pair wedges, 2)`` each) and to the middle vertices
-    (``pair wedges - 1`` per wedge) in a single grouped pass.  All
-    aggregation is integer ``np.add.at`` — float-weighted ``np.bincount``
-    would silently lose precision once counts exceed 2**53.  Returns the
-    number of wedges traversed.
-    """
-    n_endpoint_side = endpoint_counts.shape[0]
-    offsets, neighbors = graph.csr(mid_side)
-    all_sp, all_ep, all_mid = ranked_wedge_pairs(
-        offsets, neighbors, mid_ranks, endpoint_ranks
+    """All priority-filtered wedges centred on ``mid_side``, folded serially."""
+    start_side = "U" if mid_side == "V" else "V"
+    index = _build_ranked_index(graph, mid_side, endpoint_ranks, workspace)
+    starts = np.arange(graph.side_size(start_side), dtype=np.int64)
+    return _fold_priority_starts(
+        graph, start_side, starts, endpoint_ranks, mid_ranks, index,
+        endpoint_counts, mid_counts, workspace,
     )
-    if all_sp.size == 0:
-        return 0
-
-    pair_keys = all_sp * np.int64(n_endpoint_side) + all_ep
-    unique_keys, inverse, pair_wedges = np.unique(
-        pair_keys, return_inverse=True, return_counts=True
-    )
-    pair_sp = unique_keys // n_endpoint_side
-    pair_ep = unique_keys % n_endpoint_side
-    pair_butterflies = pair_wedges * (pair_wedges - 1) // 2
-
-    np.add.at(endpoint_counts, pair_sp, pair_butterflies)
-    np.add.at(endpoint_counts, pair_ep, pair_butterflies)
-    mid_contribution = pair_wedges[inverse] - 1
-    np.add.at(mid_counts, all_mid, mid_contribution)
-    return int(all_sp.shape[0])
 
 
-def count_per_vertex_priority(graph: BipartiteGraph) -> ButterflyCounts:
+def count_per_vertex_priority(
+    graph: BipartiteGraph, *, workspace: WedgeWorkspace | None = None
+) -> ButterflyCounts:
     """Sequential vertex-priority per-vertex butterfly counting (Alg. 1).
 
-    The implementation enumerates the priority-filtered wedges from the
-    middle vertices instead of the start vertices; the wedge set, the work
+    The implementation enumerates the priority-filtered wedges start-major
+    through the shared memory-bounded pipeline; the wedge set, the work
     bound and the resulting counts are identical to Alg. 1, but the grouped
-    aggregation vectorises far better in numpy.
+    aggregation vectorises far better in numpy and peak scratch is capped
+    by the workspace's wedge budget.
     """
+    workspace = workspace_or_default(workspace)
     priority = degree_priority(graph)
     u_counts = np.zeros(graph.n_u, dtype=np.int64)
     v_counts = np.zeros(graph.n_v, dtype=np.int64)
 
     # Wedges with endpoints in U are centred on V vertices and vice versa.
-    wedges = _count_wedges_through_mids(
-        graph, "V", priority.v_rank, priority.u_rank, u_counts, v_counts
+    wedges = _count_priority_side(
+        graph, "V", priority.v_rank, priority.u_rank, u_counts, v_counts, workspace
     )
-    wedges += _count_wedges_through_mids(
-        graph, "U", priority.u_rank, priority.v_rank, v_counts, u_counts
+    wedges += _count_priority_side(
+        graph, "U", priority.u_rank, priority.v_rank, v_counts, u_counts, workspace
     )
     return ButterflyCounts(u_counts=u_counts, v_counts=v_counts,
                            wedges_traversed=wedges, algorithm="vertex-priority")
 
 
 def count_per_vertex_parallel(
-    graph: BipartiteGraph, context: ExecutionContext | None = None
+    graph: BipartiteGraph,
+    context: ExecutionContext | None = None,
+    *,
+    workspace: WedgeWorkspace | None = None,
 ) -> ButterflyCounts:
     """Vertex-priority counting parallelised over start vertices.
 
-    Start vertices are split into work-balanced chunks; every chunk
-    accumulates into private buffers which are merged after the implicit
-    barrier, mirroring the batch-aggregation mode the paper adopts from
-    ParButterfly.  Counts are identical to the sequential kernel.
+    Start vertices are split into work-balanced chunks; every chunk runs
+    the same start-major fold as the sequential kernel into private buffers
+    which are merged after the implicit barrier, mirroring the
+    batch-aggregation mode the paper adopts from ParButterfly.  Counts are
+    identical to the sequential kernel (pairs never span two chunks).
     """
     context = context or ExecutionContext()
+    workspace = workspace_or_default(workspace)
     priority = degree_priority(graph)
-    u_adjacency = _rank_sorted_adjacency(graph, "U", priority.v_rank)
-    v_adjacency = _rank_sorted_adjacency(graph, "V", priority.u_rank)
 
     u_counts = np.zeros(graph.n_u, dtype=np.int64)
     v_counts = np.zeros(graph.n_v, dtype=np.int64)
     total_wedges = 0
 
-    for side, start_count, start_ranks, mid_ranks, start_adj, mid_adj, same_target, other_target in (
-        ("U", graph.n_u, priority.u_rank, priority.v_rank, u_adjacency, v_adjacency, u_counts, v_counts),
-        ("V", graph.n_v, priority.v_rank, priority.u_rank, v_adjacency, u_adjacency, v_counts, u_counts),
+    for start_side, mid_side, start_count, endpoint_ranks, mid_ranks, same_target, other_target in (
+        ("U", "V", graph.n_u, priority.u_rank, priority.v_rank, u_counts, v_counts),
+        ("V", "U", graph.n_v, priority.v_rank, priority.u_rank, v_counts, u_counts),
     ):
+        index = _build_ranked_index(graph, mid_side, endpoint_ranks, workspace)
         starts = np.arange(start_count)
-        work = graph.degrees(side).astype(np.float64)
+        work = graph.degrees(start_side).astype(np.float64)
 
-        def chunk_body(chunk, *, _side=side, _ranks=start_ranks, _mid_ranks=mid_ranks,
-                       _start_adj=start_adj, _mid_adj=mid_adj,
+        def chunk_body(chunk, *, _start_side=start_side, _ep_ranks=endpoint_ranks,
+                       _mid_ranks=mid_ranks, _index=index,
                        _n_same=same_target.shape[0], _n_other=other_target.shape[0]):
+            # A private arena per chunk carrying the run's memory policy:
+            # the wedge budget and narrowing apply inside workers too, and
+            # the chunk's peak folds back into the run's accounting below.
+            local_workspace = WedgeWorkspace(
+                wedge_budget=workspace.wedge_budget,
+                narrow_ids=workspace.narrow_ids,
+            )
             local_same = np.zeros(_n_same, dtype=np.int64)
             local_other = np.zeros(_n_other, dtype=np.int64)
-            traversed = _count_from_starts(
-                graph, _side, np.asarray(chunk, dtype=np.int64), _ranks, _mid_ranks,
-                _start_adj, _mid_adj, local_same, local_other,
+            traversed = _fold_priority_starts(
+                graph, _start_side, np.asarray(chunk, dtype=np.int64),
+                _ep_ranks, _mid_ranks, _index, local_same, local_other,
+                local_workspace,
             )
-            return local_same, local_other, traversed
+            return local_same, local_other, traversed, local_workspace.peak_scratch_bytes
 
         results = context.map_chunks(
-            list(starts), chunk_body, name=f"pvBcnt[{side}]", work_per_item=list(work)
+            list(starts), chunk_body, name=f"pvBcnt[{start_side}]", work_per_item=list(work)
         )
-        for local_same, local_other, traversed in results:
+        for local_same, local_other, traversed, local_peak in results:
             same_target += local_same
             other_target += local_other
             total_wedges += traversed
+            if local_peak > workspace.peak_scratch_bytes:
+                workspace.peak_scratch_bytes = local_peak
 
     return ButterflyCounts(u_counts=u_counts, v_counts=v_counts,
                            wedges_traversed=total_wedges, algorithm="vertex-priority-parallel")
@@ -276,6 +342,7 @@ def count_per_vertex(
     *,
     algorithm: str = "vertex-priority",
     context: ExecutionContext | None = None,
+    workspace: WedgeWorkspace | None = None,
 ) -> ButterflyCounts:
     """Count per-vertex butterflies with the requested algorithm.
 
@@ -289,11 +356,13 @@ def count_per_vertex(
         aggregation, mainly for cross-checking).
     context:
         Execution context for the parallel kernel.
+    workspace:
+        Scratch arena + memory policy shared with the caller's wider run.
     """
     if algorithm == "vertex-priority":
-        return count_per_vertex_priority(graph)
+        return count_per_vertex_priority(graph, workspace=workspace)
     if algorithm == "parallel":
-        return count_per_vertex_parallel(graph, context)
+        return count_per_vertex_parallel(graph, context, workspace=workspace)
     if algorithm == "wedge":
         u_counts, wedges_u = count_per_vertex_wedge(graph, "U")
         v_counts, wedges_v = count_per_vertex_wedge(graph, "V")

@@ -25,6 +25,12 @@ scaling on multicore hardware); ``serial`` is the single-process default.
 ``compare`` forwards the same ``--peel-kernel`` / ``--partitions`` /
 ``--threads`` / ``--backend`` configuration to both algorithms so the
 comparison exercises exactly the configured kernels.
+
+Every decomposition command also accepts ``--wedge-budget N`` — the cap on
+wedge endpoints a kernel chunk may materialise at once, which bounds the
+wedge pipeline's peak scratch memory without changing any result; the
+run's ``peak_scratch_bytes`` shows up in summaries, artifact manifests and
+the ``/stats`` endpoint.
 """
 
 from __future__ import annotations
@@ -82,6 +88,13 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                              "in-process serial (default), a thread pool, or a "
                              "multiprocess worker pool over a shared-memory "
                              "graph store (bit-identical results)")
+    parser.add_argument("--wedge-budget", type=int, default=None,
+                        help="wedge endpoints a kernel chunk may materialise at "
+                             "once — caps the wedge pipeline's peak scratch "
+                             "memory (default: library default; 0 disables "
+                             "chunking).  Results are bit-identical for any "
+                             "budget; the run's peak_scratch_bytes is reported "
+                             "in the summary")
 
 
 def _algorithm_kwargs(args: argparse.Namespace, algorithm: str) -> dict:
@@ -96,8 +109,18 @@ def _algorithm_kwargs(args: argparse.Namespace, algorithm: str) -> dict:
     if algorithm.lower().startswith("receipt"):
         kwargs["n_threads"] = args.threads
         kwargs["backend"] = args.backend
+        kwargs["wedge_budget"] = args.wedge_budget
         if args.partitions is not None:
             kwargs["n_partitions"] = args.partitions
+    else:
+        # The sequential baselines take the memory policy as a workspace
+        # object (their own ``wedge_budget`` argument is the traversal cap
+        # reproducing the paper's DNF entries, a different knob).
+        from .kernels.workspace import WedgeWorkspace, resolve_wedge_budget
+
+        kwargs["workspace"] = WedgeWorkspace(
+            wedge_budget=resolve_wedge_budget(args.wedge_budget)
+        )
     return kwargs
 
 
@@ -267,6 +290,7 @@ def _command_build_index(args: argparse.Namespace) -> int:
         backend=args.backend,
         n_threads=args.threads,
         n_partitions=args.partitions,
+        wedge_budget=args.wedge_budget,
         overwrite=args.force,
     )
     print(json.dumps(
@@ -277,6 +301,7 @@ def _command_build_index(args: argparse.Namespace) -> int:
             "graph": manifest.graph,
             "decomposition": manifest.decomposition,
             "elapsed_seconds": manifest.counters.get("elapsed_seconds"),
+            "peak_scratch_bytes": manifest.counters.get("peak_scratch_bytes"),
         },
         indent=2,
     ))

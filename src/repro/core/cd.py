@@ -22,6 +22,7 @@ import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
 from ..graph.dynamic import PeelableAdjacency
+from ..kernels.workspace import WedgeWorkspace, workspace_or_default
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters
 from ..peeling.update import peel_batch
@@ -90,6 +91,7 @@ def coarse_grained_decomposition(
     adaptive_targets: bool = True,
     context: ExecutionContext | None = None,
     peel_kernel: str = "batched",
+    workspace: WedgeWorkspace | None = None,
 ) -> CoarseDecompositionResult:
     """Partition the ``U`` side into tip-number-range subsets (Alg. 3).
 
@@ -128,10 +130,16 @@ def coarse_grained_decomposition(
         Support-update kernel used by the range-peel iterations: the shared
         vectorized ``"batched"`` kernel (default) or the per-vertex
         ``"reference"`` loop (ablation / equivalence runs).
+    workspace:
+        Scratch arena + memory policy (wedge budget, int32 narrowing) every
+        peel iteration and HUC recount runs on; the calling thread's
+        default arena when omitted.  Its high-water mark is reported as
+        ``counters.peak_scratch_bytes``.
     """
     if n_partitions < 1:
         raise ValueError(f"n_partitions must be >= 1, got {n_partitions}")
     context = context or ExecutionContext()
+    workspace = workspace_or_default(workspace)
     counters = PeelingCounters()
     start_time = time.perf_counter()
 
@@ -142,7 +150,8 @@ def coarse_grained_decomposition(
     init_supports = supports.copy()
 
     wedge_work = graph.wedge_work_per_vertex("U")
-    adjacency = PeelableAdjacency(graph, "U", enable_dgm=enable_dgm)
+    adjacency = PeelableAdjacency(graph, "U", enable_dgm=enable_dgm,
+                                  narrow_ids=workspace.narrow_ids)
     alive = adjacency.alive_mask()
 
     targeter = AdaptiveRangeTargeter(n_partitions=n_partitions)
@@ -192,7 +201,8 @@ def coarse_grained_decomposition(
             if use_recount:
                 adjacency.mark_peeled_many(active_set)
                 still_alive = np.flatnonzero(alive)
-                outcome = recount_supports(graph, alive, alive_vertices=still_alive)
+                outcome = recount_supports(graph, alive, alive_vertices=still_alive,
+                                           workspace=workspace)
                 supports[still_alive] = np.maximum(outcome.supports[still_alive], lower_bound)
                 adjacency.record_traversal(outcome.wedges_traversed)
                 counters.wedges_traversed += outcome.wedges_traversed
@@ -202,7 +212,8 @@ def coarse_grained_decomposition(
                 candidate_vertices = still_alive
             else:
                 update = peel_batch(adjacency, supports, active_set, lower_bound,
-                                    kernel=peel_kernel, context=context)
+                                    kernel=peel_kernel, context=context,
+                                    workspace=workspace)
                 counters.wedges_traversed += update.wedges_traversed
                 counters.peeling_wedges += update.wedges_traversed
                 counters.support_updates += update.support_updates
@@ -258,6 +269,7 @@ def coarse_grained_decomposition(
         counters.vertices_peeled += int(leftover.size)
 
     counters.elapsed_seconds = time.perf_counter() - start_time
+    counters.peak_scratch_bytes = workspace.peak_scratch_bytes
     return CoarseDecompositionResult(
         bounds=np.asarray(bounds, dtype=np.int64),
         subsets=subsets,

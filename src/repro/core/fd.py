@@ -21,6 +21,7 @@ import numpy as np
 
 from ..engine.tasks import FdJob, build_fd_tasks
 from ..graph.bipartite import BipartiteGraph
+from ..kernels.workspace import resolve_wedge_budget
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters
 from .cd import CoarseDecompositionResult
@@ -40,6 +41,7 @@ class SubsetPeelRecord:
     wedges_traversed: int
     support_updates: int
     elapsed_seconds: float
+    peak_scratch_bytes: int = 0
 
 
 @dataclass
@@ -67,6 +69,8 @@ def fine_grained_decomposition(
     context: ExecutionContext | None = None,
     workload_aware: bool = True,
     peel_kernel: str = "batched",
+    wedge_budget: int | None = None,
+    narrow_ids: bool = True,
 ) -> FineDecompositionResult:
     """Compute exact tip numbers from CD's subsets (Alg. 4).
 
@@ -92,6 +96,13 @@ def fine_grained_decomposition(
         (``"batched"`` or ``"reference"``); each pop consumes one batched
         :class:`~repro.peeling.update.SupportUpdate` through the shared
         kernel layer.
+    wedge_budget, narrow_ids:
+        Memory policy forwarded into every task's per-worker
+        :class:`~repro.kernels.workspace.WedgeWorkspace`; the maximum task
+        peak is reported as ``counters.peak_scratch_bytes``.
+        ``wedge_budget`` follows the user-facing convention everywhere in
+        the library: ``None`` means the library default, zero or negative
+        disables chunking.
     """
     context = context or ExecutionContext()
     counters = PeelingCounters()
@@ -123,6 +134,8 @@ def fine_grained_decomposition(
         init_supports=np.ascontiguousarray(cd_result.init_supports, dtype=np.int64),
         enable_dgm=enable_dgm,
         peel_kernel=peel_kernel,
+        wedge_budget=resolve_wedge_budget(wedge_budget),
+        narrow_ids=narrow_ids,
     )
     ordered_tasks = [all_tasks[int(index)] for index in order]
     results = context.run_fd_tasks(
@@ -143,6 +156,7 @@ def fine_grained_decomposition(
                 wedges_traversed=result.wedges_traversed,
                 support_updates=result.support_updates,
                 elapsed_seconds=result.elapsed_seconds,
+                peak_scratch_bytes=getattr(result, "peak_scratch_bytes", 0),
             )
         )
 
@@ -151,6 +165,11 @@ def fine_grained_decomposition(
         counters.peeling_wedges += record.wedges_traversed
         counters.support_updates += record.support_updates
         counters.vertices_peeled += record.n_vertices
+        # Tasks run on independent arenas (possibly concurrently), so the
+        # phase peak is the largest per-task peak, not a sum.
+        counters.peak_scratch_bytes = max(
+            counters.peak_scratch_bytes, record.peak_scratch_bytes
+        )
     # FD workers synchronise exactly once, at the end of the task queue.
     counters.synchronization_rounds = 0
     counters.elapsed_seconds = time.perf_counter() - start_time

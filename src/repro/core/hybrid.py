@@ -85,6 +85,7 @@ def recount_supports(
     alive_mask: np.ndarray,
     *,
     alive_vertices: np.ndarray | None = None,
+    workspace=None,
 ) -> RecountOutcome:
     """Re-count butterflies of the alive ``U`` vertices on the residual graph.
 
@@ -94,7 +95,9 @@ def recount_supports(
     supplied when the caller already materialised ``flatnonzero(alive_mask)``
     (CD's range loop does); when every vertex is still alive the induction
     is skipped entirely and the kernel runs on ``graph`` itself — same
-    counts, same wedge traversal, no subgraph rebuild.
+    counts, same wedge traversal, no subgraph rebuild.  ``workspace``
+    carries the caller's scratch arena into the counting kernel so HUC
+    recounts share the peel run's buffers and budget.
     """
     alive_mask = np.asarray(alive_mask, dtype=bool)
     supports = np.zeros(alive_mask.shape[0], dtype=np.int64)
@@ -104,11 +107,11 @@ def recount_supports(
         return RecountOutcome(supports=supports, wedges_traversed=0)
 
     if alive_vertices.size == alive_mask.shape[0]:
-        counts = count_per_vertex_priority(graph)
+        counts = count_per_vertex_priority(graph, workspace=workspace)
         supports[:] = counts.u_counts
         return RecountOutcome(supports=supports, wedges_traversed=counts.wedges_traversed)
 
     induced = graph.induced_on_u_subset(alive_vertices)
-    counts = count_per_vertex_priority(induced.graph)
+    counts = count_per_vertex_priority(induced.graph, workspace=workspace)
     supports[alive_vertices] = counts.u_counts
     return RecountOutcome(supports=supports, wedges_traversed=counts.wedges_traversed)

@@ -22,6 +22,7 @@ import numpy as np
 from ..butterfly.counting import ButterflyCounts, count_per_vertex
 from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph, validate_side
+from ..kernels.workspace import WedgeWorkspace, resolve_wedge_budget
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters, TipDecompositionResult
 from .cd import coarse_grained_decomposition
@@ -81,6 +82,12 @@ class ReceiptConfig:
         peeling: the shared vectorized ``"batched"`` kernel (default) or the
         per-vertex ``"reference"`` loop kept for ablation and equivalence
         runs (the CLI exposes this as ``--peel-kernel``).
+    wedge_budget:
+        Wedge endpoints a kernel chunk may materialise at once — the cap on
+        the wedge pipeline's peak scratch.  ``None`` (default) uses the
+        library default (:data:`repro.kernels.workspace.DEFAULT_WEDGE_BUDGET`);
+        zero or a negative value disables chunking.  Exposed on the CLI as
+        ``--wedge-budget``.
     """
 
     n_partitions: int = DEFAULT_PARTITIONS
@@ -94,6 +101,7 @@ class ReceiptConfig:
     workload_aware_scheduling: bool = True
     counting_algorithm: str = "parallel"
     peel_kernel: str = "batched"
+    wedge_budget: int | None = None
 
     @classmethod
     def from_variant(cls, variant: str, **overrides) -> "ReceiptConfig":
@@ -154,6 +162,7 @@ def receipt_decomposition(
     elif config_overrides:
         raise ReproError("pass either a config object or keyword overrides, not both")
 
+    workspace = WedgeWorkspace(wedge_budget=resolve_wedge_budget(config.wedge_budget))
     owns_context = context is None
     if context is None:
         effective_backend = config.backend
@@ -176,11 +185,13 @@ def receipt_decomposition(
         # Phase 1: per-vertex butterfly counting (pvBcnt).
         counting_start = time.perf_counter()
         if counts is None:
-            counts = count_per_vertex(graph, algorithm=config.counting_algorithm, context=context)
+            counts = count_per_vertex(graph, algorithm=config.counting_algorithm,
+                                      context=context, workspace=workspace)
         counting_counters = PeelingCounters(
             wedges_traversed=counts.wedges_traversed,
             counting_wedges=counts.wedges_traversed,
             elapsed_seconds=time.perf_counter() - counting_start,
+            peak_scratch_bytes=workspace.peak_scratch_bytes,
         )
         phase_counters["pvBcnt"] = counting_counters
         initial_butterflies = counts.counts(side).copy()
@@ -196,6 +207,7 @@ def receipt_decomposition(
             adaptive_targets=config.adaptive_range_targets,
             context=context,
             peel_kernel=config.peel_kernel,
+            workspace=workspace,
         )
         phase_counters["cd"] = cd_result.counters
 
@@ -206,6 +218,8 @@ def receipt_decomposition(
             context=context,
             workload_aware=config.workload_aware_scheduling,
             peel_kernel=config.peel_kernel,
+            wedge_budget=config.wedge_budget,
+            narrow_ids=workspace.narrow_ids,
         )
         phase_counters["fd"] = fd_result.counters
         context.record_barrier(

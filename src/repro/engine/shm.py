@@ -70,6 +70,8 @@ class SharedFdJobSpec:
     init_supports: ShmArraySpec
     enable_dgm: bool
     peel_kernel: str
+    wedge_budget: int | None = None
+    narrow_ids: bool = True
 
     def array_specs(self) -> tuple[ShmArraySpec, ...]:
         return (
@@ -187,6 +189,8 @@ def share_fd_job(job: FdJob) -> SharedFdJob:
         graph_name=job.graph.name,
         enable_dgm=bool(job.enable_dgm),
         peel_kernel=str(job.peel_kernel),
+        wedge_budget=None if job.wedge_budget is None else int(job.wedge_budget),
+        narrow_ids=bool(job.narrow_ids),
         **specs,
     )
     return SharedFdJob(spec, segments)
@@ -225,5 +229,7 @@ def attach_fd_job(spec: SharedFdJobSpec) -> AttachedFdJob:
         init_supports=arrays["init_supports"],
         enable_dgm=spec.enable_dgm,
         peel_kernel=spec.peel_kernel,
+        wedge_budget=spec.wedge_budget,
+        narrow_ids=spec.narrow_ids,
     )
     return AttachedFdJob(job, segments)

@@ -23,6 +23,7 @@ from typing import Sequence
 import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
+from ..kernels.workspace import WedgeWorkspace
 from ..peeling.base import PeelingCounters
 from ..peeling.bup import peel_sequential
 
@@ -67,6 +68,7 @@ class FdTaskResult:
     support_updates: int
     tip_numbers: np.ndarray
     elapsed_seconds: float
+    peak_scratch_bytes: int = 0
 
 
 @dataclass
@@ -84,6 +86,14 @@ class FdJob:
     enable_dgm, peel_kernel:
         Per-subset peel configuration, forwarded to
         :func:`~repro.peeling.bup.peel_sequential`.
+    wedge_budget, narrow_ids:
+        Memory policy of the per-task
+        :class:`~repro.kernels.workspace.WedgeWorkspace`: the wedge budget
+        caps each task's scratch and ``narrow_ids`` enables int32
+        adjacency/key narrowing.  Unlike the user-facing knobs this carries
+        the *resolved* budget (``None`` = unbounded — callers apply
+        :func:`~repro.kernels.workspace.resolve_wedge_budget` first).
+        Plain data so the job still pickles in O(graph).
     """
 
     graph: BipartiteGraph
@@ -91,6 +101,8 @@ class FdJob:
     init_supports: np.ndarray
     enable_dgm: bool = False
     peel_kernel: str = "batched"
+    wedge_budget: int | None = None
+    narrow_ids: bool = True
 
 
 def build_fd_tasks(
@@ -154,11 +166,17 @@ def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
     induced_graph = induced.graph
     initial_supports = job.init_supports[subset]
 
+    # A fresh arena per task keeps peak accounting exact regardless of
+    # which worker (thread, process, or the caller itself) runs the task;
+    # within the task every pop of the subset peel reuses its buffers.
+    workspace = WedgeWorkspace(
+        wedge_budget=job.wedge_budget, narrow_ids=job.narrow_ids
+    )
     local_counters = PeelingCounters()
     local_tips, local_counters, _ = peel_sequential(
         induced_graph, "U", initial_supports,
         enable_dgm=job.enable_dgm, counters=local_counters,
-        peel_kernel=job.peel_kernel,
+        peel_kernel=job.peel_kernel, workspace=workspace,
     )
 
     return FdTaskResult(
@@ -170,4 +188,5 @@ def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
         support_updates=int(local_counters.support_updates),
         tip_numbers=np.asarray(local_tips, dtype=np.int64),
         elapsed_seconds=time.perf_counter() - task_start,
+        peak_scratch_bytes=int(workspace.peak_scratch_bytes),
     )

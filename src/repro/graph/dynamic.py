@@ -48,6 +48,11 @@ class PeelableAdjacency:
         Number of traversed wedges between compactions.  The paper uses the
         edge count ``m`` so that DGM adds only linear extra work; that is the
         default here as well.
+    narrow_ids:
+        Store center-adjacency neighbor values as int32 when the peeled
+        side fits (the default).  Callers running the legacy int64 pipeline
+        (``WedgeWorkspace.legacy()``) pass ``False`` so the benchmark
+        baseline matches the pre-arena layout.
     """
 
     def __init__(
@@ -57,6 +62,7 @@ class PeelableAdjacency:
         *,
         enable_dgm: bool = True,
         compaction_interval: int | None = None,
+        narrow_ids: bool = True,
     ):
         self._graph = graph
         self._peel_side = validate_side(peel_side)
@@ -66,10 +72,18 @@ class PeelableAdjacency:
         self._n_center = graph.side_size(self._center_side)
 
         # Center-side adjacency as flat CSR (center -> peeled-side neighbor
-        # ids), copied so compaction can rebuild it independently.
+        # ids), copied so compaction can rebuild it independently.  The
+        # neighbor values are peeled-side ids, so they narrow to int32
+        # whenever that side fits — every wedge-scale gather downstream then
+        # moves half the bytes (the parent graph's CSR stays int64).
         offsets, neighbors = graph.csr(self._center_side)
+        value_dtype = (
+            np.int32
+            if narrow_ids and self._n_peel <= np.iinfo(np.int32).max
+            else np.int64
+        )
         self._center_offsets: np.ndarray = offsets.copy()
-        self._center_neighbors: np.ndarray = neighbors.astype(np.int64, copy=True)
+        self._center_neighbors: np.ndarray = neighbors.astype(value_dtype, copy=True)
         self._alive = np.ones(self._n_peel, dtype=bool)
 
         self.enable_dgm = enable_dgm

@@ -1,21 +1,27 @@
 """Shared vectorized wedge-traversal kernels.
 
 Every wedge-heavy primitive in this library — batch peeling, per-vertex and
-per-edge butterfly counting, HUC re-count cost accounting — reduces to the
-same three building blocks, collected here so the algorithm layers above
-(``butterfly``, ``peeling``, ``core``) share one implementation instead of
-reimplementing ad-hoc variants:
+per-edge butterfly counting, HUC re-count cost accounting, streaming
+support maintenance — reduces to the same building blocks, collected here
+so the algorithm layers above (``butterfly``, ``peeling``, ``core``,
+``streaming``) share one implementation instead of reimplementing ad-hoc
+variants:
 
 * **flat-CSR gathering** (:mod:`repro.kernels.csr`): concatenating many CSR
   rows in a single indexed load, segment arithmetic, and one-pass CSR
   compaction (the DGM rebuild).
 * **wedge enumeration** (:mod:`repro.kernels.wedges`): two-hop endpoint
-  gathering for peel batches and the priority-filtered wedge-pair
-  enumeration that drives vertex-priority counting.
+  gathering for peel batches — monolithic or streamed in wedge-budgeted
+  chunks — and the priority-filtered wedge-pair enumeration that drives
+  vertex-priority counting.
 * **batched support updates** (:mod:`repro.kernels.peel`): grouped
   per-(peeled-vertex, endpoint) wedge counting and the threshold-clamped
   decrement application whose counters match per-vertex sequential peeling
   exactly (Lemma 2 drop-semantics included).
+* **memory policy** (:mod:`repro.kernels.workspace`): the
+  :class:`~repro.kernels.workspace.WedgeWorkspace` scratch arena every
+  kernel checks its wedge-scale temporaries out of, with int32 narrowing
+  and the wedge budget that bounds peak scratch.
 
 All kernels operate on plain numpy arrays: callers hand in ``offsets`` /
 ``neighbors`` pairs (and an ``alive`` mask where relevant) rather than graph
@@ -35,8 +41,17 @@ from .peel import (
     BatchDecrements,
     apply_clamped_decrements,
     count_pair_wedges,
+    key_counts,
 )
-from .wedges import gather_batch_wedges, ranked_wedge_pairs
+from .wedges import gather_batch_wedges, iter_batch_wedge_chunks, ranked_wedge_pairs
+from .workspace import (
+    DEFAULT_WEDGE_BUDGET,
+    WedgeWorkspace,
+    budget_spans,
+    get_workspace,
+    resolve_wedge_budget,
+    workspace_or_default,
+)
 
 __all__ = [
     "compact_csr",
@@ -49,6 +64,14 @@ __all__ = [
     "BatchDecrements",
     "apply_clamped_decrements",
     "count_pair_wedges",
+    "key_counts",
     "gather_batch_wedges",
+    "iter_batch_wedge_chunks",
     "ranked_wedge_pairs",
+    "DEFAULT_WEDGE_BUDGET",
+    "WedgeWorkspace",
+    "budget_spans",
+    "get_workspace",
+    "resolve_wedge_budget",
+    "workspace_or_default",
 ]

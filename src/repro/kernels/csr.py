@@ -28,27 +28,35 @@ __all__ = [
 
 
 def gather_rows(
-    offsets: np.ndarray, values: np.ndarray, rows: np.ndarray
+    offsets: np.ndarray, values: np.ndarray, rows: np.ndarray, *, workspace=None, name: str = "gather"
 ) -> tuple[np.ndarray, np.ndarray]:
     """Concatenate ``values[offsets[r]:offsets[r + 1]]`` for every ``r`` in ``rows``.
 
     Rows may repeat and appear in any order; the output preserves the given
     row order.  Returns ``(gathered, lengths)`` where ``lengths[i]`` is the
     size of the ``i``-th requested row, so callers can recover segment
-    boundaries with :func:`segment_offsets`.
+    boundaries with :func:`segment_offsets`.  With a ``workspace`` the
+    gathered array lives in the arena buffer ``name`` (valid until that
+    name is taken again).
     """
     rows = np.asarray(rows, dtype=np.int64)
     starts = offsets[rows]
     lengths = (offsets[rows + 1] - starts).astype(np.int64)
-    return gather_ranges(values, starts, lengths), lengths
+    return gather_ranges(values, starts, lengths, workspace=workspace, name=name), lengths
 
 
-def gather_ranges(values: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def gather_ranges(
+    values: np.ndarray, starts: np.ndarray, lengths: np.ndarray, *, workspace=None, name: str = "gather"
+) -> np.ndarray:
     """Concatenate ``values[starts[k]: starts[k] + lengths[k]]`` for every ``k``.
 
     The range form of :func:`gather_rows` for callers that already hold the
     per-row starts and lengths (peel batching computes them while locating
-    DGM compaction splits and must not pay for them twice).
+    DGM compaction splits and must not pay for them twice).  With a
+    ``workspace`` the gathered output is checked out of the arena (buffer
+    ``name``), the base index comes from the cached iota, and the transient
+    source-index vector is folded into the peak accounting as
+    ``name + "_src"``.
     """
     total = int(lengths.sum())
     if total == 0:
@@ -56,9 +64,25 @@ def gather_ranges(values: np.ndarray, starts: np.ndarray, lengths: np.ndarray) -
     # Output position i belongs to range k with out_starts[k] <= i; the
     # source index is starts[k] + (i - out_starts[k]), built without a
     # Python loop.
-    out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
-    source = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
-    return values[source]
+    if workspace is None:
+        out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        source = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
+        return values[source]
+    out_starts = np.empty(lengths.shape[0], dtype=np.int64)
+    out_starts[0] = 0
+    np.cumsum(lengths[:-1], out=out_starts[1:])
+    # The source index stays a plain np.repeat allocation: run-length
+    # decoding it into an arena buffer costs a serially-dependent cumsum
+    # that measures slower at every size.  Its footprint still counts
+    # towards the arena's high-water mark so reported peaks stay honest.
+    source = np.repeat(starts - out_starts, lengths)
+    workspace.note_transient(name + "_src", source.nbytes)
+    np.add(source, workspace.iota(total), out=source)
+    out = workspace.take(name, total, values.dtype)
+    # Indices are in-bounds by construction (built from the CSR offsets);
+    # "clip" skips the bounds check, which is measurably faster.
+    np.take(values, source, out=out, mode="clip")
+    return out
 
 
 def segment_offsets(lengths: np.ndarray) -> np.ndarray:
@@ -73,14 +97,21 @@ def segment_ids(lengths: np.ndarray) -> np.ndarray:
     return np.repeat(np.arange(lengths.shape[0], dtype=np.int64), lengths)
 
 
-def segment_sums(values: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+def segment_sums(values: np.ndarray, lengths: np.ndarray, *, workspace=None, name: str = "segsum") -> np.ndarray:
     """Per-segment sums of consecutive segments of the given lengths.
 
     Unlike ``np.add.reduceat`` this handles empty segments (their sum is 0)
-    and an empty ``values`` array without special cases.
+    and an empty ``values`` array without special cases.  With a
+    ``workspace`` the value-scale prefix array lives in the arena buffer
+    ``name``; the returned per-segment array is always freshly allocated.
     """
     ends = np.cumsum(lengths)
-    prefix = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    if workspace is None:
+        prefix = np.concatenate(([0], np.cumsum(values, dtype=np.int64)))
+    else:
+        prefix = workspace.take(name, values.shape[0] + 1, np.int64)
+        prefix[0] = 0
+        np.cumsum(values, out=prefix[1:])
     return prefix[ends] - prefix[ends - lengths]
 
 

@@ -15,6 +15,11 @@ counter — in a handful of array passes:
    sums: a pair counts as a support update exactly when the endpoint's
    support was still above the threshold before that batch member's
    decrement — the same rule the one-vertex-at-a-time loop applies.
+
+Both kernels run on a :class:`~repro.kernels.workspace.WedgeWorkspace`:
+wedge-scale temporaries (the pair keys, sort scratch and masks) are checked
+out of its arena, keys narrow to int32 whenever the key bound permits, and
+the outputs handed back to callers are always fresh exactly-sized arrays.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .csr import segment_sums
+from .workspace import INT32_MAX, WedgeWorkspace, workspace_or_default
 
 __all__ = ["BatchDecrements", "count_pair_wedges", "apply_clamped_decrements", "key_counts"]
 
@@ -70,6 +76,8 @@ def count_pair_wedges(
     alive: np.ndarray,
     *,
     filter_alive: bool = True,
+    late_filter: bool = False,
+    workspace: WedgeWorkspace | None = None,
 ) -> BatchDecrements:
     """Group wedge endpoints into per-(peeled vertex, endpoint) decrements.
 
@@ -79,13 +87,14 @@ def count_pair_wedges(
         Wedge-endpoint multiset gathered for the batch, grouped into
         consecutive segments (stale entries towards peeled vertices are
         tolerated — the alive filter drops them, which is the Lemma 2
-        drop-semantics).
+        drop-semantics).  May be int32 or int64; typically a view of the
+        workspace's gather buffer.
     segment_values:
-        Batch position of each segment.
+        Batch position of each segment, ascending (every caller enumerates
+        positions as an ``arange`` slice; the pair-recovery pass relies on
+        the order).
     segment_lengths:
-        Endpoint count of each segment (``sum == endpoints.size``).  Keys
-        are built by repeating the pre-scaled segment values, so the
-        per-wedge work stays at one repeat, one add and one compress.
+        Endpoint count of each segment (``sum == endpoints.size``).
     batch:
         The peeled vertex ids (indexed by batch position).
     alive:
@@ -95,63 +104,137 @@ def count_pair_wedges(
         Pass ``False`` when the caller guarantees every endpoint is alive
         (the adjacency was compacted after the last deletion, see
         :attr:`~repro.graph.dynamic.PeelableAdjacency.has_stale_entries`);
-        the kernel then skips two full passes over the wedge multiset.
+        the kernel then skips the alive filtering entirely.
+    late_filter:
+        Where to apply the alive filter.  ``False`` (the classic schedule)
+        compresses dead endpoints out of the multiset *before* keying, so
+        later passes touch surviving wedges only — right when staleness is
+        unbounded (no DGM).  ``True`` defers the filter to the (far
+        smaller) pair level, skipping three wedge-scale passes — right when
+        DGM keeps the stale fraction small.  Both schedules drop exactly
+        the pairs whose endpoint is dead, so results are bit-identical.
+    workspace:
+        Scratch arena; the calling thread's default when omitted.
     """
     if endpoints.size == 0:
         return BatchDecrements.empty()
+    workspace = workspace_or_default(workspace)
     n_side = np.int64(alive.shape[0])
-    if filter_alive:
-        # Drop dead endpoints first (stale entries and batch members, which
-        # are marked dead before the kernel runs): their pairs would be
-        # filtered out afterwards anyway, and compressing before key
-        # construction keeps every later pass — including the sort — on the
-        # surviving wedges only.
-        live = alive[endpoints]
-        endpoints = endpoints[live]
-        if endpoints.size == 0:
+    check_pairs_alive = False
+    if filter_alive and not late_filter:
+        # Drop dead endpoints first: their pairs would be filtered out
+        # afterwards anyway, and compressing before key construction keeps
+        # every later pass — including the sort — on surviving wedges only.
+        if endpoints.dtype == np.int64:
+            index = endpoints
+        else:
+            # Fancy indexing needs intp; convert once through a reused
+            # buffer instead of letting numpy allocate the cast per call.
+            index = workspace.take("cpw_index", endpoints.shape[0], np.int64)
+            np.copyto(index, endpoints, casting="unsafe")
+        live = workspace.take("cpw_live", endpoints.shape[0], np.bool_)
+        np.take(alive, index, out=live, mode="clip")
+        live_per_segment = segment_sums(
+            live, segment_lengths, workspace=workspace, name="cpw_livesum"
+        )
+        live_total = int(live_per_segment.sum())
+        if live_total == 0:
             return BatchDecrements.empty()
-        live_per_segment = segment_sums(live, segment_lengths)
+        if live_total != endpoints.shape[0]:
+            compressed = workspace.take("cpw_eplive", live_total, endpoints.dtype)
+            np.compress(live, endpoints, out=compressed)
+            endpoints = compressed
     else:
+        check_pairs_alive = filter_alive
         live_per_segment = segment_lengths
+    segment_values = np.asarray(segment_values, dtype=np.int64)
+    if segment_values.shape[0] > 1 and bool(
+        np.any(segment_values[1:] < segment_values[:-1])
+    ):
+        # The pair recovery below reads segment boundaries off the sorted
+        # keys, which requires ascending positions; the check is one pass
+        # over the (small) segment array, not the wedge multiset.
+        raise ValueError("segment_values must be ascending batch positions")
+    key_bound = int(n_side) * int(batch.shape[0])
+    key_dtype = workspace.ids_dtype(key_bound)
+    # One repeat of the pre-scaled positions plus one in-place add builds
+    # the keys directly in the narrowed dtype (values are bounded by
+    # key_bound, so the unsafe casts cannot wrap).
     keys = np.repeat(
-        np.asarray(segment_values, dtype=np.int64) * n_side, live_per_segment
+        np.multiply(segment_values, n_side, dtype=key_dtype), live_per_segment
     )
-    keys += endpoints
-    unique_keys, wedge_counts = key_counts(keys, int(n_side) * int(batch.shape[0]))
+    np.add(keys, endpoints, out=keys, casting="unsafe")
+    unique_keys, wedge_counts = key_counts(
+        keys, key_bound, owned=True, workspace=workspace
+    )
     # Keys are sorted, so segments are non-decreasing: recover them from the
     # segment boundaries with one searchsorted over the (few) batch
-    # positions instead of a slow per-pair integer division.
-    ordered_segments = np.sort(np.asarray(segment_values, dtype=np.int64))
+    # positions instead of a slow per-pair integer division.  Every caller
+    # passes ascending positions (arange slices), so the values double as
+    # the ordered segment list.
+    ordered_segments = segment_values
     boundaries = np.searchsorted(unique_keys, (ordered_segments + 1) * n_side, side="left")
-    pair_counts = np.diff(np.concatenate(([0], boundaries)))
+    pair_counts = np.empty(boundaries.shape[0], dtype=np.int64)
+    pair_counts[0] = boundaries[0]
+    np.subtract(boundaries[1:], boundaries[:-1], out=pair_counts[1:])
     pair_segments = np.repeat(ordered_segments, pair_counts)
     pair_endpoints = unique_keys - pair_segments * n_side
-    keep = (wedge_counts >= 2) & (pair_endpoints != batch[pair_segments])
-    wedge_counts = wedge_counts[keep]
+    keep = wedge_counts >= 2
+    if check_pairs_alive:
+        # Deferred Lemma 2 filter: batch members (including each pair's own
+        # vertex) are already dead, so the alive test subsumes the
+        # self-pair exclusion below.
+        keep &= alive[pair_endpoints]
+    else:
+        keep &= pair_endpoints != batch[pair_segments]
+    # One index extraction + three takes instead of three boolean fancy
+    # passes (each of which re-scans the mask internally).
+    selected = np.flatnonzero(keep)
+    wedge_counts = np.take(wedge_counts, selected, mode="clip")
     return BatchDecrements(
-        segments=pair_segments[keep],
-        endpoints=pair_endpoints[keep],
+        segments=np.take(pair_segments, selected, mode="clip"),
+        endpoints=np.take(pair_endpoints, selected, mode="clip"),
         decrements=wedge_counts * (wedge_counts - 1) // 2,
     )
 
 
-def key_counts(keys: np.ndarray, key_bound: int) -> tuple[np.ndarray, np.ndarray]:
-    """Unique keys and their multiplicities via an in-place run-length sort.
+def key_counts(
+    keys: np.ndarray,
+    key_bound: int,
+    *,
+    owned: bool = False,
+    workspace: WedgeWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unique keys and their multiplicities via a run-length sort.
 
     Equivalent to ``np.unique(keys, return_counts=True)`` but measurably
-    faster on the hot path: the freshly built key array is sorted in place
-    (no defensive copy) in int32 when the key range permits — int32 sorting
-    has twice the throughput of int64 — and the run boundaries are read off
-    with two vectorized comparisons instead of ``np.unique``'s extra passes.
+    faster on the hot path: the key array is sorted in int32 when the key
+    range permits — int32 sorting has twice the throughput of int64 — and
+    the run boundaries are read off with one vectorized comparison instead
+    of ``np.unique``'s extra passes.
+
+    ``owned`` declares that the caller relinquishes ``keys``: only then may
+    the sort run in place on the caller's array.  With ``owned=False``
+    (the default) the kernel always sorts a copy — previously a key array
+    that was already as narrow as the bound allowed was silently sorted in
+    place, corrupting the caller's data.
     """
-    if key_bound <= np.iinfo(np.int32).max:
-        keys = keys.astype(np.int32)
+    if keys.shape[0] == 0:
+        zero = np.zeros(0, dtype=np.int64)
+        return zero, zero
+    workspace = workspace_or_default(workspace)
+    if key_bound <= INT32_MAX and keys.dtype != np.int32:
+        keys = keys.astype(np.int32)  # narrowing copies, so the copy is owned
+    elif not owned:
+        keys = keys.copy()
     keys.sort()
-    boundary = np.empty(keys.shape[0], dtype=bool)
+    boundary = workspace.take("kc_boundary", keys.shape[0], np.bool_)
     boundary[0] = True
     np.not_equal(keys[1:], keys[:-1], out=boundary[1:])
     starts = np.flatnonzero(boundary)
-    counts = np.diff(np.concatenate((starts, [keys.shape[0]])))
+    counts = np.empty(starts.shape[0], dtype=np.int64)
+    np.subtract(starts[1:], starts[:-1], out=counts[:-1])
+    counts[-1] = keys.shape[0] - starts[-1]
     return keys[starts].astype(np.int64), counts
 
 
@@ -159,6 +242,8 @@ def apply_clamped_decrements(
     supports: np.ndarray,
     decrements: BatchDecrements,
     threshold: int,
+    *,
+    workspace: WedgeWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, int]:
     """Apply a batch of clamped support decrements in place.
 
@@ -172,23 +257,30 @@ def apply_clamped_decrements(
 
     Returns ``(updated_vertices, new_supports, support_updates)`` with
     ``updated_vertices`` sorted ascending; ``supports`` is modified in
-    place.
+    place.  Aggregation scratch (the dense accumulator, the per-pair state
+    vector and the crossing-replay boundary arrays) lives in the workspace
+    arena instead of being rebuilt per call.
     """
     endpoints = decrements.endpoints
     deltas = decrements.decrements
     if endpoints.size == 0:
         zero = np.zeros(0, dtype=np.int64)
         return zero, zero, 0
+    workspace = workspace_or_default(workspace)
 
     n_side = supports.shape[0]
-    if endpoints.shape[0] * 4 < n_side:
+    if endpoints.shape[0] * 32 < n_side:
         # Sparse aggregation: small batches (one vertex of sequential BUP in
         # particular) must not pay O(n_side) zero-fills and scans per call.
+        # The crossover leans dense: ``np.unique``'s sort costs far more per
+        # pair than the accumulator's linear fill-and-scan costs per vertex.
         touched, compact = np.unique(endpoints, return_inverse=True)
-        totals = np.zeros(touched.shape[0], dtype=np.int64)
+        totals = workspace.take("acd_totals", touched.shape[0], np.int64)
+        totals.fill(0)
         np.add.at(totals, compact, deltas)
     else:
-        accumulator = np.zeros(n_side, dtype=np.int64)
+        accumulator = workspace.take("acd_accumulator", n_side, np.int64)
+        accumulator.fill(0)
         np.add.at(accumulator, endpoints, deltas)
         touched = np.flatnonzero(accumulator)
         totals = accumulator[touched]
@@ -208,12 +300,14 @@ def apply_clamped_decrements(
     above = old > threshold
     crosses = above & (old - totals <= threshold)
     if compact is not None:
-        state = np.zeros(touched.shape[0], dtype=np.int8)
+        state = workspace.take("acd_state", touched.shape[0], np.int8)
+        state.fill(0)
         state[above & ~crosses] = 1
         state[crosses] = 2
         pair_state = state[compact]
     else:
-        state = np.zeros(n_side, dtype=np.int8)
+        state = workspace.take("acd_state", n_side, np.int8)
+        state.fill(0)
         state[touched[above & ~crosses]] = 1
         state[touched[crosses]] = 2
         pair_state = state[endpoints]
@@ -227,9 +321,9 @@ def apply_clamped_decrements(
         cross_endpoints = cross_endpoints[order]
         cross_deltas = cross_deltas[order]
 
-        group_start = np.concatenate(
-            ([True], cross_endpoints[1:] != cross_endpoints[:-1])
-        )
+        group_start = workspace.take("acd_group_start", cross_endpoints.shape[0], np.bool_)
+        group_start[0] = True
+        np.not_equal(cross_endpoints[1:], cross_endpoints[:-1], out=group_start[1:])
         group_of_pair = np.cumsum(group_start) - 1
         exclusive = np.cumsum(cross_deltas) - cross_deltas
         group_base = exclusive[group_start]

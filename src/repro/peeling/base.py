@@ -45,6 +45,11 @@ class PeelingCounters:
         Number of Dynamic Graph Maintenance compactions performed.
     elapsed_seconds:
         Wall-clock execution time of the phase / algorithm.
+    peak_scratch_bytes:
+        High-water mark of the wedge-pipeline scratch arena(s) the phase
+        ran on (:class:`~repro.kernels.workspace.WedgeWorkspace`).  Merged
+        with ``max`` — peaks do not add up across phases that reuse one
+        arena — and bounded by the configured wedge budget.
     """
 
     wedges_traversed: int = 0
@@ -56,6 +61,7 @@ class PeelingCounters:
     recount_invocations: int = 0
     dgm_compactions: int = 0
     elapsed_seconds: float = 0.0
+    peak_scratch_bytes: int = 0
 
     def merge(self, other: "PeelingCounters") -> None:
         """Accumulate another counter set into this one (phase composition)."""
@@ -68,6 +74,7 @@ class PeelingCounters:
         self.recount_invocations += other.recount_invocations
         self.dgm_compactions += other.dgm_compactions
         self.elapsed_seconds += other.elapsed_seconds
+        self.peak_scratch_bytes = max(self.peak_scratch_bytes, other.peak_scratch_bytes)
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +87,7 @@ class PeelingCounters:
             "recount_invocations": self.recount_invocations,
             "dgm_compactions": self.dgm_compactions,
             "elapsed_seconds": self.elapsed_seconds,
+            "peak_scratch_bytes": self.peak_scratch_bytes,
         }
 
 

@@ -17,6 +17,7 @@ from ..butterfly.counting import ButterflyCounts, count_per_vertex
 from ..errors import BudgetExceededError
 from ..graph.bipartite import BipartiteGraph, validate_side
 from ..graph.dynamic import PeelableAdjacency
+from ..kernels.workspace import WedgeWorkspace
 from .base import PeelingCounters, TipDecompositionResult
 from .minheap import LazyMinHeap
 from .update import peel_vertex
@@ -34,6 +35,7 @@ def peel_sequential(
     wedge_budget: int | None = None,
     record_peel_order: bool = False,
     peel_kernel: str = "batched",
+    workspace: WedgeWorkspace | None = None,
 ) -> tuple[np.ndarray, PeelingCounters, list[int]]:
     """Core sequential peeling loop, reused by BUP and by RECEIPT FD.
 
@@ -59,6 +61,10 @@ def peel_sequential(
     peel_kernel:
         Support-update kernel: the shared vectorized ``"batched"`` kernel
         (default) or the per-vertex ``"reference"`` formulation.
+    workspace:
+        Scratch arena shared by every pop of the loop (a fresh one when
+        omitted, so per-run peak accounting stays exact); its high-water
+        mark is folded into ``counters.peak_scratch_bytes``.
 
     Returns
     -------
@@ -67,6 +73,7 @@ def peel_sequential(
     side = validate_side(side)
     n_side = graph.side_size(side)
     counters = counters if counters is not None else PeelingCounters()
+    workspace = workspace if workspace is not None else WedgeWorkspace()
     supports = np.array(initial_supports, dtype=np.int64, copy=True)
     if supports.shape[0] != n_side:
         raise ValueError(
@@ -74,7 +81,8 @@ def peel_sequential(
         )
 
     tip_numbers = np.zeros(n_side, dtype=np.int64)
-    adjacency = PeelableAdjacency(graph, side, enable_dgm=enable_dgm)
+    adjacency = PeelableAdjacency(graph, side, enable_dgm=enable_dgm,
+                                  narrow_ids=workspace.narrow_ids)
     heap = LazyMinHeap(supports)
     peel_order: list[int] = []
 
@@ -87,7 +95,8 @@ def peel_sequential(
         if record_peel_order:
             peel_order.append(vertex)
 
-        update = peel_vertex(adjacency, supports, vertex, support, kernel=peel_kernel)
+        update = peel_vertex(adjacency, supports, vertex, support, kernel=peel_kernel,
+                             workspace=workspace)
         counters.wedges_traversed += update.wedges_traversed
         counters.peeling_wedges += update.wedges_traversed
         counters.support_updates += update.support_updates
@@ -103,6 +112,9 @@ def peel_sequential(
                 wedges_traversed=counters.wedges_traversed,
             )
 
+    counters.peak_scratch_bytes = max(
+        counters.peak_scratch_bytes, workspace.peak_scratch_bytes
+    )
     return tip_numbers, counters, peel_order
 
 
@@ -114,6 +126,7 @@ def bup_decomposition(
     enable_dgm: bool = False,
     wedge_budget: int | None = None,
     peel_kernel: str = "batched",
+    workspace: WedgeWorkspace | None = None,
 ) -> TipDecompositionResult:
     """Tip decomposition by sequential bottom-up peeling (Alg. 2).
 
@@ -132,13 +145,17 @@ def bup_decomposition(
         Optional traversal cap (reproduces the paper's DNF entries).
     peel_kernel:
         Support-update kernel (``"batched"`` or ``"reference"``).
+    workspace:
+        Scratch arena + memory policy for counting and peeling (a fresh
+        default-policy one per run when omitted).
     """
     side = validate_side(side)
     start_time = time.perf_counter()
     counters = PeelingCounters()
+    workspace = workspace if workspace is not None else WedgeWorkspace()
 
     if counts is None:
-        counts = count_per_vertex(graph)
+        counts = count_per_vertex(graph, workspace=workspace)
     counters.wedges_traversed += counts.wedges_traversed
     counters.counting_wedges += counts.wedges_traversed
     initial = counts.counts(side).copy()
@@ -146,7 +163,7 @@ def bup_decomposition(
     tip_numbers, counters, _ = peel_sequential(
         graph, side, initial,
         enable_dgm=enable_dgm, counters=counters, wedge_budget=wedge_budget,
-        peel_kernel=peel_kernel,
+        peel_kernel=peel_kernel, workspace=workspace,
     )
     counters.elapsed_seconds = time.perf_counter() - start_time
 

@@ -23,6 +23,7 @@ from ..butterfly.counting import ButterflyCounts, count_per_vertex
 from ..errors import BudgetExceededError
 from ..graph.bipartite import BipartiteGraph, validate_side
 from ..graph.dynamic import PeelableAdjacency
+from ..kernels.workspace import WedgeWorkspace
 from ..parallel.threadpool import ExecutionContext
 from .base import PeelingCounters, TipDecompositionResult
 from .bucketing import BucketQueue
@@ -41,6 +42,7 @@ def parbutterfly_decomposition(
     wedge_budget: int | None = None,
     round_budget: int | None = None,
     peel_kernel: str = "batched",
+    workspace: WedgeWorkspace | None = None,
 ) -> TipDecompositionResult:
     """Tip decomposition with level-synchronous parallel peeling (ParB).
 
@@ -62,14 +64,19 @@ def parbutterfly_decomposition(
         the paper's "did not finish" / out-of-memory entries.
     peel_kernel:
         Support-update kernel (``"batched"`` or ``"reference"``).
+    workspace:
+        Scratch arena + memory policy every round's batch peel runs on (a
+        fresh default-policy one per run when omitted).
     """
     side = validate_side(side)
     start_time = time.perf_counter()
     context = context or ExecutionContext()
     counters = PeelingCounters()
+    workspace = workspace if workspace is not None else WedgeWorkspace()
 
     if counts is None:
-        counts = count_per_vertex(graph, algorithm="parallel", context=context)
+        counts = count_per_vertex(graph, algorithm="parallel", context=context,
+                                  workspace=workspace)
     counters.wedges_traversed += counts.wedges_traversed
     counters.counting_wedges += counts.wedges_traversed
     initial = counts.counts(side).copy()
@@ -77,7 +84,8 @@ def parbutterfly_decomposition(
     n_side = graph.side_size(side)
     supports = initial.copy()
     tip_numbers = np.zeros(n_side, dtype=np.int64)
-    adjacency = PeelableAdjacency(graph, side, enable_dgm=False)
+    adjacency = PeelableAdjacency(graph, side, enable_dgm=False,
+                                  narrow_ids=workspace.narrow_ids)
     buckets = BucketQueue(supports, n_buckets=n_buckets, bucket_width=1)
 
     while buckets:
@@ -89,7 +97,7 @@ def parbutterfly_decomposition(
         threshold = int(supports[batch].max()) if batch.size else level
 
         update = peel_batch(adjacency, supports, batch, threshold,
-                            kernel=peel_kernel, context=context)
+                            kernel=peel_kernel, context=context, workspace=workspace)
         counters.wedges_traversed += update.wedges_traversed
         counters.peeling_wedges += update.wedges_traversed
         counters.support_updates += update.support_updates
@@ -117,6 +125,9 @@ def parbutterfly_decomposition(
             )
 
     counters.elapsed_seconds = time.perf_counter() - start_time
+    counters.peak_scratch_bytes = max(
+        counters.peak_scratch_bytes, workspace.peak_scratch_bytes
+    )
     return TipDecompositionResult(
         tip_numbers=tip_numbers,
         side=side,

@@ -7,15 +7,21 @@ Peeling a vertex ``u`` (Alg. 2, ``update``) traverses all wedges starting at
 being assigned to ``u``.
 
 Both entry points are backed by the vectorized kernels of
-:mod:`repro.kernels`: :func:`peel_batch` gathers the wedges of the *whole*
-batch in one flat-CSR load and applies all decrements in one grouped pass —
-there is no per-vertex Python loop over batch members, which is what makes
-RECEIPT CD's thousands-of-vertices iterations fast in this implementation.
-The only Python-level iteration left is over DGM compaction events: when
-Dynamic Graph Maintenance is enabled the batch is split at the exact
+:mod:`repro.kernels`: :func:`peel_batch` streams the wedges of the *whole*
+batch through the memory-bounded pipeline — flat-CSR gathers in
+wedge-budgeted chunks whose per-(vertex, endpoint) decrements are folded
+into ``supports`` as soon as each chunk is counted — so there is no
+per-vertex Python loop over batch members *and* peak scratch stays capped
+by the workspace's wedge budget instead of the batch's total wedge count.
+Chunking is invisible in the results: decrements commute and the clamp
+replay preserves batch order, so supports, updated-vertex sets and the
+``support_updates`` counter are bit-identical whether a batch is applied in
+one piece or many (asserted by the equivalence suites).
+
+The only other Python-level iteration left is over DGM compaction events:
+when Dynamic Graph Maintenance is enabled the batch is split at the exact
 vertices where the sequential reference would have compacted, so wedge
-traversal counters stay bit-identical to
-:mod:`repro.peeling.reference` (asserted by the equivalence test suite).
+traversal counters stay bit-identical to :mod:`repro.peeling.reference`.
 
 The routine is deliberately free of any priority-structure knowledge: the
 caller receives the list of updated vertices and their new supports and
@@ -29,14 +35,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.dynamic import PeelableAdjacency
-from ..kernels.csr import gather_ranges, gather_rows, segment_offsets, segment_sums
+from ..kernels.csr import gather_rows, segment_offsets, segment_sums
 from ..kernels.peel import (
     BatchDecrements,
     apply_clamped_decrements,
     count_pair_wedges,
     key_counts,
 )
-from ..kernels.wedges import gather_batch_wedges
+from ..kernels.wedges import gather_batch_wedges, iter_batch_wedge_chunks
+from ..kernels.workspace import WedgeWorkspace, workspace_or_default
 
 __all__ = [
     "SupportUpdate",
@@ -96,6 +103,7 @@ def peel_vertex(
     threshold: int,
     *,
     kernel: str = "batched",
+    workspace: WedgeWorkspace | None = None,
 ) -> SupportUpdate:
     """Peel a single vertex and update supports of its 2-hop neighbours.
 
@@ -114,17 +122,23 @@ def peel_vertex(
     kernel:
         ``"batched"`` (default) runs the shared vectorized kernel;
         ``"reference"`` dispatches to the per-vertex reference formulation.
+    workspace:
+        Scratch arena the gather and sort temporaries are checked out of;
+        sequential peels (BUP, FD subsets) pass one arena for the whole
+        run so per-pop allocation churn disappears.
     """
     if _validate_kernel(kernel) == "reference":
         from .reference import peel_vertex_reference
 
         return peel_vertex_reference(adjacency, supports, vertex, threshold)
 
+    workspace = workspace_or_default(workspace)
     peel_offsets, peel_neighbors = adjacency.peel_csr()
     center_offsets, center_neighbors = adjacency.center_csr()
     batch = np.asarray([vertex], dtype=np.int64)
     endpoints, _ = gather_batch_wedges(
-        peel_offsets, peel_neighbors, center_offsets, center_neighbors, batch
+        peel_offsets, peel_neighbors, center_offsets, center_neighbors, batch,
+        workspace=workspace,
     )
     wedges_traversed = int(endpoints.size)
     adjacency.record_traversal(wedges_traversed)
@@ -137,10 +151,17 @@ def peel_vertex(
     # subtraction — the per-call cost sequential BUP pays per pop must stay
     # proportional to the vertex's wedges, not to batch machinery.
     alive = adjacency.alive_mask()
-    endpoints = endpoints[alive[endpoints]]
+    if endpoints.dtype == np.int64:
+        index = endpoints
+    else:
+        index = workspace.take("pv_index", endpoints.shape[0], np.int64)
+        np.copyto(index, endpoints, casting="unsafe")
+    endpoints = endpoints[alive[index]]
     if endpoints.size == 0:
         return _empty_update(wedges_traversed)
-    unique_endpoints, wedge_counts = key_counts(endpoints, supports.shape[0])
+    unique_endpoints, wedge_counts = key_counts(
+        endpoints, supports.shape[0], owned=True, workspace=workspace
+    )
     keep = (wedge_counts >= 2) & (unique_endpoints != vertex)
     unique_endpoints = unique_endpoints[keep]
     wedge_counts = wedge_counts[keep]
@@ -167,16 +188,19 @@ def peel_batch(
     *,
     kernel: str = "batched",
     context=None,
+    workspace: WedgeWorkspace | None = None,
 ) -> SupportUpdate:
     """Peel a set of vertices "concurrently" (one CD / ParB round).
 
     All vertices are marked peeled *before* any update is computed, so
     updates between members of the batch are dropped — exactly the behaviour
     Lemma 2 relies on (updates to already-assigned vertices have no effect).
-    The whole batch is processed by the vectorized kernels: one flat-CSR
-    gather collects every wedge of the batch, one grouped pass counts the
-    per-(vertex, endpoint) wedges and one clamped vector subtraction applies
-    the decrements.  Support decrements commute, so the result is identical
+    The whole batch flows through the memory-bounded pipeline: the wedge
+    multiset is gathered in budget-capped chunks, each chunk's
+    per-(vertex, endpoint) decrements are counted and applied to
+    ``supports`` immediately, and only the (far smaller) updated-vertex
+    sets survive the chunk — peak scratch is bounded by the workspace's
+    wedge budget.  Support decrements commute, so the result is identical
     to the per-vertex sequential application and to the atomics-based
     parallel application of the C++ implementation.
 
@@ -192,12 +216,16 @@ def peel_batch(
         fan out over work-balanced batch slices with private buffers
         (``map_chunks``) and the kernel merges the slices before the single
         decrement application; results are identical to the serial path.
+    workspace:
+        Scratch arena + memory policy (wedge budget, int32 narrowing); the
+        calling thread's default arena when omitted.
     """
     if _validate_kernel(kernel) == "reference":
         from .reference import peel_batch_reference
 
         return peel_batch_reference(adjacency, supports, vertices, threshold)
 
+    workspace = workspace_or_default(workspace)
     vertices = np.asarray(vertices, dtype=np.int64)
     adjacency.mark_peeled_many(vertices)
     if vertices.size == 0:
@@ -230,7 +258,7 @@ def peel_batch(
         )
 
         sub_batch = vertices[start:stop]
-        decrements, sub_wedges = _gather_and_count(
+        sub_wedges, sub_updates, sub_updated = _stream_decrements(
             sub_batch,
             centers[center_starts[start]: center_starts[stop]],
             centers_per_vertex[start:stop],
@@ -238,17 +266,22 @@ def peel_batch(
             center_neighbors,
             adjacency.alive_mask(),
             adjacency.has_stale_entries,
+            # DGM bounds the stale fraction, so deferring the alive filter
+            # to the pair level is the cheaper schedule; without DGM stale
+            # entries accumulate and the early compress stays worthwhile.
+            adjacency.enable_dgm,
+            supports,
+            threshold,
             wedges_per_vertex,
             range_starts,
             range_lengths,
             context,
+            workspace,
         )
-        updated, _, n_updates = apply_clamped_decrements(supports, decrements, threshold)
 
         total_wedges += sub_wedges
-        total_updates += n_updates
-        if updated.size:
-            updated_pieces.append(updated)
+        total_updates += sub_updates
+        updated_pieces.extend(sub_updated)
         adjacency.record_traversal(sub_wedges)
         adjacency.maybe_compact()
         start = stop
@@ -322,7 +355,7 @@ def _find_compaction_split(
         window *= 4
 
 
-def _gather_and_count(
+def _stream_decrements(
     sub_batch: np.ndarray,
     centers: np.ndarray,
     centers_per_vertex: np.ndarray,
@@ -330,38 +363,70 @@ def _gather_and_count(
     center_neighbors: np.ndarray,
     alive: np.ndarray,
     filter_alive: bool,
+    late_filter: bool,
+    supports: np.ndarray,
+    threshold: int,
     wedges_per_vertex: np.ndarray | None,
     range_starts: np.ndarray | None,
     range_lengths: np.ndarray | None,
     context,
-) -> tuple[BatchDecrements, int]:
-    """Gather wedge endpoints and count per-pair wedges for one sub-batch.
+    workspace: WedgeWorkspace,
+) -> tuple[int, int, list[np.ndarray]]:
+    """Gather, count and apply one DGM sub-batch through the wedge pipeline.
 
-    ``range_starts`` / ``range_lengths`` / ``wedges_per_vertex`` are reused
-    from the compaction-split scan when available so the serial path never
-    touches the center offsets twice.  With a multi-threaded execution
-    context the batch positions are split into work-balanced slices; each
-    slice gathers and counts into private arrays (batch positions are
-    disjoint across slices, so per-pair counts are unaffected) and the
-    pieces are concatenated for the single global decrement application.
+    Serial path: the sub-batch streams through
+    :func:`~repro.kernels.wedges.iter_batch_wedge_chunks`; every chunk's
+    decrements are applied to ``supports`` before the next chunk is
+    gathered, so nothing wedge-scale outlives a chunk.  Because the chunks
+    follow batch order and clamped decrements compose (``max(t, s - a - b)
+    == max(t, max(t, s - a) - b)`` for per-endpoint totals ``a`` before
+    ``b``), supports and the ``support_updates`` replay are bit-identical
+    to a monolithic application.
+
+    With a multi-threaded execution context the batch positions are split
+    into work-balanced slices instead; each slice gathers and counts into
+    private arrays (batch positions are disjoint across slices, so
+    per-pair counts are unaffected) and the pieces are concatenated for a
+    single global decrement application.
+
+    Returns ``(wedges, support_updates, updated_vertex_pieces)``.
     """
     if context is not None and context.n_threads > 1 and sub_batch.shape[0] > 1:
         center_starts = np.concatenate(([0], np.cumsum(centers_per_vertex)))
 
         def chunk_body(positions):
             positions = np.asarray(positions, dtype=np.int64)
-            piece_centers, piece_lengths = gather_rows(
-                center_starts, centers, positions
+            # Slices are contiguous position ranges (balanced_chunks /
+            # chunk_ranges both tile [0, n)); the streaming iteration below
+            # relies on it, so fail loudly if the scheduler ever changes.
+            lo_pos, hi_pos = int(positions[0]), int(positions[-1]) + 1
+            if hi_pos - lo_pos != positions.shape[0]:
+                raise ValueError("peel_batch_gather requires contiguous slices")
+            # A private arena per slice carrying the run's memory policy:
+            # the wedge budget caps each slice's gathers and its peak folds
+            # back into the run's accounting after the barrier.
+            local = WedgeWorkspace(
+                wedge_budget=workspace.wedge_budget,
+                narrow_ids=workspace.narrow_ids,
             )
-            piece_endpoints, endpoints_per_center = gather_rows(
-                center_offsets, center_neighbors, piece_centers
-            )
-            endpoint_counts = segment_sums(endpoints_per_center, piece_lengths)
-            piece = count_pair_wedges(
-                piece_endpoints, positions, endpoint_counts, sub_batch, alive,
-                filter_alive=filter_alive,
-            )
-            return piece, int(piece_endpoints.size)
+            pieces: list[BatchDecrements] = []
+            slice_wedges = 0
+            for lo, hi, endpoints, chunk_lengths in iter_batch_wedge_chunks(
+                centers[center_starts[lo_pos]: center_starts[hi_pos]],
+                centers_per_vertex[lo_pos:hi_pos],
+                center_offsets,
+                center_neighbors,
+                workspace=local,
+            ):
+                slice_wedges += int(endpoints.shape[0])
+                pieces.append(count_pair_wedges(
+                    endpoints,
+                    np.arange(lo_pos + lo, lo_pos + hi, dtype=np.int64),
+                    chunk_lengths, sub_batch, alive,
+                    filter_alive=filter_alive, late_filter=late_filter,
+                    workspace=local,
+                ))
+            return pieces, slice_wedges, local.peak_scratch_bytes
 
         # record=False: the enclosing peel iteration (cd_peel_iteration /
         # parb_round) already accounts for this wedge work, and the recorded
@@ -373,19 +438,44 @@ def _gather_and_count(
             work_per_item=[float(w) for w in wedges_per_vertex],
             record=False,
         )
-        decrements = BatchDecrements.concatenate([piece for piece, _ in results])
-        wedges = sum(wedge_count for _, wedge_count in results)
-        return decrements, wedges
+        decrements = BatchDecrements.concatenate(
+            [piece for pieces, _, _ in results for piece in pieces]
+        )
+        wedges = sum(slice_wedges for _, slice_wedges, _ in results)
+        for _, _, local_peak in results:
+            if local_peak > workspace.peak_scratch_bytes:
+                workspace.peak_scratch_bytes = local_peak
+        updated, _, n_updates = apply_clamped_decrements(
+            supports, decrements, threshold, workspace=workspace
+        )
+        return wedges, n_updates, [updated] if updated.size else []
 
-    if range_starts is None:
-        range_starts = center_offsets[centers]
-        range_lengths = center_offsets[centers + 1] - range_starts
-    if wedges_per_vertex is None:
-        wedges_per_vertex = segment_sums(range_lengths, centers_per_vertex)
-    endpoints = gather_ranges(center_neighbors, range_starts, range_lengths)
-    positions = np.arange(sub_batch.shape[0], dtype=np.int64)
-    return (
-        count_pair_wedges(endpoints, positions, wedges_per_vertex, sub_batch, alive,
-                          filter_alive=filter_alive),
-        int(endpoints.size),
-    )
+    wedges = 0
+    total_updates = 0
+    updated_pieces: list[np.ndarray] = []
+    for lo, hi, endpoints, chunk_wedges in iter_batch_wedge_chunks(
+        centers,
+        centers_per_vertex,
+        center_offsets,
+        center_neighbors,
+        workspace=workspace,
+        range_starts=range_starts,
+        range_lengths=range_lengths,
+        wedges_per_vertex=wedges_per_vertex,
+    ):
+        wedges += int(endpoints.shape[0])
+        # Positions are rebased to the chunk so the key bound — and with it
+        # the int32 narrowing decision — shrinks with the chunk; the cached
+        # iota serves them without an arange per chunk.
+        positions = workspace.iota(hi - lo)
+        decrements = count_pair_wedges(
+            endpoints, positions, chunk_wedges, sub_batch[lo:hi], alive,
+            filter_alive=filter_alive, late_filter=late_filter, workspace=workspace,
+        )
+        updated, _, n_updates = apply_clamped_decrements(
+            supports, decrements, threshold, workspace=workspace
+        )
+        total_updates += n_updates
+        if updated.size:
+            updated_pieces.append(updated)
+    return wedges, total_updates, updated_pieces

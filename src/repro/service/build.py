@@ -19,6 +19,7 @@ from pathlib import Path
 from ..butterfly.counting import count_per_vertex
 from ..core.receipt import tip_decomposition
 from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
+from ..kernels.workspace import WedgeWorkspace, resolve_wedge_budget
 from .artifacts import ArtifactManifest, save_artifact
 
 __all__ = ["build_index_artifact"]
@@ -34,6 +35,7 @@ def build_index_artifact(
     backend: str = "serial",
     n_threads: int = 1,
     n_partitions: int | None = None,
+    wedge_budget: int | None = None,
     overwrite: bool = False,
 ) -> ArtifactManifest:
     """Decompose ``side`` of ``graph`` and save the result as an artifact.
@@ -41,17 +43,28 @@ def build_index_artifact(
     ``backend`` / ``n_threads`` / ``n_partitions`` configure RECEIPT's
     execution engine and are ignored (but still recorded in the manifest)
     for the sequential baselines, mirroring the CLI's ``decompose``
-    semantics.  Returns the written manifest.
+    semantics.  ``wedge_budget`` caps the wedge pipeline's per-chunk
+    scratch for every phase of the build (``None`` = library default,
+    ``<= 0`` = unbounded); the run's ``peak_scratch_bytes`` lands in the
+    manifest counters and is served by ``/stats``.  Returns the written
+    manifest.
     """
     side = validate_side(side)
-    counts = count_per_vertex(graph)
+    workspace = WedgeWorkspace(wedge_budget=resolve_wedge_budget(wedge_budget))
+    counts = count_per_vertex(graph, workspace=workspace)
     kwargs: dict = {"peel_kernel": peel_kernel, "counts": counts}
     if algorithm.lower().startswith("receipt"):
         kwargs["n_threads"] = n_threads
         kwargs["backend"] = backend
+        kwargs["wedge_budget"] = wedge_budget
         if n_partitions is not None:
             kwargs["n_partitions"] = n_partitions
+    else:
+        kwargs["workspace"] = workspace
     result = tip_decomposition(graph, side, algorithm=algorithm, **kwargs)
+    result.counters.peak_scratch_bytes = max(
+        result.counters.peak_scratch_bytes, workspace.peak_scratch_bytes
+    )
     return save_artifact(
         path,
         graph,
@@ -62,6 +75,7 @@ def build_index_artifact(
             "backend": backend,
             "n_threads": n_threads,
             "n_partitions": n_partitions,
+            "wedge_budget": wedge_budget,
         },
         overwrite=overwrite,
         center_butterflies=counts.counts(opposite_side(side)),

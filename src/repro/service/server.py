@@ -187,6 +187,12 @@ class TipService:
             "n_edges": manifest.graph.get("n_edges"),
             "has_graph": "u_offsets" in manifest.arrays,
             "loaded": self.cache.peek(manifest.fingerprint),
+            # Memory observability of the wedge pipeline: the configured
+            # per-chunk budget (None = library default at build time) and
+            # the scratch high-water mark of the run that produced the
+            # artifact's current decomposition (build or streaming repair).
+            "wedge_budget": manifest.decomposition.get("wedge_budget"),
+            "peak_scratch_bytes": manifest.counters.get("peak_scratch_bytes"),
             # Staleness bookkeeping: zeroed for a freshly built artifact,
             # advanced by every applied /update batch.
             "streaming": {

@@ -50,6 +50,7 @@ from ..errors import DecompositionError
 from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
 from ..kernels.peel import count_pair_wedges
 from ..kernels.wedges import gather_batch_wedges
+from ..kernels.workspace import WedgeWorkspace, workspace_or_default
 from ..peeling.base import PeelingCounters
 from ..peeling.bup import peel_sequential
 from .deltas import EdgeBatch, apply_batch
@@ -147,6 +148,7 @@ def butterfly_closure(
     *,
     work: np.ndarray | None = None,
     work_budget: int | None = None,
+    workspace: WedgeWorkspace | None = None,
 ) -> tuple[np.ndarray | None, int]:
     """Vertices butterfly-connected to ``seeds`` within the masked subset.
 
@@ -163,6 +165,7 @@ def butterfly_closure(
     traversal.  The second element is always the wedge endpoints touched.
     """
     side = validate_side(side)
+    workspace = workspace_or_default(workspace)
     seeds = np.asarray(seeds, dtype=np.int64)
     peel_offsets, peel_neighbors = graph.csr(side)
     center_offsets, center_neighbors = graph.csr(opposite_side(side))
@@ -177,7 +180,8 @@ def butterfly_closure(
         if work_budget is not None and visited_work > work_budget:
             return None, wedges
         endpoints, endpoints_per_vertex = gather_batch_wedges(
-            peel_offsets, peel_neighbors, center_offsets, center_neighbors, frontier
+            peel_offsets, peel_neighbors, center_offsets, center_neighbors, frontier,
+            workspace=workspace,
         )
         wedges += int(endpoints.size)
         pairs = count_pair_wedges(
@@ -186,6 +190,7 @@ def butterfly_closure(
             endpoints_per_vertex,
             frontier,
             unvisited_in_mask,
+            workspace=workspace,
         )
         frontier = np.unique(pairs.endpoints)
         visited[frontier] = True
@@ -270,6 +275,7 @@ def _repair_region(
     work: np.ndarray,
     work_budget: int,
     max_rounds: int,
+    workspace: WedgeWorkspace | None = None,
 ) -> tuple[list[tuple[int, np.ndarray]] | None, int]:
     """Resolve the re-peel regions, or ``None`` when damage exceeds the budget.
 
@@ -285,7 +291,7 @@ def _repair_region(
         for level, seeds in groups:
             region, wedges = butterfly_closure(
                 new_graph, side, seeds, tip_numbers >= level,
-                work=work, work_budget=work_budget,
+                work=work, work_budget=work_budget, workspace=workspace,
             )
             wedges_total += wedges
             if region is None or wedges_total > work_budget:
@@ -385,6 +391,10 @@ def apply_update(
     side = validate_side(side)
     start_time = time.perf_counter()
     counters = PeelingCounters()
+    # One fresh arena per update: every recount, closure expansion and
+    # localized re-peel of this batch reuses the same buffers, and the
+    # update's counters report the arena's exact high-water mark.
+    workspace = WedgeWorkspace()
     tip_numbers = np.asarray(tip_numbers, dtype=np.int64)
     butterflies = np.asarray(butterflies, dtype=np.int64)
     n_side = graph.side_size(side)
@@ -400,6 +410,9 @@ def apply_update(
     def _result(mode, new_tips, new_counts, new_center, *, k_seed=0,
                 delta: RegionDelta | None = None, n_repeeled=0, damage=0.0):
         counters.elapsed_seconds = time.perf_counter() - start_time
+        counters.peak_scratch_bytes = max(
+            counters.peak_scratch_bytes, workspace.peak_scratch_bytes
+        )
         return StreamingUpdateResult(
             graph=new_graph,
             side=side,
@@ -422,13 +435,14 @@ def apply_update(
 
     # 1. Exact support maintenance on the delta frontier (both sides when
     #    the center counts are being carried along).
-    delta = support_delta(graph, new_graph, batch, side)
+    delta = support_delta(graph, new_graph, batch, side, workspace=workspace)
     counters.wedges_traversed += delta.wedges_traversed
     counters.counting_wedges += delta.wedges_traversed
     new_butterflies = delta.apply_to(butterflies)
     new_center = None
     if center_butterflies is not None:
-        center_delta = support_delta(graph, new_graph, batch, opposite_side(side))
+        center_delta = support_delta(graph, new_graph, batch, opposite_side(side),
+                                     workspace=workspace)
         counters.wedges_traversed += center_delta.wedges_traversed
         counters.counting_wedges += center_delta.wedges_traversed
         new_center = center_delta.apply_to(center_butterflies)
@@ -455,7 +469,7 @@ def apply_update(
     work_budget = int(config.damage_threshold * total_work)
     regions, closure_wedges = _repair_region(
         new_graph, side, dirty, floors, tip_numbers, work, work_budget,
-        config.max_group_rounds,
+        config.max_group_rounds, workspace=workspace,
     )
     counters.wedges_traversed += closure_wedges
     counters.peeling_wedges += closure_wedges
@@ -478,11 +492,12 @@ def apply_update(
         damage += float(work[region].sum() / total_work) if total_work else 0.0
         n_repeeled += int(region.shape[0])
         induced = working.induced_on_u_subset(region)
-        counts = count_per_vertex_priority(induced.graph)
+        counts = count_per_vertex_priority(induced.graph, workspace=workspace)
         counters.wedges_traversed += counts.wedges_traversed
         counters.counting_wedges += counts.wedges_traversed
         region_tips, peel_counters, _ = peel_sequential(
             induced.graph, "U", counts.u_counts, peel_kernel=config.peel_kernel,
+            workspace=workspace,
         )
         counters.merge(peel_counters)
         if region_tips.size and int(region_tips.min()) < level:

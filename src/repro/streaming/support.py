@@ -7,9 +7,9 @@ moves has at least one endpoint among the batch's peeled-side endpoints.
 Maintenance therefore only recounts those endpoints (≤ batch size, never
 the whole neighborhood):
 
-* one :func:`~repro.kernels.wedges.gather_batch_wedges` collects their
-  two-hop wedge multiset on each graph version,
-* one :func:`~repro.kernels.peel.count_pair_wedges` groups it into
+* :func:`~repro.kernels.wedges.iter_batch_wedge_chunks` streams their
+  two-hop wedge multiset on each graph version in wedge-budgeted chunks,
+* :func:`~repro.kernels.peel.count_pair_wedges` groups each chunk into
   per-(vertex, partner) shared-butterfly counts ``C(wedges, 2)``,
 * differencing the two sparse pair maps yields exactly the pairs that
   changed, the per-vertex count deltas, and the *dirty* vertex set that
@@ -27,9 +27,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
-from ..kernels.csr import int_bincount
+from ..kernels.csr import gather_rows, int_bincount
 from ..kernels.peel import count_pair_wedges
-from ..kernels.wedges import gather_batch_wedges
+from ..kernels.wedges import iter_batch_wedge_chunks
+from ..kernels.workspace import WedgeWorkspace, workspace_or_default
 from .deltas import EdgeBatch
 
 __all__ = ["RegionDelta", "region_butterflies", "support_delta"]
@@ -78,7 +79,11 @@ class RegionDelta:
 
 
 def region_butterflies(
-    graph: BipartiteGraph, side: str, vertices: np.ndarray
+    graph: BipartiteGraph,
+    side: str,
+    vertices: np.ndarray,
+    *,
+    workspace: WedgeWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
     """Exact butterfly counts of a vertex subset, plus the pair signature.
 
@@ -86,9 +91,13 @@ def region_butterflies(
     ``counts[i]`` is the full butterfly count of ``vertices[i]`` in
     ``graph``; ``pair_keys`` (sorted ``position * n_side + partner``) and
     ``pair_butterflies`` describe every partner pair carrying at least one
-    shared butterfly.  Work is the subset's wedge neighborhood only.
+    shared butterfly.  Work is the subset's wedge neighborhood only, and
+    the wedge multiset streams through the shared pipeline in budget-capped
+    chunks (pairs are keyed by subset position, so chunk results
+    concatenate into the same sorted signature a monolithic pass builds).
     """
     side = validate_side(side)
+    workspace = workspace_or_default(workspace)
     vertices = np.asarray(vertices, dtype=np.int64)
     n_side = graph.side_size(side)
     empty = np.zeros(0, dtype=np.int64)
@@ -97,18 +106,32 @@ def region_butterflies(
 
     peel_offsets, peel_neighbors = graph.csr(side)
     center_offsets, center_neighbors = graph.csr(opposite_side(side))
-    endpoints, endpoints_per_vertex = gather_batch_wedges(
-        peel_offsets, peel_neighbors, center_offsets, center_neighbors, vertices
-    )
-    wedges = int(endpoints.size)
-    positions = np.arange(vertices.shape[0], dtype=np.int64)
-    pairs = count_pair_wedges(
-        endpoints, positions, endpoints_per_vertex, vertices,
-        np.ones(n_side, dtype=bool), filter_alive=False,
-    )
-    counts = int_bincount(pairs.segments, pairs.decrements, vertices.shape[0])
-    pair_keys = pairs.segments * np.int64(n_side) + pairs.endpoints
-    return counts, pair_keys, pairs.decrements, wedges
+    all_alive = np.ones(n_side, dtype=bool)
+    centers, centers_per_vertex = gather_rows(peel_offsets, peel_neighbors, vertices)
+
+    counts = np.zeros(vertices.shape[0], dtype=np.int64)
+    key_pieces: list[np.ndarray] = []
+    butterfly_pieces: list[np.ndarray] = []
+    wedges = 0
+    for lo, hi, endpoints, chunk_lengths in iter_batch_wedge_chunks(
+        centers, centers_per_vertex, center_offsets, center_neighbors,
+        workspace=workspace,
+    ):
+        wedges += int(endpoints.shape[0])
+        # Positions stay global (not rebased) so the pair keys of all
+        # chunks form one ascending signature over the whole subset.
+        positions = np.arange(lo, hi, dtype=np.int64)
+        pairs = count_pair_wedges(
+            endpoints, positions, chunk_lengths, vertices, all_alive,
+            filter_alive=False, workspace=workspace,
+        )
+        counts += int_bincount(pairs.segments, pairs.decrements, vertices.shape[0])
+        if pairs.segments.size:
+            key_pieces.append(pairs.segments * np.int64(n_side) + pairs.endpoints)
+            butterfly_pieces.append(pairs.decrements)
+    pair_keys = np.concatenate(key_pieces) if key_pieces else empty
+    pair_butterflies = np.concatenate(butterfly_pieces) if butterfly_pieces else empty
+    return counts, pair_keys, pair_butterflies, wedges
 
 
 def support_delta(
@@ -116,6 +139,8 @@ def support_delta(
     new_graph: BipartiteGraph,
     batch: EdgeBatch,
     side: str,
+    *,
+    workspace: WedgeWorkspace | None = None,
 ) -> RegionDelta:
     """Compute the batch's exact peeled-side support changes.
 
@@ -124,13 +149,18 @@ def support_delta(
     an endpoint among the recounted vertices, so the diff is complete.
     """
     side = validate_side(side)
+    workspace = workspace_or_default(workspace)
     edges = batch.changed_edges()
     column = 0 if side == "U" else 1
     scanned = np.unique(edges[:, column]).astype(np.int64)
     n_side = old_graph.side_size(side)
 
-    _, keys_old, pairs_old, wedges_old = region_butterflies(old_graph, side, scanned)
-    _, keys_new, pairs_new, wedges_new = region_butterflies(new_graph, side, scanned)
+    _, keys_old, pairs_old, wedges_old = region_butterflies(
+        old_graph, side, scanned, workspace=workspace
+    )
+    _, keys_new, pairs_new, wedges_new = region_butterflies(
+        new_graph, side, scanned, workspace=workspace
+    )
 
     # Sparse sorted key → shared-butterfly maps (absent = zero); the union
     # with per-key differencing yields every changed pair exactly once per

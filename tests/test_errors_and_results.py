@@ -56,7 +56,7 @@ class TestPeelingCounters:
         assert set(data) == {
             "wedges_traversed", "counting_wedges", "peeling_wedges", "support_updates",
             "synchronization_rounds", "vertices_peeled", "recount_invocations",
-            "dgm_compactions", "elapsed_seconds",
+            "dgm_compactions", "elapsed_seconds", "peak_scratch_bytes",
         }
 
 
