@@ -18,13 +18,23 @@ a full decomposition.  This benchmark quantifies that claim end-to-end:
    is what the repo had to do before this subsystem existed.
 4. **HTTP** — starts the real ``ThreadingHTTPServer`` on a free port,
    exercises **every** endpoint once (hard-failing on any non-200), then
-   measures point-request p50/p99 latency and batch-POST throughput.
+   measures point-request p50/p99 latency and batch-POST throughput —
+   both per-connection (the historical baseline) and over persistent
+   keep-alive connections.
+5. **Async** — starts the asyncio batch-coalescing front end
+   (``repro serve --transport async``), asserts offline / threaded /
+   async answers are byte-for-byte identical, then measures pipelined
+   point-θ QPS, unpipelined p50/p99 latency, NDJSON bulk throughput, and
+   read latency under mixed read/update load (admission-controlled
+   writes racing coalesced reads).
 
 Results go to ``BENCH_serving.json`` at the repository root.
-``--check-speedup`` gates that warm-cache batch-θ throughput is at least
-10x the re-peel path — the serving layer's reason to exist; unlike
-wall-clock scaling gates this holds on any hardware, single-core CI
-runners included.
+``--check-speedup`` gates two things: warm-cache batch-θ throughput is
+at least 10x the re-peel path (the serving layer's reason to exist), and
+async pipelined point-θ QPS is at least 10x the threaded per-connection
+baseline (the async front end's reason to exist).  Unlike wall-clock
+scaling gates both hold on any hardware, single-core CI runners
+included.
 
 Dataset generation honours ``REPRO_DATASET_CACHE`` (see
 ``repro.datasets.registry``).
@@ -33,6 +43,8 @@ Dataset generation honours ``REPRO_DATASET_CACHE`` (see
 from __future__ import annotations
 
 import argparse
+import asyncio
+import http.client
 import json
 import os
 import statistics
@@ -40,6 +52,7 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -47,15 +60,41 @@ import numpy as np
 
 from repro.core.receipt import tip_decomposition
 from repro.datasets.registry import load_dataset
+from repro.errors import ServiceError
 from repro.service.artifacts import read_manifest
+from repro.service.aserver import start_server_thread
 from repro.service.build import build_index_artifact
 from repro.service.cache import IndexCache
-from repro.service.server import ENDPOINTS, create_server
+from repro.service.server import (
+    ENDPOINTS,
+    TipService,
+    create_server,
+    error_payload,
+    to_jsonable,
+)
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Required throughput advantage of warm-cache batch θ over re-peeling.
 SPEEDUP_GATE = 10.0
+
+#: Required point-QPS advantage of the async pipelined transport over the
+#: threaded per-connection baseline.
+ASYNC_GATE = 10.0
+
+#: Routes whose (status, body) must be byte-identical across offline,
+#: threaded, and async serving.  /stats is excluded: its request counters
+#: legitimately differ between processes.
+IDENTITY_ROUTES = (
+    "/healthz",
+    "/theta?vertex=0",
+    "/theta?vertex=7",
+    "/theta?vertex=999999999",       # 400: out of range
+    "/theta?vertex=abc",             # 400: not an integer
+    "/theta/batch?vertices=0,1,2",
+    "/top-k?k=5",
+    "/not-an-endpoint",              # 404
+)
 
 
 def _timed(fn):
@@ -89,6 +128,167 @@ def _http_post(base_url: str, route: str, body: dict):
     with urllib.request.urlopen(request, timeout=30) as response:
         payload = json.loads(response.read())
         return response.status, payload, (time.perf_counter() - start) * 1000.0
+
+
+def _http_get_bytes(base_url: str, route: str):
+    """(status, raw body bytes), following error statuses instead of raising."""
+    try:
+        with urllib.request.urlopen(base_url + route, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+def _offline_bytes(service: TipService, route: str):
+    """Render a route exactly as both HTTP transports would."""
+    bare, _, query = route.partition("?")
+    params = dict(pair.split("=") for pair in query.split("&")) if query else {}
+    try:
+        payload = service.handle(bare, params)
+        status = 200
+    except ServiceError as error:
+        payload, status = error_payload(error), error.status
+    return status, json.dumps(to_jsonable(payload)).encode("utf-8")
+
+
+def _threaded_keepalive_qps(host: str, port: int, vertices, workers: int = 4):
+    """Point-θ QPS over persistent keep-alive connections, one per worker."""
+    chunks = [chunk for chunk in np.array_split(vertices, workers) if len(chunk)]
+
+    def run(chunk):
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            for vertex in chunk:
+                connection.request("GET", f"/theta?vertex={int(vertex)}")
+                response = connection.getresponse()
+                response.read()
+                assert response.status == 200
+        finally:
+            connection.close()
+
+    threads = [threading.Thread(target=run, args=(chunk,)) for chunk in chunks]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return len(vertices) / (time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Minimal asyncio HTTP client (pipelining needs raw stream control;
+# nothing in the stdlib pipelines).
+# ----------------------------------------------------------------------
+async def _read_one_response(reader):
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length)
+    return int(head.split(b" ", 2)[1]), body
+
+
+def _point_request(vertex: int) -> bytes:
+    return b"GET /theta?vertex=%d HTTP/1.1\r\nHost: bench\r\n\r\n" % vertex
+
+
+async def _close_stream(writer):
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
+
+async def _async_pipelined_qps(host, port, vertices, *, connections, window):
+    """Point-θ QPS with `connections` clients each pipelining `window` deep."""
+    chunks = [chunk for chunk in np.array_split(vertices, connections) if len(chunk)]
+
+    async def worker(chunk):
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for i in range(0, len(chunk), window):
+                burst = chunk[i:i + window]
+                writer.write(b"".join(_point_request(int(v)) for v in burst))
+                await writer.drain()
+                for _ in burst:
+                    status, _ = await _read_one_response(reader)
+                    assert status == 200
+        finally:
+            await _close_stream(writer)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(worker(chunk) for chunk in chunks))
+    return len(vertices) / (time.perf_counter() - start)
+
+
+async def _async_point_latencies(host, port, vertices):
+    """Per-request ms latency, unpipelined, over one persistent connection."""
+    reader, writer = await asyncio.open_connection(host, port)
+    latencies = []
+    try:
+        for vertex in vertices:
+            start = time.perf_counter()
+            writer.write(_point_request(int(vertex)))
+            await writer.drain()
+            status, _ = await _read_one_response(reader)
+            assert status == 200
+            latencies.append((time.perf_counter() - start) * 1000.0)
+    finally:
+        await _close_stream(writer)
+    return latencies
+
+
+async def _async_mixed_load(host, port, n_u, delta, *, rounds, readers):
+    """Coalesced reads racing admission-controlled updates.
+
+    Each reader hammers point-θ on its own keep-alive connection while the
+    writer alternates insert/delete rounds of the same delta (so the
+    artifact ends back in its starting state).  Returns (read ms, update ms).
+    """
+    stop = asyncio.Event()
+    read_ms: list[float] = []
+    update_ms: list[float] = []
+
+    async def read_loop(seed):
+        reader, writer = await asyncio.open_connection(host, port)
+        step = 0
+        try:
+            while not stop.is_set():
+                vertex = (seed * 131 + step * 17) % n_u
+                start = time.perf_counter()
+                writer.write(_point_request(vertex))
+                await writer.drain()
+                status, _ = await _read_one_response(reader)
+                assert status == 200
+                read_ms.append((time.perf_counter() - start) * 1000.0)
+                step += 1
+        finally:
+            await _close_stream(writer)
+
+    async def write_loop():
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for _ in range(rounds):
+                for body in ({"insert": delta}, {"delete": delta}):
+                    raw = json.dumps(body).encode("utf-8")
+                    request = (
+                        b"POST /update HTTP/1.1\r\nHost: bench\r\n"
+                        b"Content-Type: application/json\r\n"
+                        b"Content-Length: %d\r\n\r\n" % len(raw)) + raw
+                    start = time.perf_counter()
+                    writer.write(request)
+                    await writer.drain()
+                    status, payload = await _read_one_response(reader)
+                    assert status == 200, (status, payload[:200])
+                    update_ms.append((time.perf_counter() - start) * 1000.0)
+        finally:
+            stop.set()
+            await _close_stream(writer)
+
+    await asyncio.gather(write_loop(), *(read_loop(seed) for seed in range(readers)))
+    return read_ms, update_ms
 
 
 def main(argv=None) -> int:
@@ -206,10 +406,102 @@ def main(argv=None) -> int:
             print(f"http: point {http_point_qps:,.0f} q/s "
                   f"(p50 {point_latency['p50_ms']}ms p99 {point_latency['p99_ms']}ms) | "
                   f"batch {http_batch_lookups_per_sec:,.0f} θ/s")
+
+            # Keep-alive baseline: same threaded server, persistent conns.
+            keepalive_qps = _threaded_keepalive_qps(
+                server.server_address[0], server.server_address[1],
+                rng.integers(0, graph.n_u, size=point_requests))
+            print(f"http: keep-alive point {keepalive_qps:,.0f} q/s (4 conns)")
+
+            threaded_identity = {
+                route: _http_get_bytes(base_url, route) for route in IDENTITY_ROUTES}
             cache_stats = server.service.cache.stats()
         finally:
             server.shutdown()
             server.server_close()
+
+        # -- 5: async batch-coalescing front end ------------------------
+        async_point_requests = 3000 if args.quick else 12000
+        async_connections, async_window = 8, 32
+        mixed_rounds = 2
+        offline_service = TipService([artifact_path])
+        handle = start_server_thread([artifact_path], cache_capacity=4)
+        try:
+            ahost, aport = handle.address
+            abase = handle.base_url
+
+            # Byte-identity: offline == threaded == async, per route.
+            for route in IDENTITY_ROUTES:
+                offline_answer = _offline_bytes(offline_service, route)
+                async_answer = _http_get_bytes(abase, route)
+                if not (offline_answer == threaded_identity[route] == async_answer):
+                    print(f"FAIL: transports disagree on {route}:\n"
+                          f"  offline  {offline_answer}\n"
+                          f"  threaded {threaded_identity[route]}\n"
+                          f"  async    {async_answer}", file=sys.stderr)
+                    return 1
+            print(f"async: {len(IDENTITY_ROUTES)} routes byte-identical "
+                  f"across offline/threaded/async")
+
+            async_vertices = rng.integers(0, graph.n_u, size=async_point_requests)
+            async_point_qps = asyncio.run(_async_pipelined_qps(
+                ahost, aport, async_vertices,
+                connections=async_connections, window=async_window))
+            async_speedup = async_point_qps / max(http_point_qps, 1e-9)
+
+            async_latency = _percentiles(asyncio.run(_async_point_latencies(
+                ahost, aport, rng.integers(0, graph.n_u, size=point_requests))))
+            print(f"async: point {async_point_qps:,.0f} q/s pipelined "
+                  f"({async_connections} conns x window {async_window}) -> "
+                  f"{async_speedup:,.1f}x threaded | unpipelined "
+                  f"p50 {async_latency['p50_ms']}ms p99 {async_latency['p99_ms']}ms")
+
+            # NDJSON bulk: many batch lookups in one request.
+            ndjson_batches = batches[: max(batch_requests // 2, 5)]
+            ndjson_body = b"".join(
+                json.dumps({"vertices": batch.tolist()}).encode() + b"\n"
+                for batch in ndjson_batches)
+            connection = http.client.HTTPConnection(ahost, aport, timeout=60)
+            try:
+                ndjson_start = time.perf_counter()
+                connection.request(
+                    "POST", "/theta/batch", body=ndjson_body,
+                    headers={"Content-Type": "application/x-ndjson"})
+                response = connection.getresponse()
+                answer_lines = response.read().strip().split(b"\n")
+                ndjson_seconds = time.perf_counter() - ndjson_start
+                assert response.status == 200 and len(answer_lines) == len(ndjson_batches)
+            finally:
+                connection.close()
+            ndjson_lookups_per_sec = (
+                len(ndjson_batches) * batch_size) / ndjson_seconds
+            print(f"async: NDJSON bulk {ndjson_lookups_per_sec:,.0f} θ/s "
+                  f"({len(ndjson_batches)} lines x {batch_size})")
+
+            # Mixed read/update load: alternating insert/delete rounds of a
+            # fresh-edge delta (artifact ends back at its base state).
+            delta = []
+            for u in range(graph.n_u):
+                for w in range(min(graph.n_v, 64)):
+                    if not graph.has_edge(u, w):
+                        delta.append([u, w])
+                    if len(delta) == 4:
+                        break
+                if len(delta) == 4:
+                    break
+            mixed_read_ms, mixed_update_ms = asyncio.run(_async_mixed_load(
+                ahost, aport, graph.n_u, delta, rounds=mixed_rounds, readers=3))
+            mixed_read_latency = _percentiles(mixed_read_ms)
+            print(f"async: mixed load {len(mixed_read_ms)} reads "
+                  f"(p50 {mixed_read_latency['p50_ms']}ms "
+                  f"p99 {mixed_read_latency['p99_ms']}ms) while "
+                  f"{len(mixed_update_ms)} updates applied "
+                  f"(mean {statistics.fmean(mixed_update_ms):,.0f}ms)")
+
+            coalescer_metrics = handle.server.coalescer.metrics()
+            admission_metrics = handle.server.admission.metrics()
+        finally:
+            handle.stop()
 
         report = {
             "benchmark": "serving",
@@ -240,12 +532,35 @@ def main(argv=None) -> int:
                 "endpoints_status": endpoint_status,
                 "cold_first_request_ms": round(http_cold_first_ms, 3),
                 "point_qps": round(http_point_qps, 1),
+                "keepalive_point_qps": round(keepalive_qps, 1),
                 "point_latency": point_latency,
                 "batch_lookups_per_sec": round(http_batch_lookups_per_sec, 1),
                 "cache": cache_stats,
             },
+            "async": {
+                "point_qps_pipelined": round(async_point_qps, 1),
+                "pipelining": {
+                    "connections": async_connections, "window": async_window},
+                "speedup_vs_threaded_point": round(async_speedup, 1),
+                "speedup_vs_threaded_keepalive": round(
+                    async_point_qps / max(keepalive_qps, 1e-9), 1),
+                "point_latency": async_latency,
+                "ndjson_lookups_per_sec": round(ndjson_lookups_per_sec, 1),
+                "byte_identity_routes_checked": len(IDENTITY_ROUTES),
+                "mixed_load": {
+                    "readers": 3,
+                    "reads": len(mixed_read_ms),
+                    "read_latency": mixed_read_latency,
+                    "updates": len(mixed_update_ms),
+                    "update_latency_ms": [round(ms, 1) for ms in mixed_update_ms],
+                },
+                "coalescer": coalescer_metrics,
+                "admission": admission_metrics,
+            },
             "speedup_gate": SPEEDUP_GATE,
             "speedup_gate_passed": bool(speedup >= SPEEDUP_GATE),
+            "async_gate": ASYNC_GATE,
+            "async_gate_passed": bool(async_speedup >= ASYNC_GATE),
         }
 
     output = Path(args.output)
@@ -258,6 +573,12 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: warm batch-θ throughput is {speedup:,.0f}x the re-peel path "
           f"(gate: {SPEEDUP_GATE:.0f}x)")
+    if args.check_speedup and async_speedup < ASYNC_GATE:
+        print(f"FAIL: async pipelined point-θ QPS is only {async_speedup:.1f}x "
+              f"the threaded baseline (gate: {ASYNC_GATE:.0f}x)", file=sys.stderr)
+        return 1
+    print(f"OK: async pipelined point-θ QPS is {async_speedup:,.1f}x the "
+          f"threaded baseline (gate: {ASYNC_GATE:.0f}x)")
     return 0
 
 

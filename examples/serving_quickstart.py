@@ -8,7 +8,11 @@ The full serving-layer loop in one script:
 3. answer θ / top-k / k-tip queries offline from the artifact — no
    re-peeling, and
 4. start the JSON HTTP service on a free port and hit every endpoint the
-   way a production client would (``repro serve`` + ``curl`` equivalent).
+   way a production client would (``repro serve`` + ``curl`` equivalent),
+   and
+5. start the asyncio batch-coalescing front end
+   (``repro serve --transport async``), check it answers byte-for-byte
+   like the threaded one, and exercise its NDJSON bulk protocol.
 
 Run with::
 
@@ -24,13 +28,23 @@ import urllib.request
 from pathlib import Path
 
 from repro.datasets import load_dataset
-from repro.service import TipIndex, build_index_artifact, load_artifact
+from repro.service import (
+    TipIndex,
+    build_index_artifact,
+    load_artifact,
+    start_server_thread,
+)
 from repro.service.server import create_server
 
 
 def fetch(base_url: str, route: str) -> dict:
     with urllib.request.urlopen(base_url + route, timeout=10) as response:
         return json.loads(response.read())
+
+
+def fetch_raw(base_url: str, route: str) -> bytes:
+    with urllib.request.urlopen(base_url + route, timeout=10) as response:
+        return response.read()
 
 
 def main() -> None:
@@ -75,10 +89,34 @@ def main() -> None:
         stats = fetch(base_url, "/stats")
         print("GET /stats -> cache", stats["cache"])
 
+        # 5: the async batch-coalescing transport (`--transport async`):
+        # same routing core, so answers are byte-for-byte identical.
+        handle = start_server_thread([artifact_path])
+        print(f"\nasync transport on {handle.base_url}")
+        for route in ("/theta?vertex=0", "/top-k?k=3"):
+            assert fetch_raw(handle.base_url, route) == fetch_raw(base_url, route)
+        print("byte-identical answers across threaded and async transports")
+
+        # NDJSON bulk: one batch request per body line.
+        request = urllib.request.Request(
+            handle.base_url + "/theta/batch",
+            data=b'{"vertices": [0, 1, 2]}\n[3, 4]\n',
+            headers={"Content-Type": "application/x-ndjson"}, method="POST")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            lines = response.read().strip().split(b"\n")
+        print("POST /theta/batch (NDJSON, 2 lines) ->",
+              [json.loads(line)["thetas"] for line in lines])
+        coalescer = fetch(
+            handle.base_url, "/stats?fresh=1")["transport"]["coalescer"]
+        print("coalescer:", {key: coalescer[key] for key in
+                             ("batches_flushed", "mean_batch_size")})
+        handle.stop()
+
         server.shutdown()
         server.server_close()
     print("\ndone: the same artifact can be rebuilt with "
-          "`repro build-index` and served with `repro serve`.")
+          "`repro build-index` and served with `repro serve` "
+          "(--transport async for the coalescing front end).")
 
 
 if __name__ == "__main__":

@@ -15,7 +15,11 @@ Sub-commands:
 * ``update`` — apply an insert/delete edge batch to an artifact through
   the streaming engine (incremental support maintenance + bounded
   tip-number repair) instead of rebuilding it.
-* ``serve`` — expose one or more artifacts over the JSON HTTP API.
+* ``serve`` — expose one or more artifacts over the JSON HTTP API;
+  ``--transport {thread,async}`` picks between the threaded server and
+  the asyncio batch-coalescing front end (identical answers, the async
+  one batches concurrent point-θ requests into one vectorized lookup
+  per event-loop tick and admission-controls updates).
 
 ``decompose`` and ``compare`` accept ``--backend {serial,thread,process}``
 to pick the execution engine for RECEIPT FD's task fan-out: ``process``
@@ -205,6 +209,25 @@ def build_parser() -> argparse.ArgumentParser:
                               help="maximum number of indexes kept in memory")
     serve_parser.add_argument("--no-mmap", action="store_true",
                               help="load artifact arrays eagerly instead of mmap")
+    serve_parser.add_argument("--transport", default="thread",
+                              choices=["thread", "async"],
+                              help="HTTP front end: one thread per connection "
+                                   "(default) or the asyncio event loop that "
+                                   "coalesces concurrent point-θ requests into "
+                                   "one vectorized lookup per tick and "
+                                   "admission-controls updates behind the "
+                                   "readers")
+    serve_parser.add_argument("--coalesce-max-batch", type=int, default=1024,
+                              help="async transport: cap on one coalesced "
+                                   "point-θ batch (default 1024)")
+    serve_parser.add_argument("--coalesce-max-delay-ms", type=float, default=0.0,
+                              help="async transport: wait up to this long to "
+                                   "grow a batch (default 0: flush every "
+                                   "event-loop tick, zero added latency)")
+    serve_parser.add_argument("--max-pending-updates", type=int, default=4,
+                              help="async transport: bounded /update admission "
+                                   "queue; overflow answers 503 + Retry-After "
+                                   "(default 4)")
 
     return parser
 
@@ -392,6 +415,21 @@ def _command_update(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    if args.transport == "async":
+        from .service.aserver import serve_async
+
+        serve_async(
+            args.artifacts,
+            host=args.host,
+            port=args.port,
+            cache_capacity=args.cache_capacity,
+            mmap=not args.no_mmap,
+            quiet=False,
+            max_batch=args.coalesce_max_batch,
+            max_delay=args.coalesce_max_delay_ms / 1000.0,
+            max_pending_updates=args.max_pending_updates,
+        )
+        return 0
     from .service.server import serve
 
     serve(

@@ -19,6 +19,7 @@ __all__ = [
     "ArtifactMismatchError",
     "StreamingError",
     "ServiceError",
+    "ServiceOverloadedError",
 ]
 
 
@@ -109,3 +110,18 @@ class ServiceError(ReproError):
     def __init__(self, message: str, *, status: int = 400):
         super().__init__(message)
         self.status = int(status)
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the write path's bounded admission queue is full.
+
+    The async front end admission-controls ``POST /update`` behind the
+    coalesced read pipeline: a single writer task drains a bounded queue,
+    and batches arriving while it is full are rejected immediately with
+    HTTP 503 plus a ``Retry-After`` hint instead of piling up behind the
+    writer lock and starving readers.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message, status=503)
+        self.retry_after = float(retry_after)

@@ -17,6 +17,12 @@ milliseconds, without ever re-peeling:
 * :mod:`repro.service.server` — stdlib ``ThreadingHTTPServer`` JSON API
   plus :class:`TipService`, the transport-free request handler shared by
   the HTTP server and the offline ``repro query`` command.
+* :mod:`repro.service.coalesce` — event-loop micro-batching: the
+  θ-request coalescer and the bounded write-admission controller.
+* :mod:`repro.service.aserver` — the asyncio front end: persistent
+  HTTP/1.1 connections with pipelining, one vectorized batch lookup per
+  event-loop tick, precomputed hot JSON, an NDJSON bulk protocol, and
+  admission-controlled updates (``repro serve --transport async``).
 * :mod:`repro.service.build` — ``build_index_artifact``: decompose (via
   the configured execution backend) and persist in one step.
 """
@@ -32,8 +38,10 @@ from .artifacts import (
     read_manifest,
     save_artifact,
 )
+from .aserver import AsyncTipServer, serve_async, start_server_thread
 from .build import build_index_artifact
 from .cache import IndexCache
+from .coalesce import ThetaCoalescer, UpdateAdmissionController
 from .index import TipIndex
 from .server import TipService, create_server, serve
 
@@ -51,4 +59,9 @@ __all__ = [
     "build_index_artifact",
     "create_server",
     "serve",
+    "AsyncTipServer",
+    "ThetaCoalescer",
+    "UpdateAdmissionController",
+    "serve_async",
+    "start_server_thread",
 ]

@@ -11,6 +11,10 @@ Two layers:
   handler parses the request, delegates to the shared service, and
   serializes the response.  Indexes are immutable and the cache is
   thread-safe, so concurrent handler threads need no further locking.
+  Speaks HTTP/1.1 with keep-alive (every response carries an exact
+  ``Content-Length``).  The alternative event-loop transport lives in
+  :mod:`repro.service.aserver`; both answer byte-for-byte identically
+  because both route through :meth:`TipService.handle`.
 
 Endpoints (all JSON)::
 
@@ -55,7 +59,14 @@ from .artifacts import read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
 
-__all__ = ["TipService", "create_server", "serve", "ENDPOINTS"]
+__all__ = [
+    "TipService",
+    "create_server",
+    "serve",
+    "ENDPOINTS",
+    "error_payload",
+    "parse_post_body",
+]
 
 #: The eight routes of the JSON API.
 ENDPOINTS = (
@@ -89,6 +100,39 @@ def _flag_param(params: dict, key: str) -> bool:
     return value not in ("", "0", "false", "no")
 
 
+def error_payload(error: Exception, *, status: int | None = None) -> dict:
+    """Structured error body shared by every transport.
+
+    Carries the message and the HTTP status; a :class:`ServiceOverloadedError`
+    additionally surfaces its ``Retry-After`` hint so clients can back off
+    without parsing headers.
+    """
+    resolved = int(status if status is not None else getattr(error, "status", 500))
+    payload = {"error": str(error), "status": resolved}
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        payload["retry_after_seconds"] = float(retry_after)
+    return payload
+
+
+def parse_post_body(raw: bytes) -> dict:
+    """Decode a POST body into the JSON object :meth:`TipService.handle` takes.
+
+    Shared by the threaded and async transports so malformed JSON and
+    non-object bodies answer a structured 400 (:class:`ServiceError`)
+    everywhere instead of a transport-specific 500.
+    """
+    if not raw:
+        return {}
+    try:
+        body = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ServiceError("request body is not valid JSON") from None
+    if not isinstance(body, dict):
+        raise ServiceError("request body must be a JSON object")
+    return body
+
+
 def to_jsonable(value):
     """Recursively convert numpy scalars/arrays into plain JSON types."""
     if isinstance(value, np.ndarray):
@@ -120,6 +164,10 @@ class TipService:
         self.mmap = mmap
         self.requests: Counter = Counter()
         self.update_modes: Counter = Counter()
+        # Transport front ends (e.g. the async coalescing server) register
+        # zero-argument metric providers here; /stats folds them in under a
+        # "transport" key so the new layer is observable from day one.
+        self.transport_metrics: dict = {}
         self._requests_lock = threading.Lock()
         # One writer at a time: /update batches serialize here while readers
         # keep answering from the previous snapshot.
@@ -141,6 +189,11 @@ class TipService:
     @property
     def artifact_names(self) -> list[str]:
         return list(self._artifacts)
+
+    def count_requests(self, route: str, n: int = 1) -> None:
+        """Advance the per-route request counter (fast paths bypass handle)."""
+        with self._requests_lock:
+            self.requests[route if route in ENDPOINTS else "<unknown>"] += n
 
     @staticmethod
     def _read_manifest_retrying(path: Path):
@@ -393,6 +446,41 @@ class TipService:
         return np.asarray(vertices, dtype=np.int64)
 
     # ------------------------------------------------------------------
+    # Coalesced point lookups (the async front end's hot path)
+    # ------------------------------------------------------------------
+    def theta_payloads(self, artifact: str | None, vertices: list) -> list:
+        """Answer many point-θ requests with one vectorized gather.
+
+        Equivalent to ``len(vertices)`` sequential ``handle("/theta", ...)``
+        calls — same payloads, same :class:`ServiceError` per bad request,
+        same request accounting — but the artifact resolution (one manifest
+        read) and the tip-number gather are paid once per batch.  Failures
+        come back in-band as :class:`ServiceError` entries so one bad vertex
+        never poisons its batch-mates.
+        """
+        self.count_requests("/theta", len(vertices))
+        try:
+            index = self.index_for(artifact)
+        except ServiceError as error:
+            return [error] * len(vertices)
+        ids = np.asarray(vertices, dtype=np.int64)
+        if ids.size and 0 <= int(ids.min()) and int(ids.max()) < index.n_vertices:
+            thetas = index.tip_numbers[ids]
+            return [
+                {"vertex": int(vertex), "theta": int(theta)}
+                for vertex, theta in zip(vertices, thetas)
+            ]
+        # Slow path (some vertex out of range): fall back to the point
+        # query per request so error messages stay byte-identical.
+        results: list = []
+        for vertex in vertices:
+            try:
+                results.append({"vertex": int(vertex), "theta": index.theta(int(vertex))})
+            except ServiceError as error:
+                results.append(error)
+        return results
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, route: str, params: dict | None = None, body: dict | None = None) -> dict:
@@ -401,8 +489,7 @@ class TipService:
         route = route.rstrip("/") or "/"
         # Only known routes get their own counter entry; arbitrary scanner
         # paths would otherwise grow the Counter (and /stats) without bound.
-        with self._requests_lock:
-            self.requests[route if route in ENDPOINTS else "<unknown>"] += 1
+        self.count_requests(route)
         artifact = params.get("artifact")
 
         if route == "/healthz":
@@ -429,6 +516,10 @@ class TipService:
             with self._requests_lock:
                 payload["requests"] = dict(self.requests)
                 payload["updates"] = dict(self.update_modes)
+            if self.transport_metrics:
+                payload["transport"] = {
+                    name: provider() for name, provider in self.transport_metrics.items()
+                }
             return payload
 
         if route == "/update":
@@ -501,15 +592,38 @@ class TipService:
 # ----------------------------------------------------------------------
 # HTTP transport
 # ----------------------------------------------------------------------
+class _TipHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # SO_REUSEADDR before bind: tests and benchmarks restart servers on
+    # ports still in TIME_WAIT instead of flaking with address-in-use.
+    allow_reuse_address = True
+
+
 def _make_handler(service: TipService, *, quiet: bool) -> type:
     class TipRequestHandler(BaseHTTPRequestHandler):
         server_version = "repro-tip-service/1"
+        # Persistent connections: with HTTP/1.0 (the BaseHTTPRequestHandler
+        # default) every request paid a fresh TCP handshake, handicapping
+        # the threaded transport in any comparison.  Every response carries
+        # an exact Content-Length, which is what HTTP/1.1 keep-alive needs.
+        protocol_version = "HTTP/1.1"
+        # TCP_NODELAY: headers and body leave in separate writes; on
+        # keep-alive connections Nagle + delayed ACK would turn that into
+        # ~40ms per request.  (asyncio disables Nagle by default already.)
+        disable_nagle_algorithm = True
 
         def _respond(self, status: int, payload: dict) -> None:
             body = json.dumps(to_jsonable(payload)).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            retry_after = payload.get("retry_after_seconds")
+            if retry_after is not None:
+                self.send_header("Retry-After", str(max(1, round(retry_after))))
+            if self.close_connection:
+                # Advertise the hang-up so keep-alive clients don't try to
+                # reuse a connection we are about to close.
+                self.send_header("Connection", "close")
             self.end_headers()
             self.wfile.write(body)
 
@@ -519,9 +633,9 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
             try:
                 payload = service.handle(parsed.path, params, body)
             except ServiceError as error:
-                self._respond(error.status, {"error": str(error)})
+                self._respond(error.status, error_payload(error))
             except ReproError as error:
-                self._respond(500, {"error": str(error)})
+                self._respond(500, error_payload(error, status=500))
             else:
                 self._respond(200, payload)
 
@@ -531,19 +645,17 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
         def do_POST(self) -> None:  # noqa: N802
             length = int(self.headers.get("Content-Length") or 0)
             if length > MAX_REQUEST_BODY_BYTES:
-                self._respond(413, {
-                    "error": f"request body of {length} bytes exceeds the "
-                             f"{MAX_REQUEST_BODY_BYTES}-byte cap"
-                })
+                # The unread body would corrupt the keep-alive stream; hang up.
+                self.close_connection = True
+                self._respond(413, error_payload(ServiceError(
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_REQUEST_BODY_BYTES}-byte cap", status=413)))
                 return
             raw = self.rfile.read(length) if length else b""
             try:
-                body = json.loads(raw.decode("utf-8")) if raw else {}
-            except (UnicodeDecodeError, json.JSONDecodeError):
-                self._respond(400, {"error": "request body is not valid JSON"})
-                return
-            if not isinstance(body, dict):
-                self._respond(400, {"error": "request body must be a JSON object"})
+                body = parse_post_body(raw)
+            except ServiceError as error:
+                self._respond(error.status, error_payload(error))
                 return
             self._dispatch(body)
 
@@ -569,8 +681,7 @@ def create_server(
     embedding code can reach the cache and metrics.
     """
     service = TipService(artifact_paths, cache_capacity=cache_capacity, mmap=mmap)
-    server = ThreadingHTTPServer((host, port), _make_handler(service, quiet=quiet))
-    server.daemon_threads = True
+    server = _TipHTTPServer((host, port), _make_handler(service, quiet=quiet))
     server.service = service  # type: ignore[attr-defined]
     return server
 
