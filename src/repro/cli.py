@@ -19,7 +19,15 @@ Sub-commands:
   ``--transport {thread,async}`` picks between the threaded server and
   the asyncio batch-coalescing front end (identical answers, the async
   one batches concurrent point-θ requests into one vectorized lookup
-  per event-loop tick and admission-controls updates).
+  per event-loop tick and admission-controls updates).  Both transports
+  expose Prometheus metrics on ``GET /metrics``.
+* ``trace-summary`` — phase-time breakdown of a trace file written by
+  ``decompose --trace-out`` / ``build-index --trace-out``, mirroring the
+  paper's counting / CD / FD split.
+
+Global flags: ``--log-format {text,json}`` switches the ``repro.*``
+loggers to JSON-lines output (one object per line, machine-parseable)
+and ``--log-level`` sets their threshold.
 
 ``decompose`` and ``compare`` accept ``--backend {serial,thread,process}``
 to pick the execution engine for RECEIPT FD's task fan-out: ``process``
@@ -42,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Sequence
 
 from .analysis.verification import compare_results
@@ -128,12 +137,46 @@ def _algorithm_kwargs(args: argparse.Namespace, algorithm: str) -> dict:
     return kwargs
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="record a phase-level execution trace and write it "
+                             "to FILE as Chrome-tracing JSON; inspect with "
+                             "chrome://tracing / Perfetto or summarise with "
+                             "`repro trace-summary FILE`")
+
+
+@contextmanager
+def _maybe_trace(trace_out: str | None):
+    """Record spans and write the trace file when ``--trace-out`` was given.
+
+    Yields nothing; the traced code simply runs with a recording tracer
+    installed as the process-wide active tracer (zero overhead otherwise).
+    """
+    if not trace_out:
+        yield
+        return
+    from .obs.report import write_trace
+    from .obs.trace import Tracer, use_tracer
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        yield
+    payload = write_trace(tracer, trace_out)
+    print(f"trace written to {trace_out} ({len(payload['spans'])} spans)",
+          file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RECEIPT: parallel tip decomposition of bipartite graphs (reproduction)",
     )
+    parser.add_argument("--log-format", default="text", choices=["text", "json"],
+                        help="repro.* log output: human-readable text (default) "
+                             "or JSON lines (one object per line)")
+    parser.add_argument("--log-level", default="INFO",
+                        help="log level for the repro.* loggers (default INFO)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("datasets", help="list registered datasets")
@@ -153,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   choices=["receipt", "receipt-", "receipt--", "bup", "parb"])
     _add_execution_arguments(decompose_parser)
     decompose_parser.add_argument("--output", help="write per-vertex tip numbers to this JSON file")
+    _add_trace_argument(decompose_parser)
 
     compare_parser = subparsers.add_parser("compare", help="run two algorithms and verify agreement")
     _add_graph_arguments(compare_parser)
@@ -172,6 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="artifact directory to write (conventionally *.tipidx)")
     build_parser_.add_argument("--force", action="store_true",
                                help="replace an existing artifact at --output")
+    _add_trace_argument(build_parser_)
 
     query_parser = subparsers.add_parser(
         "query", help="query a tip-index artifact offline (no re-peeling)")
@@ -229,6 +274,13 @@ def build_parser() -> argparse.ArgumentParser:
                                    "queue; overflow answers 503 + Retry-After "
                                    "(default 4)")
 
+    trace_parser = subparsers.add_parser(
+        "trace-summary",
+        help="phase-time breakdown of a --trace-out trace file")
+    trace_parser.add_argument("trace", help="trace JSON written by --trace-out")
+    trace_parser.add_argument("--top", type=int, default=20,
+                              help="number of hottest span names to list (default 20)")
+
     return parser
 
 
@@ -267,7 +319,9 @@ def _command_count(args: argparse.Namespace) -> int:
 def _command_decompose(args: argparse.Namespace) -> int:
     graph = _load(args)
     kwargs = _algorithm_kwargs(args, args.algorithm)
-    result = tip_decomposition(graph, args.side.upper(), algorithm=args.algorithm, **kwargs)
+    with _maybe_trace(args.trace_out):
+        result = tip_decomposition(graph, args.side.upper(),
+                                   algorithm=args.algorithm, **kwargs)
     print(json.dumps(result.summary(), indent=2))
     if args.output:
         with open(args.output, "wt", encoding="utf-8") as handle:
@@ -304,18 +358,19 @@ def _command_build_index(args: argparse.Namespace) -> int:
     from .service.build import build_index_artifact
 
     graph = _load(args)
-    manifest = build_index_artifact(
-        graph,
-        args.output,
-        side=args.side.upper(),
-        algorithm=args.algorithm,
-        peel_kernel=args.peel_kernel,
-        backend=args.backend,
-        n_threads=args.threads,
-        n_partitions=args.partitions,
-        wedge_budget=args.wedge_budget,
-        overwrite=args.force,
-    )
+    with _maybe_trace(args.trace_out):
+        manifest = build_index_artifact(
+            graph,
+            args.output,
+            side=args.side.upper(),
+            algorithm=args.algorithm,
+            peel_kernel=args.peel_kernel,
+            backend=args.backend,
+            n_threads=args.threads,
+            n_partitions=args.partitions,
+            wedge_budget=args.wedge_budget,
+            overwrite=args.force,
+        )
     print(json.dumps(
         {
             "artifact": args.output,
@@ -443,10 +498,24 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_trace_summary(args: argparse.Namespace) -> int:
+    from .obs.report import format_summary, load_trace
+
+    try:
+        spans = load_trace(args.trace)
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read trace {args.trace!r}: {error}") from None
+    print(format_summary(spans, top=args.top))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by the ``repro`` / ``repro-tip`` console scripts."""
+    from .obs.log import configure_logging
+
     parser = build_parser()
     args = parser.parse_args(argv)
+    configure_logging(args.log_format, args.log_level)
     try:
         if args.command == "datasets":
             return _command_datasets()
@@ -466,6 +535,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_update(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "trace-summary":
+            return _command_trace_summary(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

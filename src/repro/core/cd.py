@@ -15,7 +15,6 @@ graph when the caller asks for ``V``.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +22,7 @@ import numpy as np
 from ..graph.bipartite import BipartiteGraph
 from ..graph.dynamic import PeelableAdjacency
 from ..kernels.workspace import WedgeWorkspace, workspace_or_default
+from ..obs.trace import current_tracer
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters
 from ..peeling.update import peel_batch
@@ -141,135 +141,160 @@ def coarse_grained_decomposition(
     context = context or ExecutionContext()
     workspace = workspace_or_default(workspace)
     counters = PeelingCounters()
-    start_time = time.perf_counter()
+    tracer = current_tracer()
+    # The CD wall time is derived from this span (not a separate clock), so
+    # the reported counters can never drift from the trace.
+    cd_span = tracer.timed("cd", n_partitions=n_partitions)
+    with cd_span:
+        n_u = graph.n_u
+        supports = np.array(initial_supports, dtype=np.int64, copy=True)
+        if supports.shape[0] != n_u:
+            raise ValueError(
+                f"initial_supports has {supports.shape[0]} entries, expected {n_u}"
+            )
+        init_supports = supports.copy()
 
-    n_u = graph.n_u
-    supports = np.array(initial_supports, dtype=np.int64, copy=True)
-    if supports.shape[0] != n_u:
-        raise ValueError(f"initial_supports has {supports.shape[0]} entries, expected {n_u}")
-    init_supports = supports.copy()
+        wedge_work = graph.wedge_work_per_vertex("U")
+        adjacency = PeelableAdjacency(graph, "U", enable_dgm=enable_dgm,
+                                      narrow_ids=workspace.narrow_ids)
+        alive = adjacency.alive_mask()
 
-    wedge_work = graph.wedge_work_per_vertex("U")
-    adjacency = PeelableAdjacency(graph, "U", enable_dgm=enable_dgm,
-                                  narrow_ids=workspace.narrow_ids)
-    alive = adjacency.alive_mask()
+        targeter = AdaptiveRangeTargeter(n_partitions=n_partitions)
+        static_target = float(wedge_work.sum()) / n_partitions
+        bounds: list[int] = [0]
+        subsets: list[np.ndarray] = []
+        iteration_records: list[dict] = []
 
-    targeter = AdaptiveRangeTargeter(n_partitions=n_partitions)
-    static_target = float(wedge_work.sum()) / n_partitions
-    bounds: list[int] = [0]
-    subsets: list[np.ndarray] = []
-    iteration_records: list[dict] = []
+        while alive.any() and not targeter.exhausted:
+            lower_bound = bounds[-1]
+            alive_vertices = np.flatnonzero(alive)
 
-    while alive.any() and not targeter.exhausted:
-        lower_bound = bounds[-1]
-        alive_vertices = np.flatnonzero(alive)
+            # Snapshot ⋈init for every remaining vertex: this is its support
+            # after all earlier subsets were peeled (lines 6-7 of Alg. 3).
+            init_supports[alive_vertices] = supports[alive_vertices]
+            context.record_barrier("cd_support_init", n_tasks=int(alive_vertices.size),
+                                   total_work=float(alive_vertices.size), scheduling="static")
 
-        # Snapshot ⋈init for every remaining vertex: this is its support
-        # after all earlier subsets were peeled (lines 6-7 of Alg. 3).
-        init_supports[alive_vertices] = supports[alive_vertices]
-        context.record_barrier("cd_support_init", n_tasks=int(alive_vertices.size),
-                               total_work=float(alive_vertices.size), scheduling="static")
+            remaining_work = float(wedge_work[alive_vertices].sum())
+            if adaptive_targets:
+                target_work = targeter.next_target(remaining_work)
+            else:
+                target_work = static_target
+            upper_bound = find_range_upper_bound(
+                supports[alive_vertices], wedge_work[alive_vertices], target_work
+            )
+            upper_bound = max(upper_bound, lower_bound + 1)
+            context.record_barrier("cd_find_hi", n_tasks=int(alive_vertices.size),
+                                   total_work=float(alive_vertices.size), scheduling="static")
 
-        remaining_work = float(wedge_work[alive_vertices].sum())
-        if adaptive_targets:
-            target_work = targeter.next_target(remaining_work)
-        else:
-            target_work = static_target
-        upper_bound = find_range_upper_bound(
-            supports[alive_vertices], wedge_work[alive_vertices], target_work
-        )
-        upper_bound = max(upper_bound, lower_bound + 1)
-        context.record_barrier("cd_find_hi", n_tasks=int(alive_vertices.size),
-                               total_work=float(alive_vertices.size), scheduling="static")
+            subset_pieces: list[np.ndarray] = []
+            active_set = alive_vertices[supports[alive_vertices] < upper_bound]
 
-        subset_pieces: list[np.ndarray] = []
-        active_set = alive_vertices[supports[alive_vertices] < upper_bound]
+            while active_set.size:
+                counters.synchronization_rounds += 1
+                subset_pieces.append(active_set)
+                counters.vertices_peeled += int(active_set.size)
 
-        while active_set.size:
-            counters.synchronization_rounds += 1
-            subset_pieces.append(active_set)
-            counters.vertices_peeled += int(active_set.size)
+                cost_of_peeling = peel_cost(wedge_work, active_set)
+                use_recount = False
+                if enable_huc:
+                    cost_of_recounting = recount_cost(
+                        graph, alive & ~_mask_of(active_set, n_u)
+                    )
+                    use_recount = should_recount(
+                        cost_of_peeling, huc_cost_factor * cost_of_recounting
+                    )
 
-            cost_of_peeling = peel_cost(wedge_work, active_set)
-            use_recount = False
-            if enable_huc:
-                cost_of_recounting = recount_cost(graph, alive & ~_mask_of(active_set, n_u))
-                use_recount = should_recount(
-                    cost_of_peeling, huc_cost_factor * cost_of_recounting
+                with tracer.span("cd.peel_iteration") as iteration_span:
+                    if use_recount:
+                        adjacency.mark_peeled_many(active_set)
+                        still_alive = np.flatnonzero(alive)
+                        outcome = recount_supports(graph, alive, alive_vertices=still_alive,
+                                                   workspace=workspace)
+                        supports[still_alive] = np.maximum(
+                            outcome.supports[still_alive], lower_bound
+                        )
+                        adjacency.record_traversal(outcome.wedges_traversed)
+                        counters.wedges_traversed += outcome.wedges_traversed
+                        counters.counting_wedges += outcome.wedges_traversed
+                        counters.recount_invocations += 1
+                        wedges_this_iteration = outcome.wedges_traversed
+                        candidate_vertices = still_alive
+                    else:
+                        update = peel_batch(adjacency, supports, active_set, lower_bound,
+                                            kernel=peel_kernel, context=context,
+                                            workspace=workspace)
+                        counters.wedges_traversed += update.wedges_traversed
+                        counters.peeling_wedges += update.wedges_traversed
+                        counters.support_updates += update.support_updates
+                        wedges_this_iteration = update.wedges_traversed
+                        candidate_vertices = update.updated_vertices
+                if iteration_span.recording:
+                    iteration_span.set(
+                        subset=len(subsets),
+                        vertices_peeled=int(active_set.size),
+                        wedges_traversed=int(wedges_this_iteration),
+                        recounted=bool(use_recount),
+                    )
+
+                if adjacency.maybe_compact():
+                    counters.dgm_compactions += 1
+
+                context.record_barrier(
+                    "cd_peel_iteration",
+                    n_tasks=int(active_set.size),
+                    total_work=float(wedges_this_iteration),
+                    task_work=list(wedge_work[active_set].astype(np.float64)),
+                )
+                iteration_records.append(
+                    {
+                        "subset": len(subsets),
+                        "vertices_peeled": int(active_set.size),
+                        "wedges_traversed": int(wedges_this_iteration),
+                        "recounted": bool(use_recount),
+                        "lower_bound": int(lower_bound),
+                        "upper_bound": int(upper_bound),
+                    }
                 )
 
-            if use_recount:
-                adjacency.mark_peeled_many(active_set)
-                still_alive = np.flatnonzero(alive)
-                outcome = recount_supports(graph, alive, alive_vertices=still_alive,
-                                           workspace=workspace)
-                supports[still_alive] = np.maximum(outcome.supports[still_alive], lower_bound)
-                adjacency.record_traversal(outcome.wedges_traversed)
-                counters.wedges_traversed += outcome.wedges_traversed
-                counters.counting_wedges += outcome.wedges_traversed
-                counters.recount_invocations += 1
-                wedges_this_iteration = outcome.wedges_traversed
-                candidate_vertices = still_alive
-            else:
-                update = peel_batch(adjacency, supports, active_set, lower_bound,
-                                    kernel=peel_kernel, context=context,
-                                    workspace=workspace)
-                counters.wedges_traversed += update.wedges_traversed
-                counters.peeling_wedges += update.wedges_traversed
-                counters.support_updates += update.support_updates
-                wedges_this_iteration = update.wedges_traversed
-                candidate_vertices = update.updated_vertices
+                if candidate_vertices.size:
+                    candidate_vertices = candidate_vertices[alive[candidate_vertices]]
+                    active_set = candidate_vertices[supports[candidate_vertices] < upper_bound]
+                    # Sort the next batch: within an iteration vertex order is
+                    # semantically arbitrary (updates commute), but it fixes where
+                    # DGM compaction lands mid-batch, so it must not depend on the
+                    # peel kernel's internal update ordering.
+                    active_set = np.sort(active_set)
+                else:
+                    active_set = np.zeros(0, dtype=np.int64)
 
-            if adjacency.maybe_compact():
-                counters.dgm_compactions += 1
-
-            context.record_barrier(
-                "cd_peel_iteration",
-                n_tasks=int(active_set.size),
-                total_work=float(wedges_this_iteration),
-                task_work=list(wedge_work[active_set].astype(np.float64)),
+            subset = (
+                np.concatenate(subset_pieces) if subset_pieces else np.zeros(0, dtype=np.int64)
             )
-            iteration_records.append(
-                {
-                    "subset": len(subsets),
-                    "vertices_peeled": int(active_set.size),
-                    "wedges_traversed": int(wedges_this_iteration),
-                    "recounted": bool(use_recount),
-                    "lower_bound": int(lower_bound),
-                    "upper_bound": int(upper_bound),
-                }
-            )
+            covered_work = float(wedge_work[subset].sum()) if subset.size else 0.0
+            targeter.record_subset(target_work, covered_work)
+            subsets.append(subset)
+            bounds.append(int(upper_bound))
 
-            if candidate_vertices.size:
-                candidate_vertices = candidate_vertices[alive[candidate_vertices]]
-                active_set = candidate_vertices[supports[candidate_vertices] < upper_bound]
-                # Sort the next batch: within an iteration vertex order is
-                # semantically arbitrary (updates commute), but it fixes where
-                # DGM compaction lands mid-batch, so it must not depend on the
-                # peel kernel's internal update ordering.
-                active_set = np.sort(active_set)
-            else:
-                active_set = np.zeros(0, dtype=np.int64)
+        # Leftover vertices (the planned P subsets did not exhaust U): the paper
+        # places them all in one extra subset U_{P+1}.
+        leftover = np.flatnonzero(alive)
+        if leftover.size:
+            init_supports[leftover] = supports[leftover]
+            subsets.append(leftover)
+            bounds.append(int(supports[leftover].max()) + 1)
+            counters.vertices_peeled += int(leftover.size)
 
-        subset = (
-            np.concatenate(subset_pieces) if subset_pieces else np.zeros(0, dtype=np.int64)
-        )
-        covered_work = float(wedge_work[subset].sum()) if subset.size else 0.0
-        targeter.record_subset(target_work, covered_work)
-        subsets.append(subset)
-        bounds.append(int(upper_bound))
-
-    # Leftover vertices (the planned P subsets did not exhaust U): the paper
-    # places them all in one extra subset U_{P+1}.
-    leftover = np.flatnonzero(alive)
-    if leftover.size:
-        init_supports[leftover] = supports[leftover]
-        subsets.append(leftover)
-        bounds.append(int(supports[leftover].max()) + 1)
-        counters.vertices_peeled += int(leftover.size)
-
-    counters.elapsed_seconds = time.perf_counter() - start_time
+    counters.elapsed_seconds = cd_span.duration
     counters.peak_scratch_bytes = workspace.peak_scratch_bytes
+    if cd_span.recording:
+        cd_span.set(
+            n_subsets=len(subsets),
+            wedges_traversed=counters.wedges_traversed,
+            vertices_peeled=counters.vertices_peeled,
+            synchronization_rounds=counters.synchronization_rounds,
+            peak_scratch_bytes=counters.peak_scratch_bytes,
+        )
     return CoarseDecompositionResult(
         bounds=np.asarray(bounds, dtype=np.int64),
         subsets=subsets,

@@ -14,7 +14,6 @@ when the queue drains, and results are bit-identical across backends.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +21,7 @@ import numpy as np
 from ..engine.tasks import FdJob, build_fd_tasks
 from ..graph.bipartite import BipartiteGraph
 from ..kernels.workspace import resolve_wedge_budget
+from ..obs.trace import current_tracer
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters
 from .cd import CoarseDecompositionResult
@@ -106,73 +106,88 @@ def fine_grained_decomposition(
     """
     context = context or ExecutionContext()
     counters = PeelingCounters()
-    start_time = time.perf_counter()
+    tracer = current_tracer()
+    fd_span = tracer.timed("fd", n_subsets=len(cd_result.subsets))
+    with fd_span:
+        n_u = graph.n_u
+        tip_numbers = np.zeros(n_u, dtype=np.int64)
+        subset_records: list[SubsetPeelRecord] = []
 
-    n_u = graph.n_u
-    tip_numbers = np.zeros(n_u, dtype=np.int64)
-    subset_records: list[SubsetPeelRecord] = []
+        # Estimated work per subset: wedges (in G) of its vertices.  The paper
+        # uses this same proxy because induced-subgraph wedges are unknown until
+        # the subgraph is built.
+        wedge_work = graph.wedge_work_per_vertex("U")
+        estimated_work = np.array(
+            [float(wedge_work[subset].sum()) if subset.size else 0.0
+             for subset in cd_result.subsets]
+        )
+        if workload_aware:
+            order = workload_aware_order(estimated_work)
+        else:
+            order = np.arange(len(cd_result.subsets), dtype=np.int64)
 
-    # Estimated work per subset: wedges (in G) of its vertices.  The paper
-    # uses this same proxy because induced-subgraph wedges are unknown until
-    # the subgraph is built.
-    wedge_work = graph.wedge_work_per_vertex("U")
-    estimated_work = np.array(
-        [float(wedge_work[subset].sum()) if subset.size else 0.0 for subset in cd_result.subsets]
-    )
-    if workload_aware:
-        order = workload_aware_order(estimated_work)
-    else:
-        order = np.arange(len(cd_result.subsets), dtype=np.int64)
+        # FD work as data: descriptors ranging into the flat subset array, plus
+        # one job holding the heavyweight shared inputs.  The process backend
+        # exports the job to shared memory; descriptors pickle in O(1).
+        subsets_flat, all_tasks = build_fd_tasks(cd_result.subsets, estimated_work)
+        job = FdJob(
+            graph=graph,
+            subsets_flat=subsets_flat,
+            init_supports=np.ascontiguousarray(cd_result.init_supports, dtype=np.int64),
+            enable_dgm=enable_dgm,
+            peel_kernel=peel_kernel,
+            wedge_budget=resolve_wedge_budget(wedge_budget),
+            narrow_ids=narrow_ids,
+            trace=tracer.recording,
+        )
+        ordered_tasks = [all_tasks[int(index)] for index in order]
+        results = context.run_fd_tasks(
+            job, ordered_tasks, name="fd_task_queue",
+            scheduling="lpt" if workload_aware else "dynamic",
+        )
 
-    # FD work as data: descriptors ranging into the flat subset array, plus
-    # one job holding the heavyweight shared inputs.  The process backend
-    # exports the job to shared memory; descriptors pickle in O(1).
-    subsets_flat, all_tasks = build_fd_tasks(cd_result.subsets, estimated_work)
-    job = FdJob(
-        graph=graph,
-        subsets_flat=subsets_flat,
-        init_supports=np.ascontiguousarray(cd_result.init_supports, dtype=np.int64),
-        enable_dgm=enable_dgm,
-        peel_kernel=peel_kernel,
-        wedge_budget=resolve_wedge_budget(wedge_budget),
-        narrow_ids=narrow_ids,
-    )
-    ordered_tasks = [all_tasks[int(index)] for index in order]
-    results = context.run_fd_tasks(
-        job, ordered_tasks, name="fd_task_queue",
-        scheduling="lpt" if workload_aware else "dynamic",
-    )
-
-    for result in results:
-        subset = cd_result.subsets[result.subset_index]
-        if result.n_vertices:
-            tip_numbers[subset] = result.tip_numbers
-        subset_records.append(
-            SubsetPeelRecord(
-                subset_index=result.subset_index,
-                n_vertices=result.n_vertices,
-                induced_edges=result.induced_edges,
-                induced_wedge_work=result.induced_wedge_work,
-                wedges_traversed=result.wedges_traversed,
-                support_updates=result.support_updates,
-                elapsed_seconds=result.elapsed_seconds,
-                peak_scratch_bytes=getattr(result, "peak_scratch_bytes", 0),
+        for result in results:
+            subset = cd_result.subsets[result.subset_index]
+            if result.n_vertices:
+                tip_numbers[subset] = result.tip_numbers
+            subset_records.append(
+                SubsetPeelRecord(
+                    subset_index=result.subset_index,
+                    n_vertices=result.n_vertices,
+                    induced_edges=result.induced_edges,
+                    induced_wedge_work=result.induced_wedge_work,
+                    wedges_traversed=result.wedges_traversed,
+                    support_updates=result.support_updates,
+                    elapsed_seconds=result.elapsed_seconds,
+                    peak_scratch_bytes=getattr(result, "peak_scratch_bytes", 0),
+                )
             )
-        )
+            # Worker spans travelled back over the engine's pickle channel
+            # (serial, thread and process backends all populate them the same
+            # way); re-base them under this phase's span.
+            if tracer.recording and result.spans:
+                tracer.add_spans(result.spans, parent=fd_span)
 
-    for record in subset_records:
-        counters.wedges_traversed += record.wedges_traversed
-        counters.peeling_wedges += record.wedges_traversed
-        counters.support_updates += record.support_updates
-        counters.vertices_peeled += record.n_vertices
-        # Tasks run on independent arenas (possibly concurrently), so the
-        # phase peak is the largest per-task peak, not a sum.
-        counters.peak_scratch_bytes = max(
-            counters.peak_scratch_bytes, record.peak_scratch_bytes
+        for record in subset_records:
+            counters.wedges_traversed += record.wedges_traversed
+            counters.peeling_wedges += record.wedges_traversed
+            counters.support_updates += record.support_updates
+            counters.vertices_peeled += record.n_vertices
+            # Tasks run on independent arenas (possibly concurrently), so the
+            # phase peak is the largest per-task peak, not a sum.
+            counters.peak_scratch_bytes = max(
+                counters.peak_scratch_bytes, record.peak_scratch_bytes
+            )
+        # FD workers synchronise exactly once, at the end of the task queue.
+        counters.synchronization_rounds = 0
+
+    counters.elapsed_seconds = fd_span.duration
+    if fd_span.recording:
+        fd_span.set(
+            wedges_traversed=counters.wedges_traversed,
+            vertices_peeled=counters.vertices_peeled,
+            peak_scratch_bytes=counters.peak_scratch_bytes,
         )
-    # FD workers synchronise exactly once, at the end of the task queue.
-    counters.synchronization_rounds = 0
-    counters.elapsed_seconds = time.perf_counter() - start_time
 
     return FineDecompositionResult(
         tip_numbers=tip_numbers,

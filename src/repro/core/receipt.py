@@ -14,7 +14,6 @@ regenerated from a single run.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,6 +22,8 @@ from ..butterfly.counting import ButterflyCounts, count_per_vertex
 from ..errors import ReproError
 from ..graph.bipartite import BipartiteGraph, validate_side
 from ..kernels.workspace import WedgeWorkspace, resolve_wedge_budget
+from ..obs.log import log_phase
+from ..obs.trace import current_tracer
 from ..parallel.threadpool import ExecutionContext
 from ..peeling.base import PeelingCounters, TipDecompositionResult
 from .cd import coarse_grained_decomposition
@@ -175,69 +176,84 @@ def receipt_decomposition(
         )
     total_counters = PeelingCounters()
     phase_counters: dict[str, PeelingCounters] = {}
-    start_time = time.perf_counter()
+    tracer = current_tracer()
+    run_span = tracer.timed("receipt", side=side, backend=config.backend,
+                            n_partitions=config.n_partitions)
 
-    try:
-        # RECEIPT CD / FD always peel the "U" side of their working graph;
-        # for a "V"-side decomposition we simply swap the vertex-set roles.
-        working_graph = graph if side == "U" else graph.swap_sides()
+    with run_span:
+        try:
+            # RECEIPT CD / FD always peel the "U" side of their working graph;
+            # for a "V"-side decomposition we simply swap the vertex-set roles.
+            working_graph = graph if side == "U" else graph.swap_sides()
 
-        # Phase 1: per-vertex butterfly counting (pvBcnt).
-        counting_start = time.perf_counter()
-        if counts is None:
-            counts = count_per_vertex(graph, algorithm=config.counting_algorithm,
-                                      context=context, workspace=workspace)
-        counting_counters = PeelingCounters(
-            wedges_traversed=counts.wedges_traversed,
-            counting_wedges=counts.wedges_traversed,
-            elapsed_seconds=time.perf_counter() - counting_start,
-            peak_scratch_bytes=workspace.peak_scratch_bytes,
-        )
-        phase_counters["pvBcnt"] = counting_counters
-        initial_butterflies = counts.counts(side).copy()
+            # Phase 1: per-vertex butterfly counting (pvBcnt).
+            with tracer.timed("pvBcnt") as counting_span:
+                if counts is None:
+                    counts = count_per_vertex(graph, algorithm=config.counting_algorithm,
+                                              context=context, workspace=workspace)
+            counting_counters = PeelingCounters(
+                wedges_traversed=counts.wedges_traversed,
+                counting_wedges=counts.wedges_traversed,
+                elapsed_seconds=counting_span.duration,
+                peak_scratch_bytes=workspace.peak_scratch_bytes,
+            )
+            if counting_span.recording:
+                counting_span.set(wedges_traversed=counts.wedges_traversed)
+            phase_counters["pvBcnt"] = counting_counters
+            log_phase("pvBcnt", counting_counters.elapsed_seconds,
+                      wedges_traversed=counting_counters.wedges_traversed)
+            initial_butterflies = counts.counts(side).copy()
 
-        # Phase 2: coarse-grained decomposition.
-        cd_result = coarse_grained_decomposition(
-            working_graph,
-            initial_butterflies,
-            config.n_partitions,
-            enable_huc=config.enable_huc,
-            enable_dgm=config.enable_dgm,
-            huc_cost_factor=config.huc_cost_factor,
-            adaptive_targets=config.adaptive_range_targets,
-            context=context,
-            peel_kernel=config.peel_kernel,
-            workspace=workspace,
-        )
-        phase_counters["cd"] = cd_result.counters
+            # Phase 2: coarse-grained decomposition.
+            cd_result = coarse_grained_decomposition(
+                working_graph,
+                initial_butterflies,
+                config.n_partitions,
+                enable_huc=config.enable_huc,
+                enable_dgm=config.enable_dgm,
+                huc_cost_factor=config.huc_cost_factor,
+                adaptive_targets=config.adaptive_range_targets,
+                context=context,
+                peel_kernel=config.peel_kernel,
+                workspace=workspace,
+            )
+            phase_counters["cd"] = cd_result.counters
+            log_phase("cd", cd_result.counters.elapsed_seconds,
+                      wedges_traversed=cd_result.counters.wedges_traversed,
+                      n_subsets=len(cd_result.subsets))
 
-        # Phase 3: fine-grained decomposition.
-        fd_result = fine_grained_decomposition(
-            working_graph,
-            cd_result,
-            context=context,
-            workload_aware=config.workload_aware_scheduling,
-            peel_kernel=config.peel_kernel,
-            wedge_budget=config.wedge_budget,
-            narrow_ids=workspace.narrow_ids,
-        )
-        phase_counters["fd"] = fd_result.counters
-        context.record_barrier(
-            "fd_subsets",
-            n_tasks=len(fd_result.subset_records),
-            total_work=float(sum(r.wedges_traversed for r in fd_result.subset_records)),
-            task_work=[float(r.wedges_traversed) for r in fd_result.subset_records],
-            scheduling="lpt" if config.workload_aware_scheduling else "dynamic",
-        )
-    finally:
-        if owns_context:
-            # Release pooled workers (threads or processes) the run created;
-            # callers who passed a context keep ownership of its pools.
-            context.shutdown()
+            # Phase 3: fine-grained decomposition.
+            fd_result = fine_grained_decomposition(
+                working_graph,
+                cd_result,
+                context=context,
+                workload_aware=config.workload_aware_scheduling,
+                peel_kernel=config.peel_kernel,
+                wedge_budget=config.wedge_budget,
+                narrow_ids=workspace.narrow_ids,
+            )
+            phase_counters["fd"] = fd_result.counters
+            log_phase("fd", fd_result.counters.elapsed_seconds,
+                      wedges_traversed=fd_result.counters.wedges_traversed,
+                      n_subsets=len(fd_result.subset_records))
+            context.record_barrier(
+                "fd_subsets",
+                n_tasks=len(fd_result.subset_records),
+                total_work=float(sum(r.wedges_traversed for r in fd_result.subset_records)),
+                task_work=[float(r.wedges_traversed) for r in fd_result.subset_records],
+                scheduling="lpt" if config.workload_aware_scheduling else "dynamic",
+            )
+        finally:
+            if owns_context:
+                # Release pooled workers (threads or processes) the run created;
+                # callers who passed a context keep ownership of its pools.
+                context.shutdown()
 
     for phase in phase_counters.values():
         total_counters.merge(phase)
-    total_counters.elapsed_seconds = time.perf_counter() - start_time
+    # The run's wall time is the root span's duration: counters and traces
+    # share one clock by construction.
+    total_counters.elapsed_seconds = run_span.duration
 
     return TipDecompositionResult(
         tip_numbers=fd_result.tip_numbers,

@@ -72,6 +72,7 @@ class SharedFdJobSpec:
     peel_kernel: str
     wedge_budget: int | None = None
     narrow_ids: bool = True
+    trace: bool = False
 
     def array_specs(self) -> tuple[ShmArraySpec, ...]:
         return (
@@ -191,6 +192,7 @@ def share_fd_job(job: FdJob) -> SharedFdJob:
         peel_kernel=str(job.peel_kernel),
         wedge_budget=None if job.wedge_budget is None else int(job.wedge_budget),
         narrow_ids=bool(job.narrow_ids),
+        trace=bool(job.trace),
         **specs,
     )
     return SharedFdJob(spec, segments)
@@ -231,5 +233,6 @@ def attach_fd_job(spec: SharedFdJobSpec) -> AttachedFdJob:
         peel_kernel=spec.peel_kernel,
         wedge_budget=spec.wedge_budget,
         narrow_ids=spec.narrow_ids,
+        trace=spec.trace,
     )
     return AttachedFdJob(job, segments)

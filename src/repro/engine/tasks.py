@@ -16,7 +16,6 @@ counters bit-identical regardless of where the task runs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -24,6 +23,7 @@ import numpy as np
 
 from ..graph.bipartite import BipartiteGraph
 from ..kernels.workspace import WedgeWorkspace
+from ..obs.trace import NOOP_TRACER, Tracer
 from ..peeling.base import PeelingCounters
 from ..peeling.bup import peel_sequential
 
@@ -69,6 +69,10 @@ class FdTaskResult:
     tip_numbers: np.ndarray
     elapsed_seconds: float
     peak_scratch_bytes: int = 0
+    # Exported tracing spans (plain dicts) when the job asked for a trace;
+    # they ride the same pickle channel as the rest of the result and the
+    # parent re-bases them into its own tracer (see core/fd.py).
+    spans: tuple = ()
 
 
 @dataclass
@@ -94,6 +98,9 @@ class FdJob:
         the *resolved* budget (``None`` = unbounded — callers apply
         :func:`~repro.kernels.workspace.resolve_wedge_budget` first).
         Plain data so the job still pickles in O(graph).
+    trace:
+        When true every task records its peel under a worker-local tracer
+        and ships the spans back inside :class:`FdTaskResult`.
     """
 
     graph: BipartiteGraph
@@ -103,6 +110,7 @@ class FdJob:
     peel_kernel: str = "batched"
     wedge_budget: int | None = None
     narrow_ids: bool = True
+    trace: bool = False
 
 
 def build_fd_tasks(
@@ -148,7 +156,6 @@ def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
     bottom-up peel.  Pure function of ``(job, task)`` — every backend calls
     exactly this, in-process or in a worker.
     """
-    task_start = time.perf_counter()
     subset = job.subsets_flat[task.start:task.stop]
     if subset.size == 0:
         return FdTaskResult(
@@ -162,22 +169,36 @@ def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
             elapsed_seconds=0.0,
         )
 
-    induced = job.graph.induced_on_u_subset(subset)
-    induced_graph = induced.graph
-    initial_supports = job.init_supports[subset]
+    # A worker-local tracer keeps span collection identical across the
+    # serial, thread and process backends: spans never touch global state,
+    # they only travel back inside the (picklable) result.
+    tracer = Tracer(recording=True) if job.trace else NOOP_TRACER
+    task_span = tracer.timed("fd.peel_subset", subset=task.subset_index)
+    with task_span:
+        induced = job.graph.induced_on_u_subset(subset)
+        induced_graph = induced.graph
+        initial_supports = job.init_supports[subset]
 
-    # A fresh arena per task keeps peak accounting exact regardless of
-    # which worker (thread, process, or the caller itself) runs the task;
-    # within the task every pop of the subset peel reuses its buffers.
-    workspace = WedgeWorkspace(
-        wedge_budget=job.wedge_budget, narrow_ids=job.narrow_ids
-    )
-    local_counters = PeelingCounters()
-    local_tips, local_counters, _ = peel_sequential(
-        induced_graph, "U", initial_supports,
-        enable_dgm=job.enable_dgm, counters=local_counters,
-        peel_kernel=job.peel_kernel, workspace=workspace,
-    )
+        # A fresh arena per task keeps peak accounting exact regardless of
+        # which worker (thread, process, or the caller itself) runs the task;
+        # within the task every pop of the subset peel reuses its buffers.
+        workspace = WedgeWorkspace(
+            wedge_budget=job.wedge_budget, narrow_ids=job.narrow_ids
+        )
+        local_counters = PeelingCounters()
+        local_tips, local_counters, _ = peel_sequential(
+            induced_graph, "U", initial_supports,
+            enable_dgm=job.enable_dgm, counters=local_counters,
+            peel_kernel=job.peel_kernel, workspace=workspace,
+        )
+    if task_span.recording:
+        task_span.set(
+            n_vertices=int(subset.size),
+            induced_edges=int(induced_graph.n_edges),
+            wedges_traversed=int(local_counters.wedges_traversed),
+            support_updates=int(local_counters.support_updates),
+            peak_scratch_bytes=int(workspace.peak_scratch_bytes),
+        )
 
     return FdTaskResult(
         subset_index=task.subset_index,
@@ -187,6 +208,7 @@ def execute_fd_task(job: FdJob, task: FdTask) -> FdTaskResult:
         wedges_traversed=int(local_counters.wedges_traversed),
         support_updates=int(local_counters.support_updates),
         tip_numbers=np.asarray(local_tips, dtype=np.int64),
-        elapsed_seconds=time.perf_counter() - task_start,
+        elapsed_seconds=task_span.duration,
         peak_scratch_bytes=int(workspace.peak_scratch_bytes),
+        spans=tuple(tracer.export()) if job.trace else (),
     )

@@ -1,0 +1,35 @@
+"""Observability substrate: tracing spans, metrics, structured logs, reports.
+
+The package is intentionally dependency-free (stdlib only) so that every
+layer of the repro -- kernels, core phases, the execution engine, the
+streaming updater and both serving transports -- can be instrumented
+without adding imports the container does not carry.
+
+Modules
+-------
+``trace``
+    ``Span``/``Tracer`` context managers with monotonic timing, nested
+    phase attribution and cross-process span merging over the engine's
+    pickle channel.  A process-wide no-op tracer is installed by default
+    so instrumentation costs nothing unless a recording tracer is active.
+``metrics``
+    Counters, gauges and fixed-bucket histograms collected through
+    per-thread shards (no lock on the hot increment path) and rendered
+    in the Prometheus text exposition format.
+``log``
+    A shared ``repro.*`` logger hierarchy with a JSON-lines formatter,
+    request logging with latency + status, and a slow-query threshold.
+``report``
+    Chrome ``chrome://tracing`` export of a span tree plus the
+    phase-time breakdown table behind ``repro trace-summary``.
+"""
+
+from .trace import NOOP_TRACER, Span, Tracer, current_tracer, use_tracer
+
+__all__ = [
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]

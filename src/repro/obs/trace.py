@@ -1,0 +1,317 @@
+"""Zero-dependency tracing core: nested spans with monotonic timing.
+
+Two span flavours keep the disabled path essentially free:
+
+``tracer.span(name)``
+    Fine-grained instrumentation (per peel iteration, per subset).  When
+    the tracer is not recording this returns a shared no-op span -- no
+    allocation, no clock reads -- so hot loops can be annotated without
+    a benchmark-visible cost.
+
+``tracer.timed(name)``
+    Phase-level instrumentation whose duration *feeds a counter*
+    (``PeelingCounters.elapsed_seconds`` is derived from these spans).
+    It always measures real time: a full ``Span`` when recording, a
+    two-slot timer otherwise.  This is what keeps reported elapsed
+    times from drifting away from the trace.
+
+Cross-process merging rides the engine's existing pickle channel: FD
+workers run a private recording tracer, export their spans as plain
+dicts (anchored to the shared wall clock), and the parent re-bases them
+under its ``fd`` span with :meth:`Tracer.add_spans`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+__all__ = [
+    "NOOP_TRACER",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "use_tracer",
+]
+
+# Process-wide span id source.  ``itertools.count`` advances atomically
+# under the GIL, and ids only need to be unique within one process: the
+# parent re-maps imported worker ids in ``add_spans``.
+_IDS = itertools.count(1)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by ``span()`` on a non-recording tracer."""
+
+    __slots__ = ()
+
+    recording = False
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    name = ""
+    attrs: Dict[str, Any] = {}
+    t0 = 0.0
+    t1 = 0.0
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def elapsed(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _TimedSpan:
+    """Minimal always-timing span used by ``timed()`` when not recording."""
+
+    __slots__ = ("t0", "t1")
+
+    recording = False
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
+    name = ""
+    attrs: Dict[str, Any] = {}
+
+    def __init__(self) -> None:
+        self.t0 = 0.0
+        self.t1 = 0.0
+
+    def __enter__(self) -> "_TimedSpan":
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.t1 = time.perf_counter()
+        return False
+
+    def set(self, **attrs: Any) -> "_TimedSpan":
+        return self
+
+    @property
+    def duration(self) -> float:
+        end = self.t1 if self.t1 else time.perf_counter()
+        return max(0.0, end - self.t0)
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.t0
+
+
+class Span:
+    """A recorded phase: name, monotonic [t0, t1) window, attributes.
+
+    Entering the context pushes the span onto the owning tracer's
+    per-thread stack (establishing parent attribution); exiting stamps
+    the end time and hands the span to the tracer's finished list.
+    """
+
+    __slots__ = ("name", "attrs", "t0", "t1", "span_id", "parent_id", "tid", "pid", "_tracer")
+
+    recording = True
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Optional[Dict[str, Any]] = None):
+        self._tracer = tracer
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.span_id = next(_IDS)
+        self.parent_id: Optional[int] = None
+        self.tid = threading.get_ident()
+        self.pid = os.getpid()
+        self.t0 = 0.0
+        self.t1 = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = self._tracer._stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+        stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.t1 = time.perf_counter()
+        stack = self._tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # defensive: unbalanced exit order
+            stack.remove(self)
+        self._tracer._finish(self)
+        return False
+
+    def set(self, **attrs: Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        end = self.t1 if self.t1 else time.perf_counter()
+        return max(0.0, end - self.t0)
+
+    def elapsed(self) -> float:
+        """Seconds since the span opened; valid mid-span (t1 not yet set)."""
+        return time.perf_counter() - self.t0
+
+    def to_dict(self, tracer: "Tracer") -> Dict[str, Any]:
+        start = self.t0 - tracer._t0
+        return {
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "start": start,
+            "dur": self.duration,
+            "tid": self.tid,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+            # Wall-clock anchor so spans from another process (whose
+            # perf_counter epoch is unrelated) can be re-based.
+            "start_unix": tracer._wall0 + start,
+        }
+
+
+SpanLike = Union[Span, _TimedSpan, _NullSpan]
+
+
+class Tracer:
+    """Thread-safe span collector with per-thread parent stacks."""
+
+    def __init__(self, recording: bool = True):
+        self.recording = bool(recording)
+        self._t0 = time.perf_counter()
+        self._wall0 = time.time()
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        self._imported: List[Dict[str, Any]] = []
+        self._local = threading.local()
+
+    # -- internal ------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: List[Span] = []
+            self._local.stack = stack
+            return stack
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    # -- span creation -------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> SpanLike:
+        """Fine-grained span; free (shared no-op) when not recording."""
+        if not self.recording:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def timed(self, name: str, **attrs: Any) -> SpanLike:
+        """Phase span that always measures wall time.
+
+        Use this wherever the duration feeds a counter (for example
+        ``PeelingCounters.elapsed_seconds``): callers may rely on
+        ``.duration``/``.elapsed()`` being real even under the default
+        no-op tracer.
+        """
+        if not self.recording:
+            return _TimedSpan()
+        return Span(self, name, attrs)
+
+    # -- cross-process merge -------------------------------------------
+
+    def add_spans(
+        self,
+        spans: Iterable[Dict[str, Any]],
+        parent: Optional[Union[Span, int]] = None,
+    ) -> None:
+        """Merge exported span dicts (from another tracer/process).
+
+        Imported spans are re-based onto this tracer's timeline via
+        their ``start_unix`` wall-clock anchor, get fresh ids from this
+        process's id source, and orphan roots are attached to
+        ``parent``.
+        """
+        if not self.recording:
+            return
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        incoming = [dict(span) for span in spans]
+        remap = {span["id"]: next(_IDS) for span in incoming}
+        for span in incoming:
+            span["id"] = remap[span["id"]]
+            span["parent"] = remap.get(span.get("parent"), parent_id)
+            span["start"] = max(0.0, float(span["start_unix"]) - self._wall0)
+        if incoming:
+            with self._lock:
+                self._imported.extend(incoming)
+
+    # -- export --------------------------------------------------------
+
+    def export(self) -> List[Dict[str, Any]]:
+        """All finished spans as plain dicts (parent-linked, sorted by start)."""
+        with self._lock:
+            finished = list(self._finished)
+            imported = [dict(span) for span in self._imported]
+        out = [span.to_dict(self) for span in finished] + imported
+        out.sort(key=lambda span: span["start"])
+        return out
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """Span tree in Chrome ``chrome://tracing`` JSON object format."""
+        events = []
+        for span in self.export():
+            events.append(
+                {
+                    "name": span["name"],
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span["start"] * 1e6,
+                    "dur": span["dur"] * 1e6,
+                    "pid": span["pid"],
+                    "tid": span["tid"],
+                    "args": span["attrs"],
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self._imported.clear()
+
+
+NOOP_TRACER = Tracer(recording=False)
+
+_ACTIVE: Tracer = NOOP_TRACER
+
+
+def current_tracer() -> Tracer:
+    """The tracer instrumentation sites should record into (no-op by default)."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the active tracer for the dynamic extent.
+
+    The active tracer is process-global (spans from worker threads land
+    in the same trace); nesting restores the previous tracer on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

@@ -9,8 +9,6 @@ also the kernel RECEIPT FD applies to every induced subgraph.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..butterfly.counting import ButterflyCounts, count_per_vertex
@@ -18,6 +16,7 @@ from ..errors import BudgetExceededError
 from ..graph.bipartite import BipartiteGraph, validate_side
 from ..graph.dynamic import PeelableAdjacency
 from ..kernels.workspace import WedgeWorkspace
+from ..obs.trace import current_tracer
 from .base import PeelingCounters, TipDecompositionResult
 from .minheap import LazyMinHeap
 from .update import peel_vertex
@@ -150,22 +149,31 @@ def bup_decomposition(
         default-policy one per run when omitted).
     """
     side = validate_side(side)
-    start_time = time.perf_counter()
     counters = PeelingCounters()
     workspace = workspace if workspace is not None else WedgeWorkspace()
+    tracer = current_tracer()
+    run_span = tracer.timed("bup", side=side)
 
-    if counts is None:
-        counts = count_per_vertex(graph, workspace=workspace)
-    counters.wedges_traversed += counts.wedges_traversed
-    counters.counting_wedges += counts.wedges_traversed
-    initial = counts.counts(side).copy()
+    with run_span:
+        with tracer.timed("pvBcnt") as counting_span:
+            if counts is None:
+                counts = count_per_vertex(graph, workspace=workspace)
+        counters.wedges_traversed += counts.wedges_traversed
+        counters.counting_wedges += counts.wedges_traversed
+        if counting_span.recording:
+            counting_span.set(wedges_traversed=counts.wedges_traversed)
+        initial = counts.counts(side).copy()
 
-    tip_numbers, counters, _ = peel_sequential(
-        graph, side, initial,
-        enable_dgm=enable_dgm, counters=counters, wedge_budget=wedge_budget,
-        peel_kernel=peel_kernel, workspace=workspace,
-    )
-    counters.elapsed_seconds = time.perf_counter() - start_time
+        with tracer.span("bup.peel"):
+            tip_numbers, counters, _ = peel_sequential(
+                graph, side, initial,
+                enable_dgm=enable_dgm, counters=counters, wedge_budget=wedge_budget,
+                peel_kernel=peel_kernel, workspace=workspace,
+            )
+    counters.elapsed_seconds = run_span.duration
+    if run_span.recording:
+        run_span.set(wedges_traversed=counters.wedges_traversed,
+                     vertices_peeled=counters.vertices_peeled)
 
     return TipDecompositionResult(
         tip_numbers=tip_numbers,

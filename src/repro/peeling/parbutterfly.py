@@ -15,8 +15,6 @@ the atomics-based parallel application (support decrements commute).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from ..butterfly.counting import ButterflyCounts, count_per_vertex
@@ -24,6 +22,7 @@ from ..errors import BudgetExceededError
 from ..graph.bipartite import BipartiteGraph, validate_side
 from ..graph.dynamic import PeelableAdjacency
 from ..kernels.workspace import WedgeWorkspace
+from ..obs.trace import current_tracer
 from ..parallel.threadpool import ExecutionContext
 from .base import PeelingCounters, TipDecompositionResult
 from .bucketing import BucketQueue
@@ -69,62 +68,72 @@ def parbutterfly_decomposition(
         fresh default-policy one per run when omitted).
     """
     side = validate_side(side)
-    start_time = time.perf_counter()
     context = context or ExecutionContext()
     counters = PeelingCounters()
     workspace = workspace if workspace is not None else WedgeWorkspace()
+    tracer = current_tracer()
+    run_span = tracer.timed("parb", side=side)
 
-    if counts is None:
-        counts = count_per_vertex(graph, algorithm="parallel", context=context,
-                                  workspace=workspace)
-    counters.wedges_traversed += counts.wedges_traversed
-    counters.counting_wedges += counts.wedges_traversed
-    initial = counts.counts(side).copy()
+    with run_span:
+        with tracer.timed("pvBcnt") as counting_span:
+            if counts is None:
+                counts = count_per_vertex(graph, algorithm="parallel", context=context,
+                                          workspace=workspace)
+        counters.wedges_traversed += counts.wedges_traversed
+        counters.counting_wedges += counts.wedges_traversed
+        if counting_span.recording:
+            counting_span.set(wedges_traversed=counts.wedges_traversed)
+        initial = counts.counts(side).copy()
 
-    n_side = graph.side_size(side)
-    supports = initial.copy()
-    tip_numbers = np.zeros(n_side, dtype=np.int64)
-    adjacency = PeelableAdjacency(graph, side, enable_dgm=False,
-                                  narrow_ids=workspace.narrow_ids)
-    buckets = BucketQueue(supports, n_buckets=n_buckets, bucket_width=1)
+        n_side = graph.side_size(side)
+        supports = initial.copy()
+        tip_numbers = np.zeros(n_side, dtype=np.int64)
+        adjacency = PeelableAdjacency(graph, side, enable_dgm=False,
+                                      narrow_ids=workspace.narrow_ids)
+        buckets = BucketQueue(supports, n_buckets=n_buckets, bucket_width=1)
 
-    while buckets:
-        vertices, level = buckets.next_bucket()
-        batch = np.asarray(vertices, dtype=np.int64)
-        # The bucket's lower bound equals the exact support because the
-        # width is one; record it as the tip number of every peeled vertex.
-        tip_numbers[batch] = supports[batch]
-        threshold = int(supports[batch].max()) if batch.size else level
+        while buckets:
+            vertices, level = buckets.next_bucket()
+            batch = np.asarray(vertices, dtype=np.int64)
+            # The bucket's lower bound equals the exact support because the
+            # width is one; record it as the tip number of every peeled vertex.
+            tip_numbers[batch] = supports[batch]
+            threshold = int(supports[batch].max()) if batch.size else level
 
-        update = peel_batch(adjacency, supports, batch, threshold,
-                            kernel=peel_kernel, context=context, workspace=workspace)
-        counters.wedges_traversed += update.wedges_traversed
-        counters.peeling_wedges += update.wedges_traversed
-        counters.support_updates += update.support_updates
-        counters.vertices_peeled += int(batch.size)
-        counters.synchronization_rounds += 1
-        context.record_barrier(
-            "parb_round",
-            n_tasks=int(batch.size),
-            total_work=float(update.wedges_traversed),
-        )
-
-        buckets.update_many(update.updated_vertices, update.new_supports)
-
-        if wedge_budget is not None and counters.wedges_traversed > wedge_budget:
-            raise BudgetExceededError(
-                f"wedge budget of {wedge_budget} exceeded in ParB",
-                wedges_traversed=counters.wedges_traversed,
-                elapsed_seconds=time.perf_counter() - start_time,
-            )
-        if round_budget is not None and counters.synchronization_rounds > round_budget:
-            raise BudgetExceededError(
-                f"round budget of {round_budget} exceeded in ParB",
-                wedges_traversed=counters.wedges_traversed,
-                elapsed_seconds=time.perf_counter() - start_time,
+            with tracer.span("parb.round") as round_span:
+                update = peel_batch(adjacency, supports, batch, threshold,
+                                    kernel=peel_kernel, context=context,
+                                    workspace=workspace)
+            if round_span.recording:
+                round_span.set(vertices_peeled=int(batch.size),
+                               wedges_traversed=int(update.wedges_traversed))
+            counters.wedges_traversed += update.wedges_traversed
+            counters.peeling_wedges += update.wedges_traversed
+            counters.support_updates += update.support_updates
+            counters.vertices_peeled += int(batch.size)
+            counters.synchronization_rounds += 1
+            context.record_barrier(
+                "parb_round",
+                n_tasks=int(batch.size),
+                total_work=float(update.wedges_traversed),
             )
 
-    counters.elapsed_seconds = time.perf_counter() - start_time
+            buckets.update_many(update.updated_vertices, update.new_supports)
+
+            if wedge_budget is not None and counters.wedges_traversed > wedge_budget:
+                raise BudgetExceededError(
+                    f"wedge budget of {wedge_budget} exceeded in ParB",
+                    wedges_traversed=counters.wedges_traversed,
+                    elapsed_seconds=run_span.elapsed(),
+                )
+            if round_budget is not None and counters.synchronization_rounds > round_budget:
+                raise BudgetExceededError(
+                    f"round budget of {round_budget} exceeded in ParB",
+                    wedges_traversed=counters.wedges_traversed,
+                    elapsed_seconds=run_span.elapsed(),
+                )
+
+    counters.elapsed_seconds = run_span.duration
     counters.peak_scratch_bytes = max(
         counters.peak_scratch_bytes, workspace.peak_scratch_bytes
     )

@@ -46,6 +46,7 @@ from ..errors import ReproError, ServiceError
 from .coalesce import DEFAULT_MAX_BATCH, ThetaCoalescer, UpdateAdmissionController
 from .server import (
     MAX_REQUEST_BODY_BYTES,
+    METRICS_CONTENT_TYPE,
     TipService,
     error_payload,
     parse_post_body,
@@ -318,7 +319,33 @@ class AsyncTipServer:
     # Dispatch
     # ------------------------------------------------------------------
     def _dispatch(self, method, target, headers, body, keep_alive):
-        """One request → (response bytes | awaitable of bytes, close flag)."""
+        """One request → (response bytes | awaitable of bytes, close flag).
+
+        Wraps the routing core with latency observation.  Deferred
+        responses (coalesced θ lookups, admitted updates) are observed
+        when their awaitable resolves, so the recorded latency includes
+        the coalescer/admission wait — the number a client actually sees.
+        """
+        started = time.perf_counter()
+        item, close = self._dispatch_inner(method, target, headers, body, keep_alive)
+        route = urlsplit(target).path.rstrip("/") or "/"
+        if isinstance(item, (bytes, bytearray)):
+            # Rendered responses lead with b"HTTP/1.1 NNN ..."; slicing the
+            # status back out beats threading it through every return site.
+            self.service.observe_request(
+                "async", route, int(item[9:12]),
+                time.perf_counter() - started, quiet=self.quiet)
+            return item, close
+        return self._observed(item, route, started), close
+
+    async def _observed(self, item, route: str, started: float) -> bytes:
+        payload = await item
+        self.service.observe_request(
+            "async", route, int(payload[9:12]),
+            time.perf_counter() - started, quiet=self.quiet)
+        return payload
+
+    def _dispatch_inner(self, method, target, headers, body, keep_alive):
         close = not keep_alive
         parsed = urlsplit(target)
         params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
@@ -326,6 +353,11 @@ class AsyncTipServer:
         service = self.service
         try:
             if method == "GET":
+                if route == "/metrics":
+                    service.count_requests("/metrics")
+                    return self._render(
+                        200, service.metrics_text().encode("utf-8"),
+                        close=close, content_type=METRICS_CONTENT_TYPE), close
                 if route == "/healthz":
                     service.count_requests("/healthz")
                     return self._render(200, self._healthz_body, close=close), close

@@ -112,11 +112,19 @@ class ThetaCoalescer:
         self._batches += 1
         self._requests += len(batch)
         self._largest_batch = max(self._largest_batch, len(batch))
+        # Prometheus histograms live on the service so both transports share
+        # one registry; getattr keeps bare test doubles working.
+        batch_hist = getattr(self._service, "coalesce_batch_size", None)
+        if batch_hist is not None:
+            batch_hist.observe(float(len(batch)))
+        wait_hist = getattr(self._service, "coalesce_wait_seconds", None)
         # Group by artifact, preserving order within each group: one
         # vectorized lookup per artifact per flush.
         groups: dict = {}
         for artifact, vertex, future, enqueued_at in batch:
             self._waits.append(now - enqueued_at)
+            if wait_hist is not None:
+                wait_hist.observe(now - enqueued_at)
             groups.setdefault(artifact, []).append((vertex, future))
         for artifact, entries in groups.items():
             try:

@@ -19,6 +19,7 @@ Two layers:
 Endpoints (all JSON)::
 
     GET  /healthz                          liveness + served artifact names
+    GET  /metrics                          Prometheus text exposition (0.0.4)
     GET  /stats[?histogram=1]              cache metrics, per-artifact summaries
     GET  /theta?vertex=V                   point θ lookup
     GET  /theta/batch?vertices=1,2,3       batched θ lookup
@@ -55,6 +56,8 @@ from urllib.parse import parse_qs, urlsplit
 import numpy as np
 
 from ..errors import ReproError, ServiceError, StreamingError
+from ..obs.log import log_request
+from ..obs.metrics import BATCH_SIZE_BUCKETS, MetricRegistry
 from .artifacts import read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
@@ -64,6 +67,8 @@ __all__ = [
     "create_server",
     "serve",
     "ENDPOINTS",
+    "DOCUMENTED_METRICS",
+    "METRICS_CONTENT_TYPE",
     "error_payload",
     "parse_post_body",
 ]
@@ -79,6 +84,43 @@ ENDPOINTS = (
     "/community",
     "/update",
 )
+
+#: Routes that get their own label value in request metrics; everything
+#: else collapses into ``<unknown>`` so scanners can't grow the label set.
+#: ``/metrics`` is deliberately NOT in :data:`ENDPOINTS` (it is a transport
+#: concern, not part of the JSON API contract the benchmarks compare).
+_COUNTED_ROUTES = ENDPOINTS + ("/metrics",)
+
+#: ``Content-Type`` of the Prometheus text exposition format 0.0.4.
+METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Every metric family ``GET /metrics`` exposes, on both transports.  The
+#: observability smoke benchmark asserts each of these names appears in a
+#: scrape; keep this list in sync with :meth:`TipService._init_metrics`
+#: and the ARCHITECTURE.md observability section.
+DOCUMENTED_METRICS = (
+    "repro_http_requests_total",
+    "repro_http_request_seconds",
+    "repro_coalesce_batch_size",
+    "repro_coalesce_wait_seconds",
+    "repro_admission_queue_depth",
+    "repro_admission_rejections_total",
+    "repro_cache_hits_total",
+    "repro_cache_misses_total",
+    "repro_cache_evictions_total",
+    "repro_cache_entries",
+    "repro_cache_hit_ratio",
+    "repro_service_requests_total",
+    "repro_server_start_time_seconds",
+    "repro_server_uptime_seconds",
+    "repro_updates_applied_total",
+    "repro_artifact_staleness_seconds",
+)
+
+
+def metric_route(route: str) -> str:
+    """Normalise a request path into a bounded metric label value."""
+    return route if route in _COUNTED_ROUTES else "<unknown>"
 
 #: Hard cap on one response's vertex payload; override per-request with a
 #: smaller ``limit``.
@@ -168,6 +210,10 @@ class TipService:
         # zero-argument metric providers here; /stats folds them in under a
         # "transport" key so the new layer is observable from day one.
         self.transport_metrics: dict = {}
+        self.started_unix = time.time()
+        self._started_monotonic = time.monotonic()
+        self.registry = MetricRegistry()
+        self._init_metrics()
         self._requests_lock = threading.Lock()
         # One writer at a time: /update batches serialize here while readers
         # keep answering from the previous snapshot.
@@ -193,7 +239,125 @@ class TipService:
     def count_requests(self, route: str, n: int = 1) -> None:
         """Advance the per-route request counter (fast paths bypass handle)."""
         with self._requests_lock:
-            self.requests[route if route in ENDPOINTS else "<unknown>"] += n
+            self.requests[metric_route(route)] += n
+
+    # ------------------------------------------------------------------
+    # Metrics (shared by both transports; see DOCUMENTED_METRICS)
+    # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        """Create every documented instrument up front.
+
+        Instantiating them here — rather than lazily on first use — is what
+        guarantees a scrape on either transport renders the complete
+        documented set (with zero values) from the very first request.
+        """
+        registry = self.registry
+        self.http_requests_total = registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by transport, route and status.",
+            labelnames=("transport", "route", "status"),
+        )
+        self.http_request_seconds = registry.histogram(
+            "repro_http_request_seconds",
+            "End-to-end request latency in seconds, by transport and route.",
+            labelnames=("transport", "route"),
+        )
+        self.coalesce_batch_size = registry.histogram(
+            "repro_coalesce_batch_size",
+            "Point-theta requests coalesced into one vectorized gather.",
+            buckets=BATCH_SIZE_BUCKETS,
+        )
+        self.coalesce_wait_seconds = registry.histogram(
+            "repro_coalesce_wait_seconds",
+            "Seconds a point-theta request waited in the coalescer queue.",
+        )
+        self._admission_queue_depth = registry.gauge(
+            "repro_admission_queue_depth",
+            "Updates admitted but not yet completed (async transport).",
+        )
+        self._admission_rejections = registry.gauge(
+            "repro_admission_rejections_total",
+            "Update batches rejected with 503 by admission control.",
+        )
+        self._cache_hits = registry.gauge(
+            "repro_cache_hits_total", "Index cache hits since startup.")
+        self._cache_misses = registry.gauge(
+            "repro_cache_misses_total", "Index cache misses since startup.")
+        self._cache_evictions = registry.gauge(
+            "repro_cache_evictions_total", "Index cache LRU evictions since startup.")
+        self._cache_entries = registry.gauge(
+            "repro_cache_entries", "Indexes currently resident in the cache.")
+        self._cache_hit_ratio = registry.gauge(
+            "repro_cache_hit_ratio", "Index cache hit ratio in [0, 1].")
+        self._service_requests = registry.gauge(
+            "repro_service_requests_total",
+            "Requests dispatched by the shared service, by route.",
+            labelnames=("route",),
+        )
+        self._start_time = registry.gauge(
+            "repro_server_start_time_seconds",
+            "Unix time the service was constructed.",
+        )
+        self._uptime = registry.gauge(
+            "repro_server_uptime_seconds", "Seconds since service construction.")
+        self._updates_applied = registry.gauge(
+            "repro_updates_applied_total",
+            "Edge-update batches applied to the artifact, by artifact.",
+            labelnames=("artifact",),
+        )
+        self._staleness = registry.gauge(
+            "repro_artifact_staleness_seconds",
+            "Seconds since the artifact was last built or updated, by artifact.",
+            labelnames=("artifact",),
+        )
+        self._start_time.set(self.started_unix)
+        registry.register_callback(self._collect_metrics)
+
+    def _collect_metrics(self) -> None:
+        """Scrape-time refresh of gauges whose sources live elsewhere."""
+        self._uptime.set(time.monotonic() - self._started_monotonic)
+        cache = self.cache.stats()
+        self._cache_hits.set(cache["hits"])
+        self._cache_misses.set(cache["misses"])
+        self._cache_evictions.set(cache["evictions"])
+        self._cache_entries.set(cache["entries"])
+        self._cache_hit_ratio.set(cache["hit_rate"])
+        with self._requests_lock:
+            requests = dict(self.requests)
+        for route, count in requests.items():
+            self._service_requests.labels(route=route).set(count)
+        # Admission metrics come from the async front end when present; the
+        # threaded transport has no admission queue, so the zero defaults
+        # from construction stand.
+        provider = self.transport_metrics.get("updates")
+        if provider is not None:
+            updates = provider()
+            self._admission_queue_depth.set(updates.get("pending", 0))
+            self._admission_rejections.set(updates.get("admission_rejections", 0))
+        now = time.time()
+        for name, path in self._artifacts.items():
+            try:
+                manifest = self._read_manifest_retrying(path)
+            except ReproError:
+                continue  # mid-swap or corrupt; skip this artifact, not the scrape
+            streaming = manifest.streaming
+            self._updates_applied.labels(artifact=name).set(
+                int(streaming.get("updates_applied", 0)))
+            freshest = streaming.get("last_update_unix") or manifest.created_unix
+            self._staleness.labels(artifact=name).set(max(0.0, now - float(freshest)))
+
+    def metrics_text(self) -> str:
+        """Render the registry in Prometheus text format (``GET /metrics``)."""
+        return self.registry.render()
+
+    def observe_request(self, transport: str, route: str, status: int,
+                        seconds: float, *, quiet: bool = True) -> None:
+        """Record one served request: latency histogram, counter, log line."""
+        label = metric_route(route)
+        self.http_requests_total.labels(
+            transport=transport, route=label, status=str(int(status))).inc()
+        self.http_request_seconds.labels(transport=transport, route=label).observe(seconds)
+        log_request(transport, route, int(status), seconds, quiet=quiet)
 
     @staticmethod
     def _read_manifest_retrying(path: Path):
@@ -516,6 +680,13 @@ class TipService:
             with self._requests_lock:
                 payload["requests"] = dict(self.requests)
                 payload["updates"] = dict(self.update_modes)
+                # Uptime from the monotonic clock so an NTP step can never
+                # produce a negative or jumping value mid-poll.
+                payload["server"] = {
+                    "started_unix": self.started_unix,
+                    "uptime_seconds": time.monotonic() - self._started_monotonic,
+                    "requests_total": dict(self.requests),
+                }
             if self.transport_metrics:
                 payload["transport"] = {
                     name: provider() for name, provider in self.transport_metrics.items()
@@ -627,17 +798,41 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
             self.end_headers()
             self.wfile.write(body)
 
+        def _respond_text(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            if self.close_connection:
+                self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
         def _dispatch(self, body: dict | None) -> None:
             parsed = urlsplit(self.path)
             params = {key: values[-1] for key, values in parse_qs(parsed.query).items()}
-            try:
-                payload = service.handle(parsed.path, params, body)
-            except ServiceError as error:
-                self._respond(error.status, error_payload(error))
-            except ReproError as error:
-                self._respond(500, error_payload(error, status=500))
+            route = parsed.path.rstrip("/") or "/"
+            started = time.perf_counter()
+            if route == "/metrics":
+                # Served before handle(): the scrape path must stay up even
+                # when the JSON API is answering errors.
+                service.count_requests("/metrics")
+                self._respond_text(
+                    200, service.metrics_text().encode("utf-8"), METRICS_CONTENT_TYPE)
+                status = 200
             else:
-                self._respond(200, payload)
+                try:
+                    payload = service.handle(parsed.path, params, body)
+                except ServiceError as error:
+                    status = error.status
+                    self._respond(status, error_payload(error))
+                except ReproError as error:
+                    status = 500
+                    self._respond(500, error_payload(error, status=500))
+                else:
+                    status = 200
+                    self._respond(200, payload)
+            service.observe_request(
+                "thread", route, status, time.perf_counter() - started, quiet=quiet)
 
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
             self._dispatch(None)
@@ -650,12 +845,15 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
                 self._respond(413, error_payload(ServiceError(
                     f"request body of {length} bytes exceeds the "
                     f"{MAX_REQUEST_BODY_BYTES}-byte cap", status=413)))
+                service.observe_request("thread", self.path, 413, 0.0, quiet=quiet)
                 return
             raw = self.rfile.read(length) if length else b""
             try:
                 body = parse_post_body(raw)
             except ServiceError as error:
                 self._respond(error.status, error_payload(error))
+                service.observe_request(
+                    "thread", self.path, error.status, 0.0, quiet=quiet)
                 return
             self._dispatch(body)
 

@@ -39,7 +39,6 @@ both sides when available, skipping the global re-count phase.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,6 +50,7 @@ from ..graph.bipartite import BipartiteGraph, opposite_side, validate_side
 from ..kernels.peel import count_pair_wedges
 from ..kernels.wedges import gather_batch_wedges
 from ..kernels.workspace import WedgeWorkspace, workspace_or_default
+from ..obs.trace import current_tracer
 from ..peeling.base import PeelingCounters
 from ..peeling.bup import peel_sequential
 from .deltas import EdgeBatch, apply_batch
@@ -389,127 +389,145 @@ def apply_update(
     """
     config = config or StreamingConfig()
     side = validate_side(side)
-    start_time = time.perf_counter()
     counters = PeelingCounters()
-    # One fresh arena per update: every recount, closure expansion and
-    # localized re-peel of this batch reuses the same buffers, and the
-    # update's counters report the arena's exact high-water mark.
-    workspace = WedgeWorkspace()
-    tip_numbers = np.asarray(tip_numbers, dtype=np.int64)
-    butterflies = np.asarray(butterflies, dtype=np.int64)
-    n_side = graph.side_size(side)
-    if tip_numbers.shape[0] != n_side or butterflies.shape[0] != n_side:
-        raise DecompositionError(
-            f"tip numbers / butterfly counts do not match side {side!r} "
-            f"({tip_numbers.shape[0]} / {butterflies.shape[0]} entries, "
-            f"expected {n_side})"
-        )
-
-    new_graph = apply_batch(graph, batch, validate=config.validate)
-
-    def _result(mode, new_tips, new_counts, new_center, *, k_seed=0,
-                delta: RegionDelta | None = None, n_repeeled=0, damage=0.0):
-        counters.elapsed_seconds = time.perf_counter() - start_time
-        counters.peak_scratch_bytes = max(
-            counters.peak_scratch_bytes, workspace.peak_scratch_bytes
-        )
-        return StreamingUpdateResult(
-            graph=new_graph,
-            side=side,
-            tip_numbers=new_tips,
-            butterflies=new_counts,
-            center_butterflies=new_center,
-            mode=mode,
-            k_seed=int(k_seed),
-            n_frontier=0 if delta is None else int(delta.scanned.shape[0]),
-            n_dirty=0 if delta is None else int(delta.dirty.shape[0]),
-            n_repeeled=int(n_repeeled),
-            damage_ratio=float(damage),
-            inserted=int(batch.inserts.shape[0]),
-            deleted=int(batch.deletes.shape[0]),
-            counters=counters,
-        )
-
-    if batch.is_empty:
-        return _result(MODE_CLEAN, tip_numbers, butterflies, center_butterflies)
-
-    # 1. Exact support maintenance on the delta frontier (both sides when
-    #    the center counts are being carried along).
-    delta = support_delta(graph, new_graph, batch, side, workspace=workspace)
-    counters.wedges_traversed += delta.wedges_traversed
-    counters.counting_wedges += delta.wedges_traversed
-    new_butterflies = delta.apply_to(butterflies)
-    new_center = None
-    if center_butterflies is not None:
-        center_delta = support_delta(graph, new_graph, batch, opposite_side(side),
-                                     workspace=workspace)
-        counters.wedges_traversed += center_delta.wedges_traversed
-        counters.counting_wedges += center_delta.wedges_traversed
-        new_center = center_delta.apply_to(center_butterflies)
-
-    if new_center is not None and int(new_butterflies.sum()) != int(new_center.sum()):
-        # Both sides of every butterfly carry two of its four vertices, so
-        # the per-side count sums must agree; a mismatch means one side's
-        # maintenance drifted and must fail loudly before it is persisted.
-        raise DecompositionError(
-            "incrementally maintained butterfly counts disagree across sides"
-        )
-
-    dirty = delta.dirty_vertices
-    if dirty.size == 0:
-        # No butterfly was created or destroyed and no pairwise shared count
-        # moved: peeling would replay bit-for-bit, so don't.
-        return _result(MODE_CLEAN, tip_numbers, new_butterflies, new_center, delta=delta)
-
-    # 2. Safe frozen floors and the re-peel regions they admit.
-    floors = np.maximum(tip_numbers[dirty] + np.minimum(0, delta.delta), 0)
-    k_seed = int(floors.min())
-    work = new_graph.wedge_work_per_vertex(side)
-    total_work = int(work.sum())
-    work_budget = int(config.damage_threshold * total_work)
-    regions, closure_wedges = _repair_region(
-        new_graph, side, dirty, floors, tip_numbers, work, work_budget,
-        config.max_group_rounds, workspace=workspace,
-    )
-    counters.wedges_traversed += closure_wedges
-    counters.peeling_wedges += closure_wedges
-
-    if regions is None:
-        new_tips, new_counts, full_counters = _full_redecomposition(
-            new_graph, side, new_butterflies, new_center, config
-        )
-        counters.merge(full_counters)
-        return _result(MODE_FULL, new_tips, new_counts, new_center, k_seed=k_seed,
-                       delta=delta, n_repeeled=n_side, damage=1.0)
-
-    # 3. Localized exact re-peel per region: FD-style induced subgraph
-    #    + ⋈init (Alg. 4), everything else keeps its old tip number.
-    working = new_graph if side == "U" else new_graph.swap_sides()
-    new_tips = tip_numbers.copy()
-    n_repeeled = 0
-    damage = 0.0
-    for level, region in regions:
-        damage += float(work[region].sum() / total_work) if total_work else 0.0
-        n_repeeled += int(region.shape[0])
-        induced = working.induced_on_u_subset(region)
-        counts = count_per_vertex_priority(induced.graph, workspace=workspace)
-        counters.wedges_traversed += counts.wedges_traversed
-        counters.counting_wedges += counts.wedges_traversed
-        region_tips, peel_counters, _ = peel_sequential(
-            induced.graph, "U", counts.u_counts, peel_kernel=config.peel_kernel,
-            workspace=workspace,
-        )
-        counters.merge(peel_counters)
-        if region_tips.size and int(region_tips.min()) < level:
-            # The localized peel crossed its own frozen boundary —
-            # theoretically impossible; recompute from scratch rather than
-            # serve a bad repair.
-            new_tips, new_counts, full_counters = _full_redecomposition(
-                new_graph, side, new_butterflies, new_center, config
+    tracer = current_tracer()
+    update_span = tracer.timed("streaming.update", side=side)
+    with update_span:
+        # One fresh arena per update: every recount, closure expansion and
+        # localized re-peel of this batch reuses the same buffers, and the
+        # update's counters report the arena's exact high-water mark.
+        workspace = WedgeWorkspace()
+        tip_numbers = np.asarray(tip_numbers, dtype=np.int64)
+        butterflies = np.asarray(butterflies, dtype=np.int64)
+        n_side = graph.side_size(side)
+        if tip_numbers.shape[0] != n_side or butterflies.shape[0] != n_side:
+            raise DecompositionError(
+                f"tip numbers / butterfly counts do not match side {side!r} "
+                f"({tip_numbers.shape[0]} / {butterflies.shape[0]} entries, "
+                f"expected {n_side})"
             )
+
+        new_graph = apply_batch(graph, batch, validate=config.validate)
+
+        def _result(mode, new_tips, new_counts, new_center, *, k_seed=0,
+                    delta: RegionDelta | None = None, n_repeeled=0, damage=0.0):
+            # ``update_span`` is still open here (the closure runs inside the
+            # with-block), so the elapsed read and the span share one clock.
+            counters.elapsed_seconds = update_span.elapsed()
+            counters.peak_scratch_bytes = max(
+                counters.peak_scratch_bytes, workspace.peak_scratch_bytes
+            )
+            if update_span.recording:
+                update_span.set(mode=mode, n_repeeled=int(n_repeeled),
+                                wedges_traversed=counters.wedges_traversed,
+                                peak_scratch_bytes=counters.peak_scratch_bytes)
+            return StreamingUpdateResult(
+                graph=new_graph,
+                side=side,
+                tip_numbers=new_tips,
+                butterflies=new_counts,
+                center_butterflies=new_center,
+                mode=mode,
+                k_seed=int(k_seed),
+                n_frontier=0 if delta is None else int(delta.scanned.shape[0]),
+                n_dirty=0 if delta is None else int(delta.dirty.shape[0]),
+                n_repeeled=int(n_repeeled),
+                damage_ratio=float(damage),
+                inserted=int(batch.inserts.shape[0]),
+                deleted=int(batch.deletes.shape[0]),
+                counters=counters,
+            )
+
+        if batch.is_empty:
+            return _result(MODE_CLEAN, tip_numbers, butterflies, center_butterflies)
+
+        # 1. Exact support maintenance on the delta frontier (both sides when
+        #    the center counts are being carried along).
+        with tracer.span("streaming.support_delta"):
+            delta = support_delta(graph, new_graph, batch, side, workspace=workspace)
+            counters.wedges_traversed += delta.wedges_traversed
+            counters.counting_wedges += delta.wedges_traversed
+            new_butterflies = delta.apply_to(butterflies)
+            new_center = None
+            if center_butterflies is not None:
+                center_delta = support_delta(graph, new_graph, batch,
+                                             opposite_side(side), workspace=workspace)
+                counters.wedges_traversed += center_delta.wedges_traversed
+                counters.counting_wedges += center_delta.wedges_traversed
+                new_center = center_delta.apply_to(center_butterflies)
+
+        if new_center is not None and int(new_butterflies.sum()) != int(new_center.sum()):
+            # Both sides of every butterfly carry two of its four vertices, so
+            # the per-side count sums must agree; a mismatch means one side's
+            # maintenance drifted and must fail loudly before it is persisted.
+            raise DecompositionError(
+                "incrementally maintained butterfly counts disagree across sides"
+            )
+
+        dirty = delta.dirty_vertices
+        if dirty.size == 0:
+            # No butterfly was created or destroyed and no pairwise shared count
+            # moved: peeling would replay bit-for-bit, so don't.
+            return _result(MODE_CLEAN, tip_numbers, new_butterflies, new_center,
+                           delta=delta)
+
+        # 2. Safe frozen floors and the re-peel regions they admit.
+        floors = np.maximum(tip_numbers[dirty] + np.minimum(0, delta.delta), 0)
+        k_seed = int(floors.min())
+        work = new_graph.wedge_work_per_vertex(side)
+        total_work = int(work.sum())
+        work_budget = int(config.damage_threshold * total_work)
+        with tracer.span("streaming.repair_region"):
+            regions, closure_wedges = _repair_region(
+                new_graph, side, dirty, floors, tip_numbers, work, work_budget,
+                config.max_group_rounds, workspace=workspace,
+            )
+        counters.wedges_traversed += closure_wedges
+        counters.peeling_wedges += closure_wedges
+
+        if regions is None:
+            with tracer.span("streaming.full_rebuild"):
+                new_tips, new_counts, full_counters = _full_redecomposition(
+                    new_graph, side, new_butterflies, new_center, config
+                )
             counters.merge(full_counters)
             return _result(MODE_FULL, new_tips, new_counts, new_center, k_seed=k_seed,
                            delta=delta, n_repeeled=n_side, damage=1.0)
-        new_tips[induced.u_old_of_new] = region_tips
-    return _result(MODE_INCREMENTAL, new_tips, new_butterflies, new_center, k_seed=k_seed,
-                   delta=delta, n_repeeled=n_repeeled, damage=damage)
+
+        # 3. Localized exact re-peel per region: FD-style induced subgraph
+        #    + ⋈init (Alg. 4), everything else keeps its old tip number.
+        working = new_graph if side == "U" else new_graph.swap_sides()
+        new_tips = tip_numbers.copy()
+        n_repeeled = 0
+        damage = 0.0
+        for level, region in regions:
+            damage += float(work[region].sum() / total_work) if total_work else 0.0
+            n_repeeled += int(region.shape[0])
+            with tracer.span("streaming.repeel_region") as region_span:
+                induced = working.induced_on_u_subset(region)
+                counts = count_per_vertex_priority(induced.graph, workspace=workspace)
+                counters.wedges_traversed += counts.wedges_traversed
+                counters.counting_wedges += counts.wedges_traversed
+                region_tips, peel_counters, _ = peel_sequential(
+                    induced.graph, "U", counts.u_counts,
+                    peel_kernel=config.peel_kernel, workspace=workspace,
+                )
+                counters.merge(peel_counters)
+            if region_span.recording:
+                region_span.set(n_vertices=int(region.shape[0]), level=int(level))
+            if region_tips.size and int(region_tips.min()) < level:
+                # The localized peel crossed its own frozen boundary —
+                # theoretically impossible; recompute from scratch rather than
+                # serve a bad repair.
+                with tracer.span("streaming.full_rebuild"):
+                    new_tips, new_counts, full_counters = _full_redecomposition(
+                        new_graph, side, new_butterflies, new_center, config
+                    )
+                counters.merge(full_counters)
+                return _result(MODE_FULL, new_tips, new_counts, new_center,
+                               k_seed=k_seed, delta=delta, n_repeeled=n_side,
+                               damage=1.0)
+            new_tips[induced.u_old_of_new] = region_tips
+        return _result(MODE_INCREMENTAL, new_tips, new_butterflies, new_center,
+                       k_seed=k_seed, delta=delta, n_repeeled=n_repeeled,
+                       damage=damage)

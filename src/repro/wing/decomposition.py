@@ -16,13 +16,13 @@ two-step strategy carries over to edge peeling; this module provides
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..butterfly.per_edge import EdgeButterflyCounts, count_per_edge
 from ..graph.bipartite import BipartiteGraph
+from ..obs.trace import current_tracer
 from ..peeling.base import PeelingCounters
 from ..peeling.minheap import LazyMinHeap
 
@@ -148,29 +148,30 @@ def wing_decomposition(
     peeled edge; suitable for the moderate graph sizes this reproduction
     targets (the paper's Bit-BU indexing is out of scope).
     """
-    start_time = time.perf_counter()
-    if counts is None:
-        counts = count_per_edge(graph)
-    state = _EdgePeelState(graph, counts)
-    state.counters.wedges_traversed += counts.wedges_traversed
-    state.counters.counting_wedges += counts.wedges_traversed
+    run_span = current_tracer().timed("wing.bup")
+    with run_span:
+        if counts is None:
+            counts = count_per_edge(graph)
+        state = _EdgePeelState(graph, counts)
+        state.counters.wedges_traversed += counts.wedges_traversed
+        state.counters.counting_wedges += counts.wedges_traversed
 
-    wing_numbers = np.zeros(state.edges.shape[0], dtype=np.int64)
-    heap = LazyMinHeap(state.supports)
+        wing_numbers = np.zeros(state.edges.shape[0], dtype=np.int64)
+        heap = LazyMinHeap(state.supports)
 
-    while heap:
-        edge_id, support = heap.pop_min()
-        wing_numbers[edge_id] = support
-        state.alive[edge_id] = False
-        state.counters.vertices_peeled += 1
-        state.counters.synchronization_rounds += 1
+        while heap:
+            edge_id, support = heap.pop_min()
+            wing_numbers[edge_id] = support
+            state.alive[edge_id] = False
+            state.counters.vertices_peeled += 1
+            state.counters.synchronization_rounds += 1
 
-        updated, new_supports = state.apply_edge_decrements(
-            state.other_edges_of_butterflies(edge_id), support
-        )
-        heap.decrease_many(updated, new_supports)
+            updated, new_supports = state.apply_edge_decrements(
+                state.other_edges_of_butterflies(edge_id), support
+            )
+            heap.decrease_many(updated, new_supports)
 
-    state.counters.elapsed_seconds = time.perf_counter() - start_time
+    state.counters.elapsed_seconds = run_span.duration
     return WingDecompositionResult(
         edges=state.edges,
         wing_numbers=wing_numbers,
@@ -200,107 +201,121 @@ def receipt_wing_decomposition(
     of the same butterfly peeled in one iteration) are resolved by the
     deterministic edge-id priority the paper suggests.
     """
-    start_time = time.perf_counter()
-    if counts is None:
-        counts = count_per_edge(graph)
-    state = _EdgePeelState(graph, counts)
-    state.counters.wedges_traversed += counts.wedges_traversed
-    state.counters.counting_wedges += counts.wedges_traversed
+    tracer = current_tracer()
+    run_span = tracer.timed("wing.receipt", n_partitions=n_partitions)
+    with run_span:
+        if counts is None:
+            counts = count_per_edge(graph)
+        state = _EdgePeelState(graph, counts)
+        state.counters.wedges_traversed += counts.wedges_traversed
+        state.counters.counting_wedges += counts.wedges_traversed
 
-    n_edges = state.edges.shape[0]
-    wing_numbers = np.zeros(n_edges, dtype=np.int64)
-    if n_edges == 0:
-        state.counters.elapsed_seconds = time.perf_counter() - start_time
-        return WingDecompositionResult(
-            edges=state.edges, wing_numbers=wing_numbers,
-            initial_butterflies=counts.counts.copy(),
-            algorithm="wing-RECEIPT", counters=state.counters,
-        )
+        n_edges = state.edges.shape[0]
+        wing_numbers = np.zeros(n_edges, dtype=np.int64)
+        if n_edges == 0:
+            state.counters.elapsed_seconds = run_span.elapsed()
+            return WingDecompositionResult(
+                edges=state.edges, wing_numbers=wing_numbers,
+                initial_butterflies=counts.counts.copy(),
+                algorithm="wing-RECEIPT", counters=state.counters,
+            )
 
-    init_supports = state.supports.copy()
-    partitions: list[np.ndarray] = []
-    bounds: list[int] = [0]
+        init_supports = state.supports.copy()
+        partitions: list[np.ndarray] = []
+        bounds: list[int] = [0]
 
-    # ---- Step 1: coarse range partitioning over edges -------------------
-    remaining = int(n_edges)
-    while remaining > 0 and len(partitions) < n_partitions:
-        alive_ids = np.flatnonzero(state.alive)
-        init_supports[alive_ids] = state.supports[alive_ids]
-        lower = bounds[-1]
-        # Target: split the remaining edges evenly across remaining ranges.
-        remaining_partitions = n_partitions - len(partitions)
-        order = np.argsort(state.supports[alive_ids], kind="stable")
-        take = max(1, alive_ids.size // remaining_partitions)
-        upper = int(state.supports[alive_ids[order[min(take, alive_ids.size) - 1]]]) + 1
-        upper = max(upper, lower + 1)
+        # ---- Step 1: coarse range partitioning over edges -------------------
+        with tracer.span("wing.partition"):
+            remaining = int(n_edges)
+            while remaining > 0 and len(partitions) < n_partitions:
+                alive_ids = np.flatnonzero(state.alive)
+                init_supports[alive_ids] = state.supports[alive_ids]
+                lower = bounds[-1]
+                # Target: split the remaining edges evenly across remaining
+                # ranges.
+                remaining_partitions = n_partitions - len(partitions)
+                order = np.argsort(state.supports[alive_ids], kind="stable")
+                take = max(1, alive_ids.size // remaining_partitions)
+                upper = int(
+                    state.supports[alive_ids[order[min(take, alive_ids.size) - 1]]]
+                ) + 1
+                upper = max(upper, lower + 1)
 
-        member_pieces: list[np.ndarray] = []
-        active = alive_ids[state.supports[alive_ids] < upper]
-        while active.size:
-            state.counters.synchronization_rounds += 1
-            member_pieces.append(active)
-            # Priority ordering (Sec. 7): edges of the batch are peeled in
-            # ascending edge id and each edge is marked dead only when its
-            # turn comes, so for a butterfly with several batch edges exactly
-            # the lowest-id one propagates the update to the surviving edges.
-            for edge_id in np.sort(active):
-                state.alive[edge_id] = False
-                state.apply_edge_decrements(
-                    state.other_edges_of_butterflies(int(edge_id)), lower
+                member_pieces: list[np.ndarray] = []
+                active = alive_ids[state.supports[alive_ids] < upper]
+                while active.size:
+                    state.counters.synchronization_rounds += 1
+                    member_pieces.append(active)
+                    # Priority ordering (Sec. 7): edges of the batch are peeled
+                    # in ascending edge id and each edge is marked dead only
+                    # when its turn comes, so for a butterfly with several
+                    # batch edges exactly the lowest-id one propagates the
+                    # update to the surviving edges.
+                    for edge_id in np.sort(active):
+                        state.alive[edge_id] = False
+                        state.apply_edge_decrements(
+                            state.other_edges_of_butterflies(int(edge_id)), lower
+                        )
+                    alive_ids = np.flatnonzero(state.alive)
+                    active = alive_ids[state.supports[alive_ids] < upper]
+                partition = (
+                    np.concatenate(member_pieces) if member_pieces
+                    else np.zeros(0, dtype=np.int64)
                 )
-            alive_ids = np.flatnonzero(state.alive)
-            active = alive_ids[state.supports[alive_ids] < upper]
-        partition = (
-            np.concatenate(member_pieces) if member_pieces else np.zeros(0, dtype=np.int64)
-        )
-        partitions.append(partition)
-        bounds.append(upper)
-        remaining = int(state.alive.sum())
+                partitions.append(partition)
+                bounds.append(upper)
+                remaining = int(state.alive.sum())
 
-    leftovers = np.flatnonzero(state.alive)
-    if leftovers.size:
-        init_supports[leftovers] = state.supports[leftovers]
-        partitions.append(leftovers)
-        bounds.append(int(state.supports[leftovers].max()) + 1)
+            leftovers = np.flatnonzero(state.alive)
+            if leftovers.size:
+                init_supports[leftovers] = state.supports[leftovers]
+                partitions.append(leftovers)
+                bounds.append(int(state.supports[leftovers].max()) + 1)
 
-    # ---- Step 2: exact peeling inside each partition ---------------------
-    # A fresh peel state is used; butterflies are only counted towards an
-    # edge when all four edges belong to the same or a later partition,
-    # which mirrors FD's induced-subgraph restriction.
-    partition_of_edge = np.full(n_edges, len(partitions), dtype=np.int64)
-    for index, partition in enumerate(partitions):
-        partition_of_edge[partition] = index
+        # ---- Step 2: exact peeling inside each partition ---------------------
+        # A fresh peel state is used; butterflies are only counted towards an
+        # edge when all four edges belong to the same or a later partition,
+        # which mirrors FD's induced-subgraph restriction.
+        with tracer.span("wing.exact_peel"):
+            partition_of_edge = np.full(n_edges, len(partitions), dtype=np.int64)
+            for index, partition in enumerate(partitions):
+                partition_of_edge[partition] = index
 
-    exact_state = _EdgePeelState(graph, counts)
-    exact_state.counters = state.counters  # keep accumulating into the same counters
-    # Allocated once; each iteration fills its partition's slots and resets
-    # only those, keeping the whole step-2 bookkeeping O(n_edges) total
-    # rather than O(P * n_edges).
-    local_of_edge = np.full(n_edges, -1, dtype=np.int64)
-    for index, partition in enumerate(partitions):
-        if partition.size == 0:
-            continue
-        supports = init_supports[partition].copy()
-        local_of_edge[partition] = np.arange(partition.size, dtype=np.int64)
-        exact_state.alive[:] = partition_of_edge >= index
-        heap = LazyMinHeap(supports)
-        while heap:
-            position, support = heap.pop_min()
-            edge_id = int(partition[position])
-            wing_numbers[edge_id] = support
-            exact_state.alive[edge_id] = False
-            others = exact_state.other_edges_of_butterflies(edge_id)
-            others = others[(local_of_edge[others] >= 0) & exact_state.alive[others]]
-            if others.size:
-                positions, lost = np.unique(local_of_edge[others], return_counts=True)
-                old = supports[positions]
-                new = np.maximum(support, old - lost)
-                changed = new < old
-                supports[positions[changed]] = new[changed]
-                heap.decrease_many(positions[changed], new[changed])
-        local_of_edge[partition] = -1
+            exact_state = _EdgePeelState(graph, counts)
+            # Keep accumulating into the same counters.
+            exact_state.counters = state.counters
+            # Allocated once; each iteration fills its partition's slots and
+            # resets only those, keeping the whole step-2 bookkeeping
+            # O(n_edges) total rather than O(P * n_edges).
+            local_of_edge = np.full(n_edges, -1, dtype=np.int64)
+            for index, partition in enumerate(partitions):
+                if partition.size == 0:
+                    continue
+                supports = init_supports[partition].copy()
+                local_of_edge[partition] = np.arange(partition.size, dtype=np.int64)
+                exact_state.alive[:] = partition_of_edge >= index
+                heap = LazyMinHeap(supports)
+                while heap:
+                    position, support = heap.pop_min()
+                    edge_id = int(partition[position])
+                    wing_numbers[edge_id] = support
+                    exact_state.alive[edge_id] = False
+                    others = exact_state.other_edges_of_butterflies(edge_id)
+                    others = others[
+                        (local_of_edge[others] >= 0) & exact_state.alive[others]
+                    ]
+                    if others.size:
+                        positions, lost = np.unique(
+                            local_of_edge[others], return_counts=True
+                        )
+                        old = supports[positions]
+                        new = np.maximum(support, old - lost)
+                        changed = new < old
+                        supports[positions[changed]] = new[changed]
+                        heap.decrease_many(positions[changed], new[changed])
+                local_of_edge[partition] = -1
 
-    state.counters.elapsed_seconds = time.perf_counter() - start_time
+    state.counters.elapsed_seconds = run_span.duration
     return WingDecompositionResult(
         edges=state.edges,
         wing_numbers=wing_numbers,

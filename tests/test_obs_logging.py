@@ -1,0 +1,121 @@
+"""Structured logging tests: JSON lines, slow-query escalation, idempotency."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    configure_logging,
+    get_logger,
+    log_phase,
+    log_request,
+    slow_query_threshold_seconds,
+)
+
+
+@pytest.fixture
+def capture():
+    """Install a fresh repro handler on a StringIO; restore afterwards."""
+    stream = io.StringIO()
+    logger = configure_logging("json", level="DEBUG", stream=stream)
+    try:
+        yield stream
+    finally:
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_obs", False):
+                logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+        logger.propagate = True
+
+
+def _lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLines:
+    def test_request_log_is_one_json_object_per_line(self, capture):
+        log_request("thread", "/theta", 200, 0.004, quiet=False)
+        log_request("async", "/stats", 404, 0.001, quiet=False)
+        lines = _lines(capture)
+        assert len(lines) == 2
+        first = lines[0]
+        assert first["event"] == "request"
+        assert first["transport"] == "thread"
+        assert first["route"] == "/theta"
+        assert first["status"] == 200
+        assert first["latency_ms"] == 4.0
+        assert first["slow"] is False
+        assert first["level"] == "INFO"
+        assert lines[1]["status"] == 404
+
+    def test_quiet_requests_log_at_debug(self, capture):
+        log_request("thread", "/theta", 200, 0.001, quiet=True)
+        assert _lines(capture)[0]["level"] == "DEBUG"
+
+    def test_slow_query_escalates_to_warning(self, capture, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "5")
+        assert slow_query_threshold_seconds() == 0.005
+        log_request("thread", "/community", 200, 0.05, quiet=True)
+        line = _lines(capture)[0]
+        assert line["level"] == "WARNING"
+        assert line["message"] == "slow query"
+        assert line["slow"] is True
+
+    def test_bad_threshold_env_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "not-a-number")
+        assert slow_query_threshold_seconds() == 0.25
+
+    def test_phase_log_carries_fields(self, capture):
+        log_phase("cd", 1.25, wedges_traversed=100)
+        line = _lines(capture)[0]
+        assert line["event"] == "phase"
+        assert line["phase"] == "cd"
+        assert line["seconds"] == 1.25
+        assert line["wedges_traversed"] == 100
+        assert line["logger"] == "repro.core"
+
+
+class TestConfiguration:
+    def test_text_format_appends_structured_fields(self):
+        stream = io.StringIO()
+        logger = configure_logging("text", level="DEBUG", stream=stream)
+        try:
+            log_request("thread", "/theta", 200, 0.004, quiet=False)
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_obs", False):
+                    logger.removeHandler(handler)
+            logger.propagate = True
+        text = stream.getvalue()
+        assert "route=/theta" in text
+        assert "status=200" in text
+        assert "latency_ms=4.0" in text
+
+    def test_reconfigure_replaces_only_own_handler(self):
+        logger = get_logger()
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            configure_logging("json", level="INFO", stream=io.StringIO())
+            configure_logging("text", level="INFO", stream=io.StringIO())
+            own = [h for h in logger.handlers if getattr(h, "_repro_obs", False)]
+            assert len(own) == 1
+            assert foreign in logger.handlers
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_obs", False) or handler is foreign:
+                    logger.removeHandler(handler)
+            logger.propagate = True
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("yaml")
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("service").name == "repro.service"
+        assert get_logger("repro.core").name == "repro.core"

@@ -1,0 +1,182 @@
+"""Metrics registry tests: quantile bracketing, escaping, shard merge."""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    Histogram,
+    LATENCY_BUCKETS_SECONDS,
+    MetricRegistry,
+    escape_help,
+    escape_label_value,
+)
+
+# One sample line of the text exposition format: name, optional labels,
+# one value token.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|[-+0-9.e]+)$"
+)
+
+
+class TestHistogramQuantiles:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=20.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_bounds_bracket_the_empirical_quantile(self, values, q):
+        histogram = Histogram("h_test", "test", buckets=(0.5, 1.0, 2.0, 5.0, 10.0))
+        for value in values:
+            histogram.observe(value)
+        lo, hi = histogram.quantile_bounds(q)
+        n = len(values)
+        # Type-1 (inverted CDF) empirical quantile.
+        exact = sorted(values)[min(n, max(1, math.ceil(q * n))) - 1]
+        assert lo < exact <= hi
+
+    def test_empty_histogram_quantile_is_nan(self):
+        histogram = Histogram("h_empty", "test")
+        lo, hi = histogram.quantile_bounds(0.5)
+        assert math.isnan(lo) and math.isnan(hi)
+
+    def test_overflow_bucket_upper_bound_is_inf(self):
+        histogram = Histogram("h_over", "test", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        lo, hi = histogram.quantile_bounds(0.99)
+        assert lo == 2.0 and hi == math.inf
+
+    def test_quantile_is_conservative_upper_edge(self):
+        histogram = Histogram("h_edge", "test", buckets=(1.0, 2.0, 4.0))
+        for value in (0.1, 0.2, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(1.0) == 4.0
+
+    def test_rejects_out_of_range_q(self):
+        histogram = Histogram("h_bad", "test")
+        with pytest.raises(ValueError):
+            histogram.quantile_bounds(1.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h_unsorted", "test", buckets=(2.0, 1.0))
+
+
+class TestPrometheusText:
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        assert escape_help("line\none \\ two") == "line\\none \\\\ two"
+
+    def test_escaped_labels_render_on_one_line(self):
+        registry = MetricRegistry()
+        counter = registry.counter("esc_total", "escaping", labelnames=("path",))
+        counter.labels(path='a"b\\c\nd').inc()
+        text = registry.render()
+        assert 'esc_total{path="a\\"b\\\\c\\nd"} 1' in text
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                assert _SAMPLE_RE.match(line), line
+
+    def test_help_and_type_lines(self):
+        registry = MetricRegistry()
+        registry.gauge("g_one", "help with\nnewline")
+        text = registry.render()
+        assert "# HELP g_one help with\\nnewline" in text
+        assert "# TYPE g_one gauge" in text
+        assert text.endswith("\n")
+
+    def test_histogram_rendering_is_cumulative(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("lat_seconds", "latency", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 1.7, 9.0):
+            histogram.observe(value)
+        text = registry.render()
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="2"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_count 4" in text
+        assert "lat_seconds_sum 12.7" in text
+
+    def test_invalid_names_rejected(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("1bad", "x")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", "x", labelnames=("__reserved",))
+
+    def test_kind_mismatch_rejected_and_get_is_idempotent(self):
+        registry = MetricRegistry()
+        first = registry.counter("twice_total", "x")
+        assert registry.counter("twice_total", "x") is first
+        with pytest.raises(ValueError):
+            registry.gauge("twice_total", "x")
+
+    def test_failing_callback_does_not_break_scrape(self):
+        registry = MetricRegistry()
+        registry.gauge("alive", "x").set(1)
+
+        def broken():
+            raise RuntimeError("collector exploded")
+
+        registry.register_callback(broken)
+        assert "alive 1" in registry.render()
+
+    def test_callbacks_refresh_gauges_at_scrape(self):
+        registry = MetricRegistry()
+        gauge = registry.gauge("refreshed", "x")
+        ticks = []
+
+        def refresh():
+            ticks.append(1)
+            gauge.set(len(ticks))
+
+        registry.register_callback(refresh)
+        assert "refreshed 1" in registry.render()
+        assert "refreshed 2" in registry.render()
+
+
+class TestConcurrency:
+    def test_counter_and_histogram_merge_across_threads(self):
+        registry = MetricRegistry()
+        counter = registry.counter("hits_total", "x")
+        histogram = registry.histogram("obs_size", "x", buckets=BATCH_SIZE_BUCKETS)
+        n_threads, per_thread = 8, 5000
+
+        def work():
+            for i in range(per_thread):
+                counter.inc()
+                histogram.observe(float(i % 7))
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == n_threads * per_thread
+        assert histogram.count == n_threads * per_thread
+
+    def test_labelled_children_are_distinct_series(self):
+        registry = MetricRegistry()
+        counter = registry.counter("req_total", "x", labelnames=("route", "status"))
+        counter.labels(route="/theta", status="200").inc(3)
+        counter.labels("/theta", "400").inc()
+        text = registry.render()
+        assert 'req_total{route="/theta",status="200"} 3' in text
+        assert 'req_total{route="/theta",status="400"} 1' in text
+
+    def test_default_latency_buckets_are_sane(self):
+        assert list(LATENCY_BUCKETS_SECONDS) == sorted(LATENCY_BUCKETS_SECONDS)
+        assert LATENCY_BUCKETS_SECONDS[0] <= 0.001
+        assert LATENCY_BUCKETS_SECONDS[-1] >= 5.0

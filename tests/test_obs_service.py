@@ -1,0 +1,241 @@
+"""Serving + CLI observability: /metrics on both transports, trace CLI."""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.core.receipt import tip_decomposition
+from repro.datasets.generators import planted_blocks
+from repro.service.aserver import start_server_thread
+from repro.service.artifacts import save_artifact
+from repro.service.server import (
+    DOCUMENTED_METRICS,
+    ENDPOINTS,
+    METRICS_CONTENT_TYPE,
+    TipService,
+    create_server,
+    metric_route,
+)
+
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|[-+0-9.e]+)$"
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_repro_logging():
+    """Drop any handler the CLI installs so tests stay order-independent."""
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    graph = planted_blocks(40, 25, [(8, 6), (6, 4)], background_edges=50, seed=3)
+    result = tip_decomposition(graph, "U", algorithm="receipt", n_partitions=4)
+    path = tmp_path_factory.mktemp("obs") / "blocks.tipidx"
+    save_artifact(path, graph, result)
+    return path
+
+
+def _get_text(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers["Content-Type"], response.read().decode()
+
+
+def _parse_samples(text):
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        assert _SAMPLE_RE.match(line), f"invalid exposition line: {line!r}"
+        name_labels, value = line.rsplit(" ", 1)
+        samples[name_labels] = value
+    return samples
+
+
+class TestThreadedMetrics:
+    @pytest.fixture(scope="class")
+    def base_url(self, artifact):
+        server = create_server([artifact], port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def test_scrape_is_valid_and_complete(self, base_url):
+        for vertex in range(4):
+            urllib.request.urlopen(f"{base_url}/theta?vertex={vertex}", timeout=10).read()
+        status, content_type, text = _get_text(f"{base_url}/metrics")
+        assert status == 200
+        assert content_type == METRICS_CONTENT_TYPE
+        samples = _parse_samples(text)
+        for name in DOCUMENTED_METRICS:
+            assert f"# TYPE {name} " in text, name
+        # The latency histogram is populated for the route we hit.
+        bucket = ('repro_http_request_seconds_bucket'
+                  '{transport="thread",route="/theta",le="+Inf"}')
+        assert int(float(samples[bucket])) >= 4
+        counted = ('repro_http_requests_total'
+                   '{transport="thread",route="/theta",status="200"}')
+        assert int(float(samples[counted])) >= 4
+
+    def test_scrape_time_gauges_refresh(self, base_url):
+        _, _, first = _get_text(f"{base_url}/metrics")
+        uptime1 = float(_parse_samples(first)["repro_server_uptime_seconds"])
+        _, _, second = _get_text(f"{base_url}/metrics")
+        uptime2 = float(_parse_samples(second)["repro_server_uptime_seconds"])
+        assert uptime2 > uptime1 > 0.0
+        samples = _parse_samples(second)
+        assert float(samples["repro_server_start_time_seconds"]) > 0
+        staleness = [key for key in samples
+                     if key.startswith("repro_artifact_staleness_seconds")]
+        assert staleness and float(samples[staleness[0]]) >= 0.0
+
+    def test_stats_server_block(self, base_url):
+        with urllib.request.urlopen(f"{base_url}/stats", timeout=10) as response:
+            payload = json.loads(response.read())
+        server = payload["server"]
+        assert server["started_unix"] > 0
+        assert server["uptime_seconds"] >= 0
+        first = server["requests_total"].get("/stats", 0)
+        assert first >= 1
+        with urllib.request.urlopen(f"{base_url}/stats", timeout=10) as response:
+            payload = json.loads(response.read())
+        assert payload["server"]["requests_total"]["/stats"] > first
+
+    def test_unknown_routes_collapse_into_one_label(self, base_url):
+        for path in ("/nope", "/admin", "/x/y/z"):
+            try:
+                urllib.request.urlopen(base_url + path, timeout=10)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+        _, _, text = _get_text(f"{base_url}/metrics")
+        samples = _parse_samples(text)
+        unknown = ('repro_http_requests_total'
+                   '{transport="thread",route="<unknown>",status="404"}')
+        assert int(float(samples[unknown])) >= 3
+        assert not any('route="/nope"' in key for key in samples)
+
+
+class TestAsyncMetrics:
+    @pytest.fixture(scope="class")
+    def handle(self, artifact):
+        handle = start_server_thread([artifact])
+        yield handle
+        handle.stop()
+
+    def test_scrape_includes_coalescer_histograms(self, handle):
+        for vertex in range(6):
+            urllib.request.urlopen(
+                f"{handle.base_url}/theta?vertex={vertex}", timeout=10).read()
+        status, content_type, text = _get_text(f"{handle.base_url}/metrics")
+        assert status == 200
+        assert content_type == METRICS_CONTENT_TYPE
+        samples = _parse_samples(text)
+        for name in DOCUMENTED_METRICS:
+            assert f"# TYPE {name} " in text, name
+        assert int(float(samples["repro_coalesce_batch_size_count"])) >= 6
+        assert int(float(samples["repro_coalesce_wait_seconds_count"])) >= 6
+        counted = ('repro_http_requests_total'
+                   '{transport="async",route="/theta",status="200"}')
+        assert int(float(samples[counted])) >= 6
+
+    def test_latency_includes_coalescer_wait(self, handle):
+        # The deferred theta response is observed when its future resolves;
+        # the histogram count equals the requests actually answered.
+        urllib.request.urlopen(f"{handle.base_url}/theta?vertex=1", timeout=10).read()
+        _, _, text = _get_text(f"{handle.base_url}/metrics")
+        samples = _parse_samples(text)
+        count = ('repro_http_request_seconds_count'
+                 '{transport="async",route="/theta"}')
+        total = ('repro_http_request_seconds_sum'
+                 '{transport="async",route="/theta"}')
+        assert int(float(samples[count])) >= 1
+        assert float(samples[total]) > 0.0
+
+
+class TestOfflineService:
+    def test_metrics_text_needs_no_transport(self, artifact):
+        service = TipService([artifact])
+        service.observe_request("thread", "/theta", 200, 0.001)
+        text = service.metrics_text()
+        _parse_samples(text)  # every sample line is well-formed
+        for name in DOCUMENTED_METRICS:
+            assert f"# TYPE {name} " in text, name
+
+    def test_metric_route_normalisation(self):
+        for route in ENDPOINTS:
+            assert metric_route(route) == route
+        assert metric_route("/metrics") == "/metrics"
+        assert metric_route("/etc/passwd") == "<unknown>"
+
+    def test_metrics_is_not_a_json_endpoint(self):
+        # /metrics is a transport concern; the JSON API surface (and the
+        # byte-identical transport comparison built on it) is unchanged.
+        assert "/metrics" not in ENDPOINTS
+
+
+class TestCli:
+    def test_decompose_trace_out_and_summary(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(["decompose", "--dataset", "it", "--scale", "0.05",
+                     "--seed", "1", "--trace-out", str(trace_path)])
+        assert code == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["algorithm"] == "RECEIPT"
+        payload = json.loads(trace_path.read_text())
+        assert payload["traceEvents"] and payload["spans"]
+        names = {span["name"] for span in payload["spans"]}
+        assert {"receipt", "pvBcnt", "cd", "fd"} <= names
+        # Phase totals within 5% of the root wall-clock.
+        root = next(s for s in payload["spans"] if s["name"] == "receipt")
+        phases = [s for s in payload["spans"]
+                  if s["parent"] == root["id"] and s["name"] in ("pvBcnt", "cd", "fd")]
+        assert sum(s["dur"] for s in phases) <= root["dur"] * 1.001
+
+        code = main(["trace-summary", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "cd" in out and "fd" in out
+
+    def test_trace_summary_rejects_missing_file(self, tmp_path, capsys):
+        code = main(["trace-summary", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_json_log_format_emits_json_lines(self, capsys):
+        code = main(["--log-format", "json", "decompose", "--dataset", "it",
+                     "--scale", "0.05", "--seed", "1"])
+        assert code == 0
+        err = capsys.readouterr().err
+        phase_lines = [json.loads(line) for line in err.splitlines()
+                       if line.startswith("{")]
+        assert any(line.get("event") == "phase" for line in phase_lines)
+
+    def test_build_index_trace_out(self, tmp_path, capsys):
+        trace_path = tmp_path / "build.json"
+        out_path = tmp_path / "small.tipidx"
+        code = main(["build-index", "--dataset", "it", "--scale", "0.05",
+                     "--seed", "1", "--output", str(out_path),
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(trace_path.read_text())
+        assert any(span["name"] == "receipt" for span in payload["spans"])
