@@ -27,7 +27,23 @@ Three checks, all hard-failing:
    scrapes, every sample line must be well-formed exposition text, and
    the request-latency histograms must actually be populated.
 
-Results land in ``BENCH_obs.json`` at the repository root.
+4. **Sampling-profiler overhead <= 5%** on the batched CD kernel.  Same
+   deterministic style as check 1: the per-sample cost (one
+   ``sys._current_frames`` snapshot + stack walk, the only work the
+   profiled process's GIL ever pays for) is timed directly on the real
+   ``SamplingProfiler._sample_once`` code path and gated against the
+   sampling interval — the duty cycle IS the steady-state overhead.  An
+   A/B CD wall-clock pair (profiler attached vs not) is reported for
+   context but not gated.
+
+5. **Diagnostics byte-identity**: one shared ``TipService`` is mounted
+   behind BOTH transports; after priming ``/slo``, ``/debug/memory`` and
+   ``/debug/profile`` once, the cached variants (``?cached=1`` /
+   ``?last=1``) must answer byte-identical JSON through either front end.
+
+Results land in ``BENCH_obs.json`` at the repository root; CI follows up
+with ``repro bench-history check`` so a slow drift in any headline metric
+fails the build even while every absolute ceiling still passes.
 """
 
 from __future__ import annotations
@@ -46,14 +62,16 @@ from repro.butterfly.counting import count_per_vertex_priority
 from repro.core.cd import coarse_grained_decomposition
 from repro.core.receipt import receipt_decomposition
 from repro.datasets.registry import load_dataset
+from repro.obs.profile import DEFAULT_INTERVAL_SECONDS, SamplingProfiler
 from repro.obs.trace import NOOP_TRACER, Tracer, use_tracer
 from repro.service.aserver import start_server_thread
 from repro.service.build import build_index_artifact
-from repro.service.server import DOCUMENTED_METRICS, create_server
+from repro.service.server import DOCUMENTED_METRICS, TipService, create_server
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 NOOP_OVERHEAD_CEILING_PCT = 3.0
 PHASE_FIDELITY_CEILING_PCT = 5.0
+PROFILER_OVERHEAD_CEILING_PCT = 5.0
 
 _SAMPLE_RE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (NaN|[+-]Inf|[-+0-9.e]+)$"
@@ -117,6 +135,63 @@ def bench_tracer_overhead(scale: float, n_partitions: int, rounds: int) -> dict:
         "noop_span_ns": round(per_call * 1e9, 1),
         "span_calls_per_run": span_calls,
         "noop_overhead_pct": round(noop_overhead_pct, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# 4. Sampling-profiler overhead on the batched CD kernel
+# ----------------------------------------------------------------------
+def time_profile_sample(samples: int = 500, rounds: int = 3) -> float:
+    """Best-of-N seconds per profiler sample on the live thread census.
+
+    Times the actual ``SamplingProfiler._sample_once`` body — the GIL
+    hand-off of ``sys._current_frames`` plus the per-thread stack walk
+    and fold — which is the only cost the profiled code ever pays.
+    """
+    import threading
+
+    profiler = SamplingProfiler()
+    own_ident = threading.get_ident()
+    names: dict = {}
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(samples):
+            profiler._sample_once(own_ident, names)
+        lap = time.perf_counter() - start
+        best = lap if best is None else min(best, lap)
+    return best / samples
+
+
+def bench_profiler_overhead(scale: float, n_partitions: int, rounds: int) -> dict:
+    graph = load_dataset("it", scale=scale)
+    counts = count_per_vertex_priority(graph)
+
+    # A/B context: the same CD run bare and with an attached profiler.
+    bare, _ = run_cd(graph, counts.u_counts, n_partitions, rounds=rounds)
+    profiler = SamplingProfiler(interval=DEFAULT_INTERVAL_SECONDS)
+    profiler.start()
+    try:
+        profiled, _ = run_cd(graph, counts.u_counts, n_partitions, rounds=rounds)
+    finally:
+        profiler.stop()
+    payload = profiler.payload(top=5)
+
+    # Deterministic gate: per-sample cost over the sampling interval is
+    # the profiler's steady-state duty cycle on the profiled process.
+    per_sample = time_profile_sample()
+    duty_cycle_pct = 100.0 * per_sample / DEFAULT_INTERVAL_SECONDS
+    return {
+        "dataset": "it",
+        "scale": scale,
+        "interval_seconds": DEFAULT_INTERVAL_SECONDS,
+        "sample_cost_us": round(per_sample * 1e6, 2),
+        "profiler_overhead_pct": round(duty_cycle_pct, 4),
+        "cd_bare_seconds": round(bare, 4),
+        "cd_profiled_seconds": round(profiled, 4),
+        "ab_overhead_pct": round(100.0 * (profiled / bare - 1.0), 2),
+        "profile_samples": payload["samples"],
+        "profile_stack_samples": payload["stack_samples"],
     }
 
 
@@ -229,6 +304,48 @@ def bench_metrics_endpoints(artifact_dir: Path, n_requests: int) -> list:
     return rows
 
 
+# ----------------------------------------------------------------------
+# 5. Diagnostics byte-identity across transports
+# ----------------------------------------------------------------------
+def _get_bytes(url: str) -> bytes:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.read()
+
+
+def bench_diagnostics_parity(artifact_dir: Path) -> dict:
+    """One shared TipService behind both transports: cached diagnostics
+    (``/slo?cached=1``, ``/debug/memory?cached=1``, ``/debug/profile?last=1``)
+    must answer byte-identical JSON through either front end."""
+    service = TipService([artifact_dir])
+    server = create_server([artifact_dir], port=0, service=service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    handle = start_server_thread([artifact_dir], service=service)
+    try:
+        host, port = server.server_address[0], server.server_address[1]
+        threaded = f"http://{host}:{port}"
+        # Prime each diagnostic once; the stored payloads then serve both
+        # transports.
+        _get_bytes(f"{threaded}/slo")
+        _get_bytes(f"{threaded}/debug/memory")
+        _get_bytes(f"{threaded}/debug/profile?seconds=0.2&interval_ms=2")
+        rows = {}
+        for route in ("/slo?cached=1", "/debug/memory?cached=1",
+                      "/debug/profile?last=1"):
+            body_thread = _get_bytes(threaded + route)
+            body_async = _get_bytes(handle.base_url + route)
+            if body_thread != body_async:
+                raise AssertionError(
+                    f"diagnostic {route} differs across transports "
+                    f"({len(body_thread)} vs {len(body_async)} bytes)")
+            rows[route] = {"bytes": len(body_thread), "identical": True}
+        return rows
+    finally:
+        handle.stop()
+        server.shutdown()
+        server.server_close()
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -250,6 +367,16 @@ def main(argv=None) -> int:
         f"{overhead['noop_overhead_pct']}% of CD wall time"
     )
 
+    profiler = bench_profiler_overhead(scale, n_partitions=12, rounds=rounds)
+    print(
+        f"profiler overhead: sample={profiler['sample_cost_us']}us / "
+        f"{profiler['interval_seconds'] * 1000:.0f}ms interval = "
+        f"{profiler['profiler_overhead_pct']}% duty cycle "
+        f"(A/B: bare {profiler['cd_bare_seconds']}s vs profiled "
+        f"{profiler['cd_profiled_seconds']}s, "
+        f"{profiler['profile_stack_samples']} stack samples)"
+    )
+
     fidelity = bench_trace_fidelity(scale, n_partitions=12)
     print(
         f"trace fidelity: wall={fidelity['wall_seconds']}s "
@@ -262,12 +389,16 @@ def main(argv=None) -> int:
         artifact_dir = Path(scratch) / "obs_bench.tipidx"
         build_index_artifact(graph, artifact_dir, n_partitions=8, overwrite=True)
         endpoints = bench_metrics_endpoints(artifact_dir, n_requests)
+        diagnostics = bench_diagnostics_parity(artifact_dir)
     for row in endpoints:
         print(
             f"{row['transport']}: {row['families']} families, "
             f"{row['sample_lines']} samples, "
             f"{row['theta_latency_observations']} /theta latencies observed"
         )
+    for route, row in diagnostics.items():
+        print(f"diagnostics parity: {route} identical across transports "
+              f"({row['bytes']} bytes)")
 
     report = {
         "benchmark": "observability",
@@ -275,11 +406,14 @@ def main(argv=None) -> int:
         "gates": {
             "noop_overhead_ceiling_pct": NOOP_OVERHEAD_CEILING_PCT,
             "phase_fidelity_ceiling_pct": PHASE_FIDELITY_CEILING_PCT,
+            "profiler_overhead_ceiling_pct": PROFILER_OVERHEAD_CEILING_PCT,
             "documented_metrics": len(DOCUMENTED_METRICS),
         },
         "tracer_overhead": overhead,
+        "profiler_overhead": profiler,
         "trace_fidelity": fidelity,
         "metrics_endpoints": endpoints,
+        "diagnostics_identity": diagnostics,
     }
     output = Path(args.output)
     output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -290,6 +424,12 @@ def main(argv=None) -> int:
         failures.append(
             f"disabled-tracer overhead is {overhead['noop_overhead_pct']}% of CD "
             f"wall time, above the {NOOP_OVERHEAD_CEILING_PCT}% ceiling"
+        )
+    if profiler["profiler_overhead_pct"] > PROFILER_OVERHEAD_CEILING_PCT:
+        failures.append(
+            f"sampling-profiler duty cycle is "
+            f"{profiler['profiler_overhead_pct']}%, above the "
+            f"{PROFILER_OVERHEAD_CEILING_PCT}% ceiling"
         )
     if fidelity["phase_gap_pct"] > PHASE_FIDELITY_CEILING_PCT:
         failures.append(
@@ -302,9 +442,11 @@ def main(argv=None) -> int:
         return 1
     print(
         f"OK: disabled tracer costs {overhead['noop_overhead_pct']}% of CD, "
-        f"phase spans cover {round(100 - fidelity['phase_gap_pct'], 2)}% of the "
-        f"traced run, and both transports expose all "
-        f"{len(DOCUMENTED_METRICS)} documented metrics"
+        f"the sampling profiler's duty cycle is "
+        f"{profiler['profiler_overhead_pct']}%, phase spans cover "
+        f"{round(100 - fidelity['phase_gap_pct'], 2)}% of the traced run, both "
+        f"transports expose all {len(DOCUMENTED_METRICS)} documented metrics, "
+        f"and cached diagnostics are byte-identical across transports"
     )
     return 0
 

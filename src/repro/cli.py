@@ -22,8 +22,19 @@ Sub-commands:
   per event-loop tick and admission-controls updates).  Both transports
   expose Prometheus metrics on ``GET /metrics``.
 * ``trace-summary`` — phase-time breakdown of a trace file written by
-  ``decompose --trace-out`` / ``build-index --trace-out``, mirroring the
-  paper's counting / CD / FD split.
+  ``--trace-out`` (available on ``decompose``, ``build-index``,
+  ``compare``, ``update`` and ``serve``), mirroring the paper's
+  counting / CD / FD split and covering streaming-repair and wing
+  phases.
+* ``bench-history`` — ingest ``BENCH_*.json`` benchmark snapshots into
+  an append-only ``BENCH_history.jsonl``, show per-metric trends, and
+  ``check`` fresh runs against a rolling-median baseline (non-zero exit
+  on regression; the CI gate).
+
+``decompose`` and ``build-index`` additionally take ``--profile-out
+FILE`` — run under the zero-dependency sampling profiler and write a
+folded-stack flamegraph input (or the full JSON payload for ``*.json``
+paths) plus a top-N self-time table on stderr.
 
 Global flags: ``--log-format {text,json}`` switches the ``repro.*``
 loggers to JSON-lines output (one object per line, machine-parseable)
@@ -145,6 +156,31 @@ def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
                              "`repro trace-summary FILE`")
 
 
+def _add_profile_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--profile-out", default=None, metavar="FILE",
+                        help="run under the sampling profiler and write the "
+                             "profile to FILE: folded stacks (flamegraph.pl "
+                             "input) by default, the full JSON payload when "
+                             "FILE ends in .json; a top self-time table is "
+                             "printed to stderr")
+    parser.add_argument("--profile-interval-ms", type=float, default=5.0,
+                        help="sampling interval in milliseconds (default 5)")
+
+
+@contextmanager
+def _maybe_profile(args: argparse.Namespace):
+    """Run the with-body under ``--profile-out``'s sampling profiler."""
+    profile_out = getattr(args, "profile_out", None)
+    if not profile_out:
+        yield
+        return
+    from .obs.profile import profile_to_file
+
+    with profile_to_file(profile_out,
+                         interval=args.profile_interval_ms / 1000.0):
+        yield
+
+
 @contextmanager
 def _maybe_trace(trace_out: str | None):
     """Record spans and write the trace file when ``--trace-out`` was given.
@@ -197,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_arguments(decompose_parser)
     decompose_parser.add_argument("--output", help="write per-vertex tip numbers to this JSON file")
     _add_trace_argument(decompose_parser)
+    _add_profile_argument(decompose_parser)
 
     compare_parser = subparsers.add_parser("compare", help="run two algorithms and verify agreement")
     _add_graph_arguments(compare_parser)
@@ -204,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument("--first", default="receipt")
     compare_parser.add_argument("--second", default="bup")
     _add_execution_arguments(compare_parser)
+    _add_trace_argument(compare_parser)
 
     build_parser_ = subparsers.add_parser(
         "build-index", help="decompose and persist a queryable tip-index artifact")
@@ -217,6 +255,7 @@ def build_parser() -> argparse.ArgumentParser:
     build_parser_.add_argument("--force", action="store_true",
                                help="replace an existing artifact at --output")
     _add_trace_argument(build_parser_)
+    _add_profile_argument(build_parser_)
 
     query_parser = subparsers.add_parser(
         "query", help="query a tip-index artifact offline (no re-peeling)")
@@ -242,6 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     update_parser.add_argument("--damage-threshold", type=float, default=None,
                                help="re-peel work share beyond which the update falls "
                                     "back to a full re-decomposition")
+    _add_trace_argument(update_parser)
 
     serve_parser = subparsers.add_parser(
         "serve", help="serve tip-index artifacts over the JSON HTTP API")
@@ -273,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="async transport: bounded /update admission "
                                    "queue; overflow answers 503 + Retry-After "
                                    "(default 4)")
+    _add_trace_argument(serve_parser)
 
     trace_parser = subparsers.add_parser(
         "trace-summary",
@@ -280,6 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("trace", help="trace JSON written by --trace-out")
     trace_parser.add_argument("--top", type=int, default=20,
                               help="number of hottest span names to list (default 20)")
+
+    history_parser = subparsers.add_parser(
+        "bench-history",
+        help="append-only benchmark history with a rolling regression gate")
+    history_parser.add_argument("action", choices=["ingest", "check", "show"],
+                                help="ingest: append BENCH_*.json headline metrics "
+                                     "to the history; check: judge fresh BENCH "
+                                     "files against the rolling baseline (exit 1 "
+                                     "on regression); show: print the history's "
+                                     "per-metric trends")
+    history_parser.add_argument("bench", nargs="*",
+                                help="BENCH_*.json files (default: BENCH_*.json "
+                                     "in the current directory)")
+    history_parser.add_argument("--history", default=None, metavar="FILE",
+                                help="history JSONL file (default "
+                                     "BENCH_history.jsonl next to the bench files)")
+    history_parser.add_argument("--window", type=int, default=None,
+                                help="rolling-baseline window in runs (default 5)")
 
     return parser
 
@@ -319,7 +378,7 @@ def _command_count(args: argparse.Namespace) -> int:
 def _command_decompose(args: argparse.Namespace) -> int:
     graph = _load(args)
     kwargs = _algorithm_kwargs(args, args.algorithm)
-    with _maybe_trace(args.trace_out):
+    with _maybe_profile(args), _maybe_trace(args.trace_out):
         result = tip_decomposition(graph, args.side.upper(),
                                    algorithm=args.algorithm, **kwargs)
     print(json.dumps(result.summary(), indent=2))
@@ -336,11 +395,13 @@ def _command_compare(args: argparse.Namespace) -> int:
     side = args.side.upper()
     # Both algorithms receive the same execution configuration, so the
     # comparison exercises the configured kernel/partitions/backend rather
-    # than silently falling back to library defaults.
-    first = tip_decomposition(graph, side, algorithm=args.first,
-                              **_algorithm_kwargs(args, args.first))
-    second = tip_decomposition(graph, side, algorithm=args.second,
-                               **_algorithm_kwargs(args, args.second))
+    # than silently falling back to library defaults.  One trace covers
+    # both runs; the root spans name the algorithms apart.
+    with _maybe_trace(args.trace_out):
+        first = tip_decomposition(graph, side, algorithm=args.first,
+                                  **_algorithm_kwargs(args, args.first))
+        second = tip_decomposition(graph, side, algorithm=args.second,
+                                   **_algorithm_kwargs(args, args.second))
     report = compare_results(first, second)
     print(json.dumps(
         {
@@ -358,7 +419,7 @@ def _command_build_index(args: argparse.Namespace) -> int:
     from .service.build import build_index_artifact
 
     graph = _load(args)
-    with _maybe_trace(args.trace_out):
+    with _maybe_profile(args), _maybe_trace(args.trace_out):
         manifest = build_index_artifact(
             graph,
             args.output,
@@ -465,37 +526,120 @@ def _command_update(args: argparse.Namespace) -> int:
         body["damage_threshold"] = args.damage_threshold
 
     service = TipService([args.artifact])
-    print(json.dumps(to_jsonable(service.handle("/update", {}, body)), indent=2))
+    with _maybe_trace(args.trace_out):
+        payload = service.handle("/update", {}, body)
+    print(json.dumps(to_jsonable(payload), indent=2))
     return 0
 
 
 def _command_serve(args: argparse.Namespace) -> int:
-    if args.transport == "async":
-        from .service.aserver import serve_async
+    # --trace-out wraps the whole serving session: spans recorded while
+    # requests are handled (streaming repairs, wing re-peels) land in one
+    # trace written at shutdown (Ctrl-C).
+    with _maybe_trace(args.trace_out):
+        if args.transport == "async":
+            from .service.aserver import serve_async
 
-        serve_async(
+            serve_async(
+                args.artifacts,
+                host=args.host,
+                port=args.port,
+                cache_capacity=args.cache_capacity,
+                mmap=not args.no_mmap,
+                quiet=False,
+                max_batch=args.coalesce_max_batch,
+                max_delay=args.coalesce_max_delay_ms / 1000.0,
+                max_pending_updates=args.max_pending_updates,
+            )
+            return 0
+        from .service.server import serve
+
+        serve(
             args.artifacts,
             host=args.host,
             port=args.port,
             cache_capacity=args.cache_capacity,
             mmap=not args.no_mmap,
             quiet=False,
-            max_batch=args.coalesce_max_batch,
-            max_delay=args.coalesce_max_delay_ms / 1000.0,
-            max_pending_updates=args.max_pending_updates,
         )
-        return 0
-    from .service.server import serve
-
-    serve(
-        args.artifacts,
-        host=args.host,
-        port=args.port,
-        cache_capacity=args.cache_capacity,
-        mmap=not args.no_mmap,
-        quiet=False,
-    )
     return 0
+
+
+def _command_bench_history(args: argparse.Namespace) -> int:
+    import glob
+    import os
+    import time
+
+    from .obs.history import (
+        BASELINE_WINDOW,
+        DEFAULT_HISTORY_FILENAME,
+        append_history,
+        baseline_for,
+        check_regressions,
+        format_report,
+        load_history,
+        record_from_bench,
+    )
+
+    window = args.window if args.window is not None else BASELINE_WINDOW
+
+    bench_files = list(args.bench) or sorted(glob.glob("BENCH_*.json"))
+    bench_files = [path for path in bench_files
+                   if not path.endswith(".jsonl")]  # the history is not a run
+    history_path = args.history
+    if history_path is None:
+        # Default: next to the bench files so repo-root invocations and CI
+        # working directories both find the committed history.
+        base = os.path.dirname(bench_files[0]) if bench_files else "."
+        history_path = os.path.join(base, DEFAULT_HISTORY_FILENAME)
+
+    if args.action == "show":
+        history = load_history(history_path)
+        if not history:
+            print(f"bench-history: no history at {history_path}")
+            return 0
+        seen: dict = {}
+        for record in history:
+            for metric, value in record.get("metrics", {}).items():
+                key = (record["benchmark"], record.get("mode", ""), metric)
+                seen.setdefault(key, []).append(float(value))
+        print(f"bench-history: {len(history)} run(s) in {history_path}")
+        for (benchmark, mode, metric), values in sorted(seen.items()):
+            baseline = baseline_for(history, benchmark, mode, metric, window=window)
+            trail = " ".join(f"{value:.4g}" for value in values[-window:])
+            print(f"  {benchmark}/{mode} {metric}: latest={values[-1]:.4g} "
+                  f"baseline(median of {min(len(values), window)})={baseline:.4g} "
+                  f"[{trail}]")
+        return 0
+
+    if not bench_files:
+        raise ReproError("no BENCH_*.json files found; pass them explicitly")
+    records = []
+    now = time.time()
+    for path in bench_files:
+        try:
+            with open(path, "rt", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(f"cannot read bench file {path!r}: {error}") from None
+        record = record_from_bench(
+            payload, source=os.path.basename(path), recorded_unix=now)
+        if record is not None:
+            records.append(record)
+    if not records:
+        raise ReproError(
+            "none of the bench files carry gated metrics: " + ", ".join(bench_files))
+
+    if args.action == "ingest":
+        count = append_history(history_path, records)
+        print(f"bench-history: appended {count} record(s) to {history_path}")
+        return 0
+
+    # check: judge the fresh records against the history's baselines.
+    history = load_history(history_path)
+    findings = check_regressions(history, records, window=window)
+    print(format_report(findings))
+    return 1 if any(f["status"] == "regression" for f in findings) else 0
 
 
 def _command_trace_summary(args: argparse.Namespace) -> int:
@@ -537,6 +681,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_serve(args)
         if args.command == "trace-summary":
             return _command_trace_summary(args)
+        if args.command == "bench-history":
+            return _command_bench_history(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -22,6 +22,7 @@ never unlink segments the parent still owns.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -35,9 +36,34 @@ __all__ = [
     "SharedFdJobSpec",
     "SharedFdJob",
     "AttachedFdJob",
+    "live_segment_stats",
     "share_fd_job",
     "attach_fd_job",
 ]
+
+# Owner-side accounting of live segments (name -> bytes) so the memory
+# telemetry endpoint (repro.obs.memory) can report how much shared memory
+# this process is currently holding.  Only the creating side registers;
+# worker attaches map the same pages and would double-count.
+_LIVE_LOCK = threading.Lock()
+_LIVE_SEGMENTS: dict[str, int] = {}
+
+
+def _register_segment(segment: shared_memory.SharedMemory) -> None:
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS[segment.name] = segment.size
+
+
+def _unregister_segment(segment: shared_memory.SharedMemory) -> None:
+    with _LIVE_LOCK:
+        _LIVE_SEGMENTS.pop(segment.name, None)
+
+
+def live_segment_stats() -> dict:
+    """Count and total bytes of shared-memory segments this process owns."""
+    with _LIVE_LOCK:
+        sizes = list(_LIVE_SEGMENTS.values())
+    return {"segments": len(sizes), "bytes": int(sum(sizes))}
 
 
 @dataclass(frozen=True)
@@ -88,6 +114,7 @@ def _export_array(array: np.ndarray) -> tuple[shared_memory.SharedMemory, ShmArr
     # Zero-byte segments are rejected by the OS; keep a 1-byte segment and
     # rely on the recorded shape to reconstruct the empty array.
     segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+    _register_segment(segment)
     if array.size:
         view = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
         view[...] = array
@@ -127,6 +154,7 @@ class SharedFdJob:
     def destroy(self) -> None:
         """Close and unlink every segment (idempotent)."""
         for segment in self._segments:
+            _unregister_segment(segment)
             try:
                 segment.close()
             except Exception:
@@ -179,6 +207,7 @@ def share_fd_job(job: FdJob) -> SharedFdJob:
             specs[key] = spec
     except Exception:
         for segment in segments:
+            _unregister_segment(segment)
             segment.close()
             segment.unlink()
         raise

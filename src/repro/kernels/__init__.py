@@ -48,7 +48,9 @@ from .workspace import (
     DEFAULT_WEDGE_BUDGET,
     WedgeWorkspace,
     budget_spans,
+    default_wedge_budget,
     get_workspace,
+    live_workspace_stats,
     resolve_wedge_budget,
     workspace_or_default,
 )
@@ -71,7 +73,9 @@ __all__ = [
     "DEFAULT_WEDGE_BUDGET",
     "WedgeWorkspace",
     "budget_spans",
+    "default_wedge_budget",
     "get_workspace",
+    "live_workspace_stats",
     "resolve_wedge_budget",
     "workspace_or_default",
 ]

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import os
 import threading
+import weakref
 from typing import Iterator
 
 import numpy as np
@@ -49,7 +50,9 @@ __all__ = [
     "INT32_MAX",
     "WedgeWorkspace",
     "budget_spans",
+    "default_wedge_budget",
     "get_workspace",
+    "live_workspace_stats",
     "resolve_wedge_budget",
     "workspace_or_default",
 ]
@@ -61,23 +64,67 @@ INT32_MAX = int(np.iinfo(np.int32).max)
 #: chunk (a few int32/int64 arrays of that length) around cache size while
 #: leaving each chunk large enough that per-chunk numpy dispatch overhead
 #: is negligible.  Override globally with ``REPRO_WEDGE_BUDGET`` (a
-#: non-positive value disables chunking).
+#: non-positive value disables chunking) — the variable is consulted on
+#: every workspace construction / :func:`resolve_wedge_budget` call, not
+#: frozen at import, so long-lived processes (the serving front end) pick
+#: up mid-process changes.
 DEFAULT_WEDGE_BUDGET: int | None = 1 << 18
-
-_env_budget = os.environ.get("REPRO_WEDGE_BUDGET", "").strip()
-if _env_budget:
-    DEFAULT_WEDGE_BUDGET = int(_env_budget) if int(_env_budget) > 0 else None
 
 #: Sentinel distinguishing "use the library default budget" from an
 #: explicit ``None`` (= unbounded).
 _USE_DEFAULT = object()
+
+# Weak registry of every live workspace so the memory telemetry endpoint
+# (repro.obs.memory) can report arena residency without the arenas having
+# to know about observability.  Weak references: registration must not
+# extend a workspace's lifetime past its algorithm run.
+_LIVE_LOCK = threading.Lock()
+_LIVE_WORKSPACES: "weakref.WeakSet[WedgeWorkspace]" = weakref.WeakSet()
+
+
+def live_workspace_stats() -> dict:
+    """Aggregate arena residency across every live :class:`WedgeWorkspace`.
+
+    ``current_bytes`` sums buffer capacities actually held right now
+    (legacy workspaces hold nothing between calls); ``peak_bytes`` is the
+    largest single-workspace high-water mark among live arenas.
+    """
+    with _LIVE_LOCK:
+        workspaces = list(_LIVE_WORKSPACES)
+    current = 0
+    peak = 0
+    for workspace in workspaces:
+        held = sum(buf.nbytes for buf in workspace._buffers.values())
+        if workspace._iota is not None:
+            held += workspace._iota.nbytes
+        current += held
+        peak = max(peak, workspace.peak_scratch_bytes)
+    return {
+        "workspaces": len(workspaces),
+        "current_bytes": int(current),
+        "peak_bytes": int(peak),
+    }
+
+
+def default_wedge_budget() -> int | None:
+    """The library-default wedge budget, honouring ``REPRO_WEDGE_BUDGET``.
+
+    Reads the environment on every call (a non-positive value disables
+    chunking, an unset/empty variable keeps :data:`DEFAULT_WEDGE_BUDGET`)
+    so tests and operators can retune a live process.
+    """
+    raw = os.environ.get("REPRO_WEDGE_BUDGET", "").strip()
+    if raw:
+        value = int(raw)
+        return value if value > 0 else None
+    return DEFAULT_WEDGE_BUDGET
 
 
 def resolve_wedge_budget(budget: int | None) -> int | None:
     """Normalise a user-facing budget knob: ``None`` means "library
     default", zero or negative means "unbounded"."""
     if budget is None:
-        return DEFAULT_WEDGE_BUDGET
+        return default_wedge_budget()
     return int(budget) if int(budget) > 0 else None
 
 
@@ -104,7 +151,7 @@ class WedgeWorkspace:
         reuse: bool = True,
     ):
         self.wedge_budget = (
-            DEFAULT_WEDGE_BUDGET if wedge_budget is _USE_DEFAULT else wedge_budget
+            default_wedge_budget() if wedge_budget is _USE_DEFAULT else wedge_budget
         )
         self.narrow_ids = bool(narrow_ids)
         self.reuse = bool(reuse)
@@ -116,6 +163,8 @@ class WedgeWorkspace:
         #: lifetime; algorithms report it through
         #: :attr:`~repro.peeling.base.PeelingCounters.peak_scratch_bytes`.
         self.peak_scratch_bytes = 0
+        with _LIVE_LOCK:
+            _LIVE_WORKSPACES.add(self)
 
     @classmethod
     def legacy(cls) -> "WedgeWorkspace":

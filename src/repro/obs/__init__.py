@@ -1,4 +1,4 @@
-"""Observability substrate: tracing spans, metrics, structured logs, reports.
+"""Observability substrate: tracing, metrics, logs, profiling, SLOs.
 
 The package is intentionally dependency-free (stdlib only) so that every
 layer of the repro -- kernels, core phases, the execution engine, the
@@ -22,6 +22,23 @@ Modules
 ``report``
     Chrome ``chrome://tracing`` export of a span tree plus the
     phase-time breakdown table behind ``repro trace-summary``.
+``profile``
+    Zero-dependency sampling profiler: a background thread snapshots
+    every live thread's stack and folds the samples into flamegraph
+    input and a top-N self-time table (``--profile-out``,
+    ``GET /debug/profile``).
+``memory``
+    Unified memory telemetry joining RSS, tracemalloc, wedge-workspace
+    arenas, owned shared-memory segments and artifact memmaps into one
+    snapshot (``GET /debug/memory``, ``repro_memory_*`` gauges).
+``slo``
+    Declarative latency/availability/staleness objectives evaluated by
+    rolling burn rate over the existing metrics (``GET /slo``, the
+    ``degraded`` health state, WARNING escalation).
+``history``
+    Append-only ``BENCH_history.jsonl`` of benchmark headline metrics
+    with rolling-median baselines and a regression gate
+    (``repro bench-history``).
 """
 
 from .trace import NOOP_TRACER, Span, Tracer, current_tracer, use_tracer

@@ -18,7 +18,7 @@ import logging
 import math
 import re
 import threading
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -213,6 +213,17 @@ class _HistogramChild:
         """Conservative quantile estimate: the containing bucket's upper edge."""
         return self.quantile_bounds(q)[1]
 
+    def count_le(self, bound: float) -> Tuple[int, int]:
+        """``(observations <= bound, total observations)`` from the buckets.
+
+        Exact when ``bound`` is a bucket edge; otherwise conservative
+        (counts only buckets whose edge is <= ``bound``, an undercount).
+        SLO evaluation picks thresholds on bucket edges for this reason.
+        """
+        counts, _total, n = self.snapshot()
+        k = bisect_right(self._edges, bound)
+        return sum(counts[:k]), n
+
 
 _CHILD_FACTORIES = {
     "counter": _CounterChild,
@@ -305,6 +316,18 @@ class _MetricFamily:
     @property
     def sum(self) -> float:
         return self._require_default().sum
+
+    def children(self) -> Iterable[Tuple[Dict[str, str], Any]]:
+        """Snapshot of ``(label_dict, child)`` pairs across the family.
+
+        The public aggregation surface: SLO evaluation sums latency and
+        status counts across every labelled series without reaching into
+        family internals.
+        """
+        with self._lock:
+            items = sorted(self._children.items())
+        for key, child in items:
+            yield dict(zip(self.labelnames, key)), child
 
     # -- exposition ----------------------------------------------------
 

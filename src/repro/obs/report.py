@@ -101,10 +101,17 @@ def summarize(spans: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
         for child in children.get(root["id"], ()):
             phases[child["name"]] = phases.get(child["name"], 0.0) + child["dur"]
 
+    root_counts: Dict[str, int] = {}
+    for root in roots:
+        root_counts[root["name"]] = root_counts.get(root["name"], 0) + 1
+
     return {
         "n_spans": len(spans),
         "wall_seconds": wall,
         "roots": [root["name"] for root in roots],
+        # Deduped view for traces with many same-named roots (a serve
+        # session records one streaming.update root per applied batch).
+        "root_counts": root_counts,
         "phases": phases,
         "by_name": {
             name: {"count": int(c), "total_seconds": t, "self_seconds": s}
@@ -118,7 +125,10 @@ def format_summary(spans: Sequence[Dict[str, Any]], top: int = 20) -> str:
     summary = summarize(spans)
     wall = summary["wall_seconds"]
     lines: List[str] = []
-    roots = ", ".join(summary["roots"]) or "none"
+    roots = ", ".join(
+        name if count == 1 else f"{name} ×{count}"
+        for name, count in summary["root_counts"].items()
+    ) or "none"
     lines.append(
         f"trace: {summary['n_spans']} spans, wall {wall * 1000:.1f} ms"
         f" (root: {roots})"

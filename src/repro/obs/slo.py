@@ -1,0 +1,276 @@
+"""Declarative service-level objectives evaluated by rolling burn rate.
+
+An :class:`Objective` states a promise in the SRE idiom — "99% of requests
+finish under 250 ms over any 5-minute window" — and a :class:`SloMonitor`
+checks the promise against the cumulative instruments PR 7 already
+maintains (``repro_http_request_seconds`` buckets, ``repro_http_requests_
+total`` status labels, artifact staleness).  No new measurement path: the
+monitor snapshots the counters on every evaluation, keeps a short deque of
+timestamped snapshots, and differences the newest against the oldest one
+inside the window, so the numbers it reports are exactly the numbers
+``/metrics`` exports.
+
+**Burn rate** is the standard normalisation: observed error rate divided
+by the error budget (``1 - target``).  Burn 1.0 means the budget is being
+spent exactly as fast as the objective allows; above 1.0 the objective is
+*breached* and the service degrades.  Staleness objectives are instant
+rather than windowed — burn is current staleness over the bound.
+
+Surfacing (wired in :mod:`repro.service.server`):
+
+* ``GET /slo`` — full payload: per-objective burn rate, compliance, state;
+* ``GET /healthz`` — ``status`` flips ``ok`` → ``degraded`` while any
+  objective is breached (liveness stays 200: degraded is an alarm, not an
+  outage);
+* ``/metrics`` — ``repro_slo_burn_rate{objective=...}`` and
+  ``repro_slo_ok{objective=...}`` gauges;
+* a WARNING log line on every ok→breached transition (and an INFO line on
+  recovery) through the ``repro.obs.slo`` logger.
+
+Objectives with no traffic in the window report ``state="no_data"`` and do
+not degrade the service — a freshly started server is not in breach.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from .log import get_logger
+
+__all__ = [
+    "DEFAULT_OBJECTIVES",
+    "Objective",
+    "SloMonitor",
+]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative promise about service behaviour.
+
+    ``kind`` selects the evaluation rule:
+
+    * ``latency`` — at least ``target`` of requests in the window finish
+      within ``threshold_seconds`` (pick a histogram bucket edge);
+    * ``availability`` — at most ``1 - target`` of requests in the window
+      answer a 5xx status;
+    * ``staleness`` — every served artifact was built or updated within
+      ``threshold_seconds`` (instant, not windowed; ``target`` unused).
+    """
+
+    name: str
+    kind: str  # "latency" | "availability" | "staleness"
+    description: str
+    target: float = 0.99
+    window_seconds: float = 300.0
+    threshold_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "availability", "staleness"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if self.kind in ("latency", "staleness") and self.threshold_seconds is None:
+            raise ValueError(f"{self.kind} objective {self.name!r} needs threshold_seconds")
+        if not 0.0 < self.target < 1.0 and self.kind != "staleness":
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "description": self.description,
+            "target": self.target,
+            "window_seconds": self.window_seconds,
+            "threshold_seconds": self.threshold_seconds,
+        }
+
+
+#: The stock promise set for a tip-serving deployment.  Latency threshold
+#: sits on a LATENCY_BUCKETS_SECONDS edge (exact bucket arithmetic); the
+#: staleness bound is generous because offline-built artifacts legitimately
+#: go a day between refreshes.
+DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
+    Objective(
+        name="request-latency",
+        kind="latency",
+        description="99% of requests answer within 250 ms",
+        target=0.99,
+        threshold_seconds=0.25,
+    ),
+    Objective(
+        name="availability",
+        kind="availability",
+        description="99.9% of requests answer without a 5xx",
+        target=0.999,
+    ),
+    Objective(
+        name="artifact-staleness",
+        kind="staleness",
+        description="every artifact refreshed within 24 h",
+        target=0.999,
+        threshold_seconds=86_400.0,
+    ),
+)
+
+#: Snapshots kept per windowed objective; at one evaluation per scrape
+#: (typically >= 10 s apart) this covers windows far longer than default.
+_MAX_SNAPSHOTS = 512
+
+
+class SloMonitor:
+    """Evaluate objectives against cumulative-counter sources.
+
+    The sources are plain callables so the monitor is testable without a
+    service:
+
+    * ``latency_source(threshold_seconds)`` -> ``(good, total)`` requests
+      at or under the threshold since process start;
+    * ``availability_source()`` -> ``(errors, total)`` requests since
+      process start (errors = 5xx);
+    * ``staleness_source()`` -> worst current artifact staleness in
+      seconds (``None`` when unknown).
+    """
+
+    def __init__(
+        self,
+        *,
+        latency_source: Callable[[float], Tuple[int, int]],
+        availability_source: Callable[[], Tuple[int, int]],
+        staleness_source: Callable[[], Optional[float]],
+        objectives: Tuple[Objective, ...] = DEFAULT_OBJECTIVES,
+    ) -> None:
+        self.objectives = tuple(objectives)
+        self._latency_source = latency_source
+        self._availability_source = availability_source
+        self._staleness_source = staleness_source
+        self._lock = threading.Lock()
+        # name -> deque[(monotonic_time, bad_cumulative, total_cumulative)]
+        self._snapshots: Dict[str, Deque[Tuple[float, int, int]]] = {
+            objective.name: deque(maxlen=_MAX_SNAPSHOTS)
+            for objective in self.objectives
+        }
+        self._breached: Dict[str, bool] = {o.name: False for o in self.objectives}
+        self.last_payload: Optional[Dict[str, Any]] = None
+        self._log = get_logger("repro.obs.slo")
+
+    # ------------------------------------------------------------------
+    def _cumulative(self, objective: Objective) -> Tuple[int, int]:
+        """Current (bad, total) cumulative counts for a windowed objective."""
+        if objective.kind == "latency":
+            good, total = self._latency_source(float(objective.threshold_seconds))
+            return int(total) - int(good), int(total)
+        errors, total = self._availability_source()
+        return int(errors), int(total)
+
+    def _evaluate_windowed(self, objective: Objective, now: float) -> Dict[str, Any]:
+        bad, total = self._cumulative(objective)
+        window = self._snapshots[objective.name]
+        window.append((now, bad, total))
+        if len(window) == 1:
+            # First ever evaluation: no baseline yet, so the best window
+            # estimate is everything observed since process start.
+            d_bad, d_total = bad, total
+        else:
+            # Baseline = the newest snapshot at least a full window old
+            # (delta then covers >= one window), or the oldest snapshot
+            # available when the process is younger than the window.
+            baseline = window[0]
+            for entry in window:
+                if now - entry[0] >= objective.window_seconds:
+                    baseline = entry
+                else:
+                    break
+            d_bad = bad - baseline[1]
+            d_total = total - baseline[2]
+        budget = 1.0 - objective.target
+        if d_total <= 0:
+            return {"state": "no_data", "burn_rate": 0.0, "compliance": None,
+                    "window_requests": 0, "window_errors": 0}
+        error_rate = d_bad / d_total
+        burn = error_rate / budget if budget > 0 else (0.0 if d_bad == 0 else float("inf"))
+        return {
+            "state": "breached" if burn > 1.0 else "ok",
+            "burn_rate": round(burn, 4),
+            "compliance": round(1.0 - error_rate, 6),
+            "window_requests": int(d_total),
+            "window_errors": int(d_bad),
+        }
+
+    def _evaluate_staleness(self, objective: Objective) -> Dict[str, Any]:
+        staleness = self._staleness_source()
+        if staleness is None:
+            return {"state": "no_data", "burn_rate": 0.0, "compliance": None,
+                    "staleness_seconds": None}
+        bound = float(objective.threshold_seconds)
+        burn = float(staleness) / bound if bound > 0 else float("inf")
+        return {
+            "state": "breached" if burn > 1.0 else "ok",
+            "burn_rate": round(burn, 4),
+            "compliance": None,
+            "staleness_seconds": round(float(staleness), 3),
+        }
+
+    # ------------------------------------------------------------------
+    def evaluate(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Evaluate every objective; returns (and stores) the /slo payload.
+
+        Thread-safe; transitions are logged here so evaluation triggered
+        by any surface (scrape, /slo poll, /healthz) escalates exactly
+        once per state change.
+        """
+        with self._lock:
+            now = time.monotonic() if now is None else float(now)
+            results: List[Dict[str, Any]] = []
+            degraded = False
+            for objective in self.objectives:
+                if objective.kind == "staleness":
+                    verdict = self._evaluate_staleness(objective)
+                else:
+                    verdict = self._evaluate_windowed(objective, now)
+                breached = verdict["state"] == "breached"
+                was_breached = self._breached[objective.name]
+                if breached and not was_breached:
+                    self._log.warning(
+                        "SLO breached: %s (%s) burn_rate=%.2f",
+                        objective.name, objective.description, verdict["burn_rate"],
+                    )
+                elif was_breached and not breached:
+                    self._log.info(
+                        "SLO recovered: %s burn_rate=%.2f",
+                        objective.name, verdict["burn_rate"],
+                    )
+                self._breached[objective.name] = breached
+                degraded = degraded or breached
+                entry = objective.to_dict()
+                entry.update(verdict)
+                results.append(entry)
+            payload = {
+                "status": "degraded" if degraded else "ok",
+                "objectives": results,
+            }
+            self.last_payload = payload
+            return payload
+
+    def degraded(self) -> bool:
+        """Whether any objective was breached at the last evaluation."""
+        with self._lock:
+            return any(self._breached.values())
+
+    def burn_rates(self) -> Dict[str, Tuple[float, bool]]:
+        """``{objective: (burn_rate, ok)}`` from the last evaluation.
+
+        The scrape callback uses this to refresh the ``repro_slo_*``
+        gauges without re-evaluating (evaluation itself appends snapshots;
+        doubling it up per scrape would halve the window resolution).
+        """
+        with self._lock:
+            payload = self.last_payload
+        if payload is None:
+            return {o.name: (0.0, True) for o in self.objectives}
+        return {
+            entry["name"]: (float(entry["burn_rate"]), entry["state"] != "breached")
+            for entry in payload["objectives"]
+        }

@@ -14,10 +14,11 @@ end closes the gap like an inference-serving batcher:
   connections coalesce into one vectorized ``TipIndex`` gather per
   event-loop tick (:class:`~repro.service.coalesce.ThetaCoalescer`, with
   ``max_batch`` / ``max_delay`` knobs).
-* **precomputed hot JSON** — ``/healthz`` bytes are rendered once at
-  startup; bare ``/stats`` responses are cached for a short TTL so
-  monitoring polls never touch an artifact (pass any query parameter,
-  e.g. ``/stats?fresh=1``, to bypass the cache).
+* **precomputed hot JSON** — ``/healthz`` bytes are rendered once per
+  health state (``ok``/``degraded``, from the SLO monitor); bare
+  ``/stats`` responses are cached for a short TTL so monitoring polls
+  never touch an artifact (pass any query parameter, e.g.
+  ``/stats?fresh=1``, to bypass the cache).
 * **bulk protocol** — ``POST /theta/batch`` with
   ``Content-Type: application/x-ndjson`` treats every body line as one
   batch request and streams back one JSON answer per line.
@@ -124,9 +125,9 @@ class AsyncTipServer:
         service.transport_metrics["coalescer"] = self.coalescer.metrics
         service.transport_metrics["updates"] = self.admission.metrics
         # Hot JSON: the /healthz payload is a pure function of the served
-        # artifact set, which is fixed for the server's lifetime.
-        self._healthz_body = _json_bytes(
-            {"status": "ok", "artifacts": service.artifact_names})
+        # artifact set (fixed for the server's lifetime) and the SLO
+        # health state, so one rendered body per state suffices.
+        self._healthz_bodies: dict[str, bytes] = {}
         self._stats_cache: tuple[float, bytes] | None = None
         self._server: asyncio.AbstractServer | None = None
         self._stop_event: asyncio.Event | None = None
@@ -360,7 +361,19 @@ class AsyncTipServer:
                         close=close, content_type=METRICS_CONTENT_TYPE), close
                 if route == "/healthz":
                     service.count_requests("/healthz")
-                    return self._render(200, self._healthz_body, close=close), close
+                    status = service.slo.evaluate()["status"]
+                    body = self._healthz_bodies.get(status)
+                    if body is None:
+                        body = _json_bytes(
+                            {"status": status, "artifacts": service.artifact_names})
+                        self._healthz_bodies[status] = body
+                    return self._render(200, body, close=close), close
+                if route == "/debug/profile":
+                    # Sampling blocks for up to MAX_PROFILE_SECONDS; run it
+                    # on the executor so the event loop keeps serving.
+                    task = asyncio.get_running_loop().create_task(
+                        self._profile_response(params, close))
+                    return task, close
                 if route == "/stats" and not params and self.stats_cache_seconds > 0:
                     return self._render(200, self._stats_body(), close=close), close
                 if route == "/theta":
@@ -414,6 +427,21 @@ class AsyncTipServer:
         # the serializer round trip — this is the hot path.
         body = b'{"vertex": %d, "theta": %d}' % (payload["vertex"], payload["theta"])
         return self._render(200, body, close=close)
+
+    async def _profile_response(self, params: dict, close: bool) -> bytes:
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                None, lambda: self.service.handle("/debug/profile", params, None))
+        except ServiceError as error:
+            return self._render_error(error, close=close)
+        except ReproError as error:
+            return self._render(
+                500, _json_bytes(error_payload(error, status=500)), close=close)
+        except Exception as error:
+            return self._render(
+                500, _json_bytes(error_payload(error, status=500)), close=True)
+        return self._render(200, _json_bytes(payload), close=close)
 
     async def _update_response(self, params: dict, body: dict, close: bool) -> bytes:
         try:

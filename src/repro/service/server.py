@@ -57,8 +57,15 @@ import numpy as np
 
 from ..errors import ReproError, ServiceError, StreamingError
 from ..obs.log import log_request
+from ..obs.memory import memory_snapshot, rss_bytes
 from ..obs.metrics import BATCH_SIZE_BUCKETS, MetricRegistry
-from .artifacts import read_manifest, save_artifact
+from ..obs.profile import (
+    DEFAULT_INTERVAL_SECONDS,
+    ProfileBusyError,
+    collect_profile,
+)
+from ..obs.slo import DEFAULT_OBJECTIVES, SloMonitor
+from .artifacts import ARRAYS_FILENAME, read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
 
@@ -67,6 +74,7 @@ __all__ = [
     "create_server",
     "serve",
     "ENDPOINTS",
+    "DIAGNOSTIC_ENDPOINTS",
     "DOCUMENTED_METRICS",
     "METRICS_CONTENT_TYPE",
     "error_payload",
@@ -85,11 +93,21 @@ ENDPOINTS = (
     "/update",
 )
 
+#: Deep-diagnostics routes.  Kept out of :data:`ENDPOINTS` on purpose:
+#: that tuple is the *JSON API contract* the serving benchmarks compare
+#: across transports and versions, while these are operator surfaces that
+#: may grow or change shape between PRs.
+DIAGNOSTIC_ENDPOINTS = (
+    "/slo",
+    "/debug/memory",
+    "/debug/profile",
+)
+
 #: Routes that get their own label value in request metrics; everything
 #: else collapses into ``<unknown>`` so scanners can't grow the label set.
 #: ``/metrics`` is deliberately NOT in :data:`ENDPOINTS` (it is a transport
 #: concern, not part of the JSON API contract the benchmarks compare).
-_COUNTED_ROUTES = ENDPOINTS + ("/metrics",)
+_COUNTED_ROUTES = ENDPOINTS + DIAGNOSTIC_ENDPOINTS + ("/metrics",)
 
 #: ``Content-Type`` of the Prometheus text exposition format 0.0.4.
 METRICS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
@@ -115,6 +133,13 @@ DOCUMENTED_METRICS = (
     "repro_server_uptime_seconds",
     "repro_updates_applied_total",
     "repro_artifact_staleness_seconds",
+    "repro_memory_rss_bytes",
+    "repro_memory_tracemalloc_bytes",
+    "repro_memory_workspace_bytes",
+    "repro_memory_shm_bytes",
+    "repro_memory_artifact_bytes",
+    "repro_slo_burn_rate",
+    "repro_slo_ok",
 )
 
 
@@ -213,6 +238,20 @@ class TipService:
         self.started_unix = time.time()
         self._started_monotonic = time.monotonic()
         self.registry = MetricRegistry()
+        # SLO monitoring reads the cumulative request instruments; it must
+        # exist before _init_metrics so the per-objective gauges can be
+        # instantiated eagerly (zero-valued from the first scrape).
+        self.slo = SloMonitor(
+            latency_source=self._latency_counts,
+            availability_source=self._availability_counts,
+            staleness_source=self._worst_staleness,
+            objectives=DEFAULT_OBJECTIVES,
+        )
+        # Last stored deep-diagnostic payloads: ``?cached=1`` / ``?last=1``
+        # return these verbatim, which is how the observability benchmark
+        # asserts byte-identity of volatile payloads across transports.
+        self._last_profile: dict | None = None
+        self._last_memory: dict | None = None
         self._init_metrics()
         self._requests_lock = threading.Lock()
         # One writer at a time: /update batches serialize here while readers
@@ -310,6 +349,37 @@ class TipService:
             "Seconds since the artifact was last built or updated, by artifact.",
             labelnames=("artifact",),
         )
+        self._memory_rss = registry.gauge(
+            "repro_memory_rss_bytes", "Resident set size of the serving process.")
+        self._memory_tracemalloc = registry.gauge(
+            "repro_memory_tracemalloc_bytes",
+            "Python heap bytes currently traced by tracemalloc (0 when off).",
+        )
+        self._memory_workspace = registry.gauge(
+            "repro_memory_workspace_bytes",
+            "Bytes currently held by live wedge-workspace scratch arenas.",
+        )
+        self._memory_shm = registry.gauge(
+            "repro_memory_shm_bytes",
+            "Bytes of shared-memory segments this process currently owns.",
+        )
+        self._memory_artifact = registry.gauge(
+            "repro_memory_artifact_bytes",
+            "On-disk bytes of served artifact arrays (memmapped when loaded).",
+        )
+        self._slo_burn_rate = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per objective (>1 means breached).",
+            labelnames=("objective",),
+        )
+        self._slo_ok = registry.gauge(
+            "repro_slo_ok",
+            "1 while the objective holds (or has no data), 0 while breached.",
+            labelnames=("objective",),
+        )
+        for objective in self.slo.objectives:
+            self._slo_burn_rate.labels(objective=objective.name).set(0.0)
+            self._slo_ok.labels(objective=objective.name).set(1.0)
         self._start_time.set(self.started_unix)
         registry.register_callback(self._collect_metrics)
 
@@ -345,10 +415,151 @@ class TipService:
                 int(streaming.get("updates_applied", 0)))
             freshest = streaming.get("last_update_unix") or manifest.created_unix
             self._staleness.labels(artifact=name).set(max(0.0, now - float(freshest)))
+        # Memory residency gauges refresh from cheap direct reads (no
+        # tracemalloc snapshot: taking one per scrape when tracing would
+        # cost more than the signal is worth).
+        import tracemalloc
+
+        from ..engine.shm import live_segment_stats
+        from ..kernels.workspace import live_workspace_stats
+
+        self._memory_rss.set(rss_bytes() or 0)
+        self._memory_tracemalloc.set(
+            tracemalloc.get_traced_memory()[0] if tracemalloc.is_tracing() else 0)
+        self._memory_workspace.set(live_workspace_stats()["current_bytes"])
+        self._memory_shm.set(live_segment_stats()["bytes"])
+        self._memory_artifact.set(self._artifact_bytes_total())
+        # The scrape drives periodic SLO evaluation (one snapshot per
+        # scrape feeds the rolling windows).
+        self.slo.evaluate()
+        for objective, (burn, ok) in self.slo.burn_rates().items():
+            self._slo_burn_rate.labels(objective=objective).set(burn)
+            self._slo_ok.labels(objective=objective).set(1.0 if ok else 0.0)
 
     def metrics_text(self) -> str:
         """Render the registry in Prometheus text format (``GET /metrics``)."""
         return self.registry.render()
+
+    # ------------------------------------------------------------------
+    # SLO sources (cumulative reads over the request instruments)
+    # ------------------------------------------------------------------
+    def _latency_counts(self, threshold_seconds: float) -> tuple[int, int]:
+        """(requests at or under the threshold, total) across all series.
+
+        Diagnostic routes are excluded: the SLO promises cover the serving
+        API, and ``/debug/profile?seconds=N`` blocks for N seconds *by
+        design* — profiling a healthy instance must not degrade it.
+        """
+        good = 0
+        total = 0
+        for labels, child in self.http_request_seconds.children():
+            if labels.get("route") in DIAGNOSTIC_ENDPOINTS:
+                continue
+            under, n = child.count_le(threshold_seconds)
+            good += under
+            total += n
+        return good, total
+
+    def _availability_counts(self) -> tuple[int, int]:
+        """(5xx requests, total requests) across transports and routes.
+
+        Diagnostic routes are excluded for the same reason as latency:
+        objectives measure the serving API, not the operator plane.
+        """
+        errors = 0
+        total = 0
+        for labels, child in self.http_requests_total.children():
+            if labels.get("route") in DIAGNOSTIC_ENDPOINTS:
+                continue
+            value = int(child.value())
+            total += value
+            if str(labels.get("status", "")).startswith("5"):
+                errors += value
+        return errors, total
+
+    def _worst_staleness(self) -> float | None:
+        """Largest current staleness across served artifacts, in seconds."""
+        now = time.time()
+        worst: float | None = None
+        for path in self._artifacts.values():
+            try:
+                manifest = self._read_manifest_retrying(path)
+            except ReproError:
+                continue
+            freshest = manifest.streaming.get("last_update_unix") or manifest.created_unix
+            staleness = max(0.0, now - float(freshest))
+            worst = staleness if worst is None else max(worst, staleness)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Memory telemetry (GET /debug/memory)
+    # ------------------------------------------------------------------
+    def _artifact_memory(self) -> dict:
+        """Per-artifact array bytes (memmapped when loaded) + scratch peaks."""
+        artifacts: dict = {}
+        for name, path in self._artifacts.items():
+            try:
+                array_bytes = (path / ARRAYS_FILENAME).stat().st_size
+            except OSError:
+                array_bytes = 0
+            entry: dict = {"array_bytes": int(array_bytes), "loaded": False,
+                           "peak_scratch_bytes": None}
+            try:
+                manifest = self._read_manifest_retrying(path)
+            except ReproError:
+                pass
+            else:
+                entry["loaded"] = self.cache.peek(manifest.fingerprint)
+                entry["peak_scratch_bytes"] = manifest.counters.get("peak_scratch_bytes")
+            artifacts[name] = entry
+        return artifacts
+
+    def _artifact_bytes_total(self) -> int:
+        total = 0
+        for path in self._artifacts.values():
+            try:
+                total += (path / ARRAYS_FILENAME).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _memory_payload(self, params: dict) -> dict:
+        if _flag_param(params, "cached"):
+            if self._last_memory is None:
+                raise ServiceError("no memory snapshot collected yet", status=404)
+            return self._last_memory
+        try:
+            top = int(params.get("top", 10))
+        except (TypeError, ValueError):
+            raise ServiceError("parameter 'top' must be an integer") from None
+        payload = memory_snapshot(
+            top=top, extra={"artifacts": self._artifact_memory()})
+        self._last_memory = payload
+        return payload
+
+    def _profile_payload(self, params: dict) -> dict:
+        if _flag_param(params, "last"):
+            if self._last_profile is None:
+                raise ServiceError("no profile collected yet", status=404)
+            return self._last_profile
+        try:
+            seconds = float(params.get("seconds", 1.0))
+            interval_ms = float(params.get("interval_ms",
+                                           DEFAULT_INTERVAL_SECONDS * 1000.0))
+            top = int(params.get("top", 25))
+        except (TypeError, ValueError):
+            raise ServiceError(
+                "parameters 'seconds'/'interval_ms'/'top' must be numbers"
+            ) from None
+        try:
+            payload = collect_profile(
+                seconds, interval=interval_ms / 1000.0, top=top)
+        except ProfileBusyError as error:
+            raise ServiceError(str(error), status=409) from None
+        except ValueError as error:
+            raise ServiceError(str(error)) from None
+        self._last_profile = payload
+        return payload
 
     def observe_request(self, transport: str, route: str, status: int,
                         seconds: float, *, quiet: bool = True) -> None:
@@ -657,7 +868,25 @@ class TipService:
         artifact = params.get("artifact")
 
         if route == "/healthz":
-            return {"status": "ok", "artifacts": self.artifact_names}
+            # Liveness always answers 200; SLO breaches surface as a
+            # ``degraded`` status so orchestrators can alarm without
+            # restarting a server that is up but slow.
+            slo = self.slo.evaluate()
+            return {"status": slo["status"], "artifacts": self.artifact_names}
+
+        if route == "/slo":
+            if _flag_param(params, "cached"):
+                cached = self.slo.last_payload
+                if cached is None:
+                    raise ServiceError("no SLO evaluation recorded yet", status=404)
+                return cached
+            return self.slo.evaluate()
+
+        if route == "/debug/memory":
+            return self._memory_payload(params)
+
+        if route == "/debug/profile":
+            return self._profile_payload(params)
 
         if route == "/stats":
             payload: dict = {"artifacts": {}}
@@ -756,7 +985,8 @@ class TipService:
             }
 
         raise ServiceError(
-            f"unknown route {route!r}; endpoints: {', '.join(ENDPOINTS)}", status=404
+            f"unknown route {route!r}; endpoints: {', '.join(ENDPOINTS)}; "
+            f"diagnostics: {', '.join(DIAGNOSTIC_ENDPOINTS)}", status=404
         )
 
 
@@ -872,13 +1102,18 @@ def create_server(
     cache_capacity: int = 8,
     mmap: bool = True,
     quiet: bool = True,
+    service: TipService | None = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; ``port=0`` picks a free port.
 
     The :class:`TipService` is attached as ``server.service`` so tests and
-    embedding code can reach the cache and metrics.
+    embedding code can reach the cache and metrics.  Passing an existing
+    ``service`` mounts a second transport over the same state — the
+    observability benchmark serves one service through both transports to
+    assert byte-identical diagnostics.
     """
-    service = TipService(artifact_paths, cache_capacity=cache_capacity, mmap=mmap)
+    if service is None:
+        service = TipService(artifact_paths, cache_capacity=cache_capacity, mmap=mmap)
     server = _TipHTTPServer((host, port), _make_handler(service, quiet=quiet))
     server.service = service  # type: ignore[attr-defined]
     return server

@@ -24,6 +24,7 @@ from repro.kernels.workspace import (
     DEFAULT_WEDGE_BUDGET,
     WedgeWorkspace,
     budget_spans,
+    default_wedge_budget,
     resolve_wedge_budget,
 )
 from repro.peeling.bup import bup_decomposition
@@ -90,6 +91,32 @@ class TestWorkspace:
         assert resolve_wedge_budget(None) == DEFAULT_WEDGE_BUDGET
         assert resolve_wedge_budget(0) is None
         assert resolve_wedge_budget(-5) is None
+        assert resolve_wedge_budget(123) == 123
+
+    def test_wedge_budget_env_read_per_call(self, monkeypatch):
+        # Regression: the env override used to be frozen at import time, so
+        # a long-lived process (the serving front end) could never be
+        # retuned.  Every resolution path must see a mid-process change.
+        monkeypatch.delenv("REPRO_WEDGE_BUDGET", raising=False)
+        assert default_wedge_budget() == DEFAULT_WEDGE_BUDGET
+
+        monkeypatch.setenv("REPRO_WEDGE_BUDGET", "4096")
+        assert default_wedge_budget() == 4096
+        assert resolve_wedge_budget(None) == 4096
+        assert WedgeWorkspace().wedge_budget == 4096
+
+        monkeypatch.setenv("REPRO_WEDGE_BUDGET", "0")  # disables chunking
+        assert default_wedge_budget() is None
+        assert WedgeWorkspace().wedge_budget is None
+
+        monkeypatch.delenv("REPRO_WEDGE_BUDGET")  # back to the library default
+        assert resolve_wedge_budget(None) == DEFAULT_WEDGE_BUDGET
+        assert WedgeWorkspace().wedge_budget == DEFAULT_WEDGE_BUDGET
+
+    def test_explicit_budget_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WEDGE_BUDGET", "4096")
+        assert WedgeWorkspace(wedge_budget=7).wedge_budget == 7
+        assert WedgeWorkspace(wedge_budget=None).wedge_budget is None
         assert resolve_wedge_budget(123) == 123
 
     @given(st.lists(st.integers(min_value=0, max_value=50), max_size=40),

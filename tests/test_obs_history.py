@@ -1,0 +1,256 @@
+"""Bench-history sentinel: record distillation, rolling baselines, the gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import (
+    BASELINE_WINDOW,
+    METRIC_SPECS,
+    MetricSpec,
+    append_history,
+    baseline_for,
+    check_regressions,
+    extract_value,
+    format_report,
+    load_history,
+    record_from_bench,
+)
+
+
+def obs_payload(noop_pct=1.0, gap_pct=2.0, mode="quick"):
+    """A minimal BENCH_obs.json-shaped payload carrying the gated metrics."""
+    return {
+        "benchmark": "observability",
+        "mode": mode,
+        "tracer_overhead": {"noop_overhead_pct": noop_pct},
+        "trace_fidelity": {"phase_gap_pct": gap_pct},
+    }
+
+
+def obs_record(noop_pct=1.0, gap_pct=2.0, mode="quick", when=0.0):
+    return record_from_bench(obs_payload(noop_pct, gap_pct, mode),
+                             source="BENCH_obs.json", recorded_unix=when)
+
+
+class TestExtractValue:
+    def test_dotted_path(self):
+        payload = {"a": {"b": {"c": 3.5}}}
+        assert extract_value(payload, "a.b.c") == 3.5
+
+    def test_missing_path_is_none(self):
+        assert extract_value({"a": {}}, "a.b") is None
+        assert extract_value({}, "a") is None
+
+    def test_non_numeric_leaves_rejected(self):
+        assert extract_value({"a": "fast"}, "a") is None
+        assert extract_value({"a": True}, "a") is None
+        assert extract_value({"a": [1]}, "a") is None
+
+
+class TestMetricSpec:
+    def test_direction_validated(self):
+        with pytest.raises(ValueError):
+            MetricSpec("x", "sideways", 0.1)
+
+    def test_higher_is_better_regression(self):
+        spec = MetricSpec("speedup", "higher", 0.20, abs_floor=0.5)
+        assert spec.regressed(value=5.0, baseline=10.0)
+        assert not spec.regressed(value=9.0, baseline=10.0)  # inside band
+        # Outside the band but under the absolute floor: not a regression.
+        assert not spec.regressed(value=0.7, baseline=1.0)
+
+    def test_lower_is_better_regression(self):
+        spec = MetricSpec("overhead", "lower", 0.50, abs_floor=1.0)
+        assert spec.regressed(value=10.0, baseline=2.0)
+        assert not spec.regressed(value=2.5, baseline=2.0)  # inside band
+        assert not spec.regressed(value=0.10, baseline=0.04)  # under floor
+
+    def test_every_benchmark_spec_is_well_formed(self):
+        for benchmark, specs in METRIC_SPECS.items():
+            assert specs, benchmark
+            for spec in specs:
+                assert spec.direction in ("higher", "lower")
+                assert spec.tolerance >= 0
+
+
+class TestRecords:
+    def test_record_from_bench_distils_gated_metrics(self):
+        record = obs_record(noop_pct=0.5, gap_pct=1.5, when=123.0)
+        assert record == {
+            "recorded_unix": 123.0,
+            "benchmark": "observability",
+            "mode": "quick",
+            "source": "BENCH_obs.json",
+            "metrics": {
+                "tracer_overhead.noop_overhead_pct": 0.5,
+                "trace_fidelity.phase_gap_pct": 1.5,
+            },
+        }
+
+    def test_unknown_benchmark_yields_none(self):
+        payload = {"benchmark": "mystery", "speed": 1.0}
+        assert record_from_bench(payload, source="x", recorded_unix=0.0) is None
+
+    def test_known_benchmark_without_metrics_yields_none(self):
+        payload = {"benchmark": "observability", "notes": "metrics absent"}
+        assert record_from_bench(payload, source="x", recorded_unix=0.0) is None
+
+    def test_committed_bench_snapshots_produce_records(self, repo_root=None):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        produced = 0
+        for path in sorted(root.glob("BENCH_*.json")):
+            payload = json.loads(path.read_text())
+            record = record_from_bench(payload, source=path.name,
+                                       recorded_unix=0.0)
+            if record is not None:
+                produced += 1
+                assert record["metrics"]
+        # The committed snapshots must keep feeding the sentinel; if a
+        # bench renames its headline keys this catches the silent decay.
+        assert produced >= 4
+
+
+class TestHistoryFile:
+    def test_append_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        records = [obs_record(when=1.0), obs_record(when=2.0)]
+        assert append_history(path, records) == 2
+        assert append_history(path, []) == 0
+        assert load_history(path) == records
+
+    def test_append_is_append_only(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, [obs_record(when=1.0)])
+        append_history(path, [obs_record(when=2.0)])
+        assert len(load_history(path)) == 2
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        append_history(path, [obs_record(when=1.0)])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{truncated by a killed CI job\n")
+            handle.write("[1, 2, 3]\n")
+        append_history(path, [obs_record(when=2.0)])
+        assert len(load_history(path)) == 2
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+
+class TestBaselines:
+    def test_median_of_last_window(self):
+        history = [obs_record(noop_pct=pct, when=float(i))
+                   for i, pct in enumerate([9.0, 1.0, 2.0, 3.0, 4.0, 5.0])]
+        # Window 5 drops the 9.0 outlier entirely; median of [1..5] = 3.
+        assert baseline_for(history, "observability", "quick",
+                            "tracer_overhead.noop_overhead_pct",
+                            window=5) == 3.0
+
+    def test_modes_never_share_a_baseline(self):
+        history = [obs_record(noop_pct=1.0, mode="full"),
+                   obs_record(noop_pct=9.0, mode="quick")]
+        assert baseline_for(history, "observability", "full",
+                            "tracer_overhead.noop_overhead_pct") == 1.0
+
+    def test_no_matching_runs_is_none(self):
+        assert baseline_for([], "observability", "quick",
+                            "tracer_overhead.noop_overhead_pct") is None
+
+
+class TestGate:
+    def test_first_run_has_no_baseline_and_passes(self):
+        findings = check_regressions([], [obs_record()])
+        assert {f["status"] for f in findings} == {"no_baseline"}
+
+    def test_steady_metrics_pass(self):
+        history = [obs_record(when=float(i)) for i in range(BASELINE_WINDOW)]
+        findings = check_regressions(history, [obs_record(when=99.0)])
+        assert {f["status"] for f in findings} == {"ok"}
+
+    def test_injected_regression_is_flagged(self):
+        history = [obs_record(noop_pct=1.0, gap_pct=2.0, when=float(i))
+                   for i in range(BASELINE_WINDOW)]
+        # Overhead explodes 1% -> 12%: beyond the 100% band and the 2-point
+        # absolute floor of the observability spec.
+        bad = obs_record(noop_pct=12.0, gap_pct=2.0, when=99.0)
+        findings = check_regressions(history, [bad])
+        by_metric = {f["metric"]: f for f in findings}
+        assert by_metric["tracer_overhead.noop_overhead_pct"]["status"] == "regression"
+        assert by_metric["trace_fidelity.phase_gap_pct"]["status"] == "ok"
+
+    def test_noise_under_the_absolute_floor_passes(self):
+        history = [obs_record(noop_pct=0.04, when=float(i))
+                   for i in range(BASELINE_WINDOW)]
+        doubled = obs_record(noop_pct=0.09, when=99.0)  # 2.25x but tiny
+        findings = check_regressions(history, [doubled])
+        assert all(f["status"] == "ok" for f in findings)
+
+    def test_format_report_marks_regressions(self):
+        history = [obs_record(noop_pct=1.0, when=float(i)) for i in range(5)]
+        findings = check_regressions(history, [obs_record(noop_pct=12.0)])
+        report = format_report(findings)
+        assert "REGRESSION" in report
+        assert "regression(s)" in report
+        clean = format_report(check_regressions(history, [obs_record()]))
+        assert "within tolerance" in clean
+        assert format_report([]) == "bench-history: no gated metrics found"
+
+
+class TestCli:
+    def _write_bench(self, path, **kwargs):
+        path.write_text(json.dumps(obs_payload(**kwargs)) + "\n")
+
+    def test_ingest_then_check_passes(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_obs.json"
+        self._write_bench(bench)
+        for _ in range(3):
+            assert main(["bench-history", "ingest", str(bench)]) == 0
+        history = tmp_path / "BENCH_history.jsonl"
+        assert history.is_file()  # default: next to the bench file
+        assert len(load_history(history)) == 3
+        assert main(["bench-history", "check", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+
+    def test_check_fails_on_synthetic_regression(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_obs.json"
+        self._write_bench(bench, noop_pct=1.0)
+        for _ in range(3):
+            main(["bench-history", "ingest", str(bench)])
+        capsys.readouterr()
+        self._write_bench(bench, noop_pct=12.0)
+        assert main(["bench-history", "check", str(bench)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+
+    def test_show_prints_trends(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_obs.json"
+        self._write_bench(bench)
+        main(["bench-history", "ingest", str(bench)])
+        capsys.readouterr()
+        assert main(["bench-history", "show", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "tracer_overhead.noop_overhead_pct" in out
+        assert "baseline" in out
+
+    def test_explicit_history_path(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_obs.json"
+        history = tmp_path / "elsewhere.jsonl"
+        self._write_bench(bench)
+        assert main(["bench-history", "ingest", str(bench),
+                     "--history", str(history)]) == 0
+        assert history.is_file()
+        capsys.readouterr()
+
+    def test_no_gated_metrics_is_an_error(self, tmp_path, capsys):
+        bench = tmp_path / "BENCH_other.json"
+        bench.write_text(json.dumps({"benchmark": "mystery"}) + "\n")
+        code = main(["bench-history", "check", str(bench)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -69,6 +69,20 @@ class TestJsonLines:
         monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "not-a-number")
         assert slow_query_threshold_seconds() == 0.25
 
+    def test_threshold_env_read_per_call(self, capture, monkeypatch):
+        # Mid-process retuning: the same 50 ms request flips between quiet
+        # and slow as the env changes, proving the threshold is consulted
+        # per request rather than frozen at import.
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "500")
+        log_request("thread", "/theta", 200, 0.05, quiet=False)
+        monkeypatch.setenv("REPRO_SLOW_QUERY_MS", "5")
+        log_request("thread", "/theta", 200, 0.05, quiet=False)
+        monkeypatch.delenv("REPRO_SLOW_QUERY_MS")  # default 250 ms
+        log_request("thread", "/theta", 200, 0.05, quiet=False)
+        lines = _lines(capture)
+        assert [line["slow"] for line in lines] == [False, True, False]
+        assert [line["level"] for line in lines] == ["INFO", "WARNING", "INFO"]
+
     def test_phase_log_carries_fields(self, capture):
         log_phase("cd", 1.25, wedges_traversed=100)
         line = _lines(capture)[0]

@@ -1,0 +1,162 @@
+"""Sampling profiler: sample capture, folded export, slot exclusion, CLI sink."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.profile import (
+    DEFAULT_INTERVAL_SECONDS,
+    MAX_PROFILE_SECONDS,
+    ProfileBusyError,
+    SamplingProfiler,
+    acquire_profile_slot,
+    collect_profile,
+    profile_to_file,
+    render_folded,
+    render_top,
+)
+
+PAYLOAD_KEYS = {
+    "profile", "interval_seconds", "duration_seconds", "samples",
+    "stack_samples", "sample_errors", "started_unix", "threads", "top",
+    "folded",
+}
+
+
+def _busy_wait(stop: threading.Event) -> None:
+    total = 0
+    while not stop.is_set():
+        total += sum(range(100))
+
+
+@pytest.fixture()
+def busy_thread():
+    """A spinning worker so the sampler always has a stack to capture."""
+    stop = threading.Event()
+    thread = threading.Thread(target=_busy_wait, args=(stop,),
+                              name="busy-worker", daemon=True)
+    thread.start()
+    yield thread
+    stop.set()
+    thread.join(timeout=5.0)
+
+
+class TestSamplingProfiler:
+    def test_captures_busy_thread_stacks(self, busy_thread):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            time.sleep(0.2)
+        payload = profiler.payload(top=10)
+        assert set(payload) == PAYLOAD_KEYS
+        assert payload["profile"] == "sampling"
+        assert payload["samples"] >= 10
+        assert payload["stack_samples"] >= 10
+        # The spinning worker dominates: its frame appears in the folded
+        # stacks and the thread tally knows it by name.
+        folded_text = render_folded(payload)
+        assert "_busy_wait" in folded_text
+        assert "busy-worker" in payload["threads"]
+        # Folded sample counts reconcile with the stack-sample total.
+        assert sum(e["samples"] for e in payload["folded"]) == payload["stack_samples"]
+
+    def test_top_table_attribution(self, busy_thread):
+        profiler = SamplingProfiler(interval=0.001)
+        with profiler:
+            time.sleep(0.15)
+        payload = profiler.payload(top=5)
+        assert payload["top"], "no ranked frames"
+        for entry in payload["top"]:
+            assert entry["total_samples"] >= entry["self_samples"] >= 0
+            assert 0.0 <= entry["self_pct"] <= 100.0
+        # Ranked by self time, descending.
+        selfs = [entry["self_samples"] for entry in payload["top"]]
+        assert selfs == sorted(selfs, reverse=True)
+
+    def test_start_stop_idempotent(self):
+        profiler = SamplingProfiler(interval=0.001)
+        assert profiler.start() is profiler
+        assert profiler.start() is profiler  # second start is a no-op
+        time.sleep(0.02)
+        profiler.stop()
+        duration = profiler.duration_seconds()
+        profiler.stop()  # second stop is a no-op, duration does not jump
+        assert profiler.duration_seconds() == duration
+
+    def test_payload_before_start_is_empty_but_valid(self):
+        payload = SamplingProfiler().payload()
+        assert set(payload) == PAYLOAD_KEYS
+        assert payload["samples"] == 0
+        assert payload["stack_samples"] == 0
+        assert payload["folded"] == [] and payload["top"] == []
+        assert render_folded(payload) == ""
+        assert "0 stack samples" in render_top(payload)
+
+    def test_interval_floor(self):
+        assert SamplingProfiler(interval=0.0).interval >= 0.0005
+
+
+class TestProfileSlot:
+    def test_slot_is_exclusive(self):
+        with acquire_profile_slot():
+            with pytest.raises(ProfileBusyError):
+                with acquire_profile_slot():
+                    pass  # pragma: no cover
+        # Released on exit: a new acquisition succeeds.
+        with acquire_profile_slot():
+            pass
+
+    def test_collect_profile_respects_slot(self):
+        with acquire_profile_slot():
+            with pytest.raises(ProfileBusyError):
+                collect_profile(0.01)
+
+
+class TestCollectProfile:
+    def test_short_collection(self, busy_thread):
+        payload = collect_profile(0.1, interval=0.001)
+        assert payload["samples"] >= 5
+        assert payload["duration_seconds"] >= 0.1
+
+    def test_zero_seconds_is_an_empty_profile(self):
+        payload = collect_profile(0.0)
+        assert payload["samples"] == 0
+
+    @pytest.mark.parametrize("seconds", [-1.0, MAX_PROFILE_SECONDS + 1])
+    def test_out_of_range_duration_rejected(self, seconds):
+        with pytest.raises(ValueError):
+            collect_profile(seconds)
+
+
+class TestProfileToFile:
+    def test_none_path_is_a_noop(self):
+        with profile_to_file(None) as profiler:
+            assert profiler is None
+
+    def test_json_suffix_writes_full_payload(self, tmp_path, capsys, busy_thread):
+        path = tmp_path / "profile.json"
+        with profile_to_file(str(path), interval=0.001):
+            time.sleep(0.1)
+        payload = json.loads(path.read_text())
+        assert set(payload) == PAYLOAD_KEYS
+        assert payload["stack_samples"] >= 1
+        err = capsys.readouterr().err
+        assert "profile written to" in err
+        assert "stack samples" in err
+
+    def test_other_suffix_writes_folded_stacks(self, tmp_path, capsys, busy_thread):
+        path = tmp_path / "profile.folded"
+        with profile_to_file(str(path), interval=0.001):
+            time.sleep(0.1)
+        text = path.read_text()
+        for line in text.strip().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert ";" in stack or stack  # root-first folded frames
+            assert int(count) >= 1
+        capsys.readouterr()
+
+    def test_default_interval_is_sane(self):
+        assert 0.0005 <= DEFAULT_INTERVAL_SECONDS <= 0.1

@@ -239,3 +239,81 @@ class TestCli:
         capsys.readouterr()
         payload = json.loads(trace_path.read_text())
         assert any(span["name"] == "receipt" for span in payload["spans"])
+
+    def test_decompose_profile_out_writes_a_profile(self, tmp_path, capsys):
+        profile_path = tmp_path / "decompose.json"
+        code = main(["decompose", "--dataset", "it", "--scale", "0.1",
+                     "--seed", "1", "--profile-out", str(profile_path),
+                     "--profile-interval-ms", "1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        summary = json.loads(captured.out)
+        assert summary["algorithm"] == "RECEIPT"
+        assert "profile written to" in captured.err
+        payload = json.loads(profile_path.read_text())
+        assert payload["profile"] == "sampling"
+        assert payload["interval_seconds"] == pytest.approx(0.001)
+
+    def test_decompose_profile_out_folded_text(self, tmp_path, capsys):
+        profile_path = tmp_path / "decompose.folded"
+        code = main(["decompose", "--dataset", "it", "--scale", "0.1",
+                     "--seed", "1", "--profile-out", str(profile_path),
+                     "--profile-interval-ms", "1"])
+        assert code == 0
+        capsys.readouterr()
+        text = profile_path.read_text()
+        for line in text.strip().splitlines():
+            _stack, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+
+    def test_compare_trace_out_covers_both_runs(self, tmp_path, capsys):
+        trace_path = tmp_path / "compare.json"
+        code = main(["compare", "--dataset", "it", "--scale", "0.05",
+                     "--seed", "1", "--first", "receipt", "--second", "bup",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(trace_path.read_text())
+        roots = [span["name"] for span in payload["spans"]
+                 if span["parent"] is None]
+        # One trace, two algorithm roots: the comparison itself is traced.
+        assert "receipt" in roots and "bup" in roots
+
+    def test_update_trace_out_records_streaming_phases(self, tmp_path, capsys):
+        artifact = tmp_path / "upd.tipidx"
+        assert main(["build-index", "--dataset", "it", "--scale", "0.05",
+                     "--seed", "1", "--output", str(artifact)]) == 0
+        trace_path = tmp_path / "update.json"
+        code = main(["update", str(artifact), "--delete", "0:1",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        capsys.readouterr()
+        payload = json.loads(trace_path.read_text())
+        names = {span["name"] for span in payload["spans"]}
+        assert "streaming.update" in names
+
+        # trace-summary surfaces the streaming repair phases, not just the
+        # decomposition's CD/FD split.
+        code = main(["trace-summary", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming.update" in out
+        assert "phase breakdown" in out
+
+    def test_trace_summary_dedupes_repeated_roots(self, tmp_path, capsys):
+        # A serve-session trace holds one root per applied batch; the
+        # summary folds them into "name ×N" instead of an endless list.
+        from repro.obs.report import write_trace
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("streaming.update"):
+                with tracer.span("streaming.support_delta"):
+                    pass
+        path = tmp_path / "serve.json"
+        write_trace(tracer, str(path))
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "streaming.update ×3" in out
+        assert "streaming.support_delta" in out

@@ -1,0 +1,203 @@
+"""SLO monitor: objective validation, burn-rate windows, escalation logging."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.obs.slo import DEFAULT_OBJECTIVES, Objective, SloMonitor
+
+
+@pytest.fixture(autouse=True)
+def _propagating_repro_logger():
+    """Let SLO log records reach caplog even if a CLI test configured the
+    repro logger (configure_logging sets propagate=False)."""
+    logger = logging.getLogger("repro")
+    previous = logger.propagate
+    logger.propagate = True
+    yield
+    logger.propagate = previous
+
+
+class FakeCounters:
+    """Mutable cumulative counters standing in for the service instruments."""
+
+    def __init__(self):
+        self.good = 0
+        self.total = 0
+        self.errors = 0
+        self.staleness = None
+
+    def latency(self, threshold_seconds):
+        return self.good, self.total
+
+    def availability(self):
+        return self.errors, self.total
+
+    def worst_staleness(self):
+        return self.staleness
+
+
+def make_monitor(objectives):
+    counters = FakeCounters()
+    monitor = SloMonitor(
+        latency_source=counters.latency,
+        availability_source=counters.availability,
+        staleness_source=counters.worst_staleness,
+        objectives=objectives,
+    )
+    return counters, monitor
+
+
+LATENCY = Objective(name="lat", kind="latency", description="p99 under 250 ms",
+                    target=0.9, window_seconds=10.0, threshold_seconds=0.25)
+AVAILABILITY = Objective(name="avail", kind="availability",
+                         description="99% non-5xx", target=0.99,
+                         window_seconds=10.0)
+STALENESS = Objective(name="stale", kind="staleness",
+                      description="fresh within 200 s",
+                      threshold_seconds=200.0)
+
+
+class TestObjective:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown objective kind"):
+            Objective(name="x", kind="throughput", description="")
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold_seconds"):
+            Objective(name="x", kind="latency", description="")
+
+    def test_target_must_be_a_proportion(self):
+        with pytest.raises(ValueError, match="target"):
+            Objective(name="x", kind="availability", description="", target=1.5)
+
+    def test_to_dict_round_trips_the_promise(self):
+        entry = LATENCY.to_dict()
+        assert entry["name"] == "lat" and entry["kind"] == "latency"
+        assert entry["target"] == 0.9 and entry["threshold_seconds"] == 0.25
+
+    def test_default_objectives_cover_all_kinds(self):
+        kinds = {objective.kind for objective in DEFAULT_OBJECTIVES}
+        assert kinds == {"latency", "availability", "staleness"}
+
+
+class TestWindowedEvaluation:
+    def test_no_traffic_is_no_data_not_breach(self):
+        _, monitor = make_monitor((AVAILABILITY,))
+        payload = monitor.evaluate(now=0.0)
+        assert payload["status"] == "ok"
+        entry = payload["objectives"][0]
+        assert entry["state"] == "no_data"
+        assert entry["burn_rate"] == 0.0
+        assert not monitor.degraded()
+
+    def test_error_rate_within_budget_is_ok(self):
+        counters, monitor = make_monitor((AVAILABILITY,))
+        counters.total, counters.errors = 1000, 5  # 0.5% < 1% budget
+        payload = monitor.evaluate(now=0.0)
+        entry = payload["objectives"][0]
+        assert entry["state"] == "ok"
+        assert entry["burn_rate"] == pytest.approx(0.5)
+        assert entry["compliance"] == pytest.approx(0.995)
+        assert entry["window_requests"] == 1000
+
+    def test_burn_above_one_degrades(self):
+        counters, monitor = make_monitor((AVAILABILITY,))
+        counters.total, counters.errors = 100, 5  # 5% error vs 1% budget
+        payload = monitor.evaluate(now=0.0)
+        assert payload["status"] == "degraded"
+        assert payload["objectives"][0]["burn_rate"] == pytest.approx(5.0)
+        assert monitor.degraded()
+
+    def test_latency_objective_counts_slow_requests(self):
+        counters, monitor = make_monitor((LATENCY,))
+        counters.good, counters.total = 70, 100  # 30% slow vs 10% budget
+        entry = monitor.evaluate(now=0.0)["objectives"][0]
+        assert entry["state"] == "breached"
+        assert entry["burn_rate"] == pytest.approx(3.0)
+        assert entry["window_errors"] == 30
+
+    def test_window_differences_cumulative_counters(self):
+        # An early error burst must age out of the rolling window instead
+        # of tainting the burn rate forever.
+        counters, monitor = make_monitor((AVAILABILITY,))
+        counters.total, counters.errors = 100, 50
+        assert monitor.evaluate(now=0.0)["status"] == "degraded"
+        # 30 s later (window is 10 s) the errors stopped and healthy
+        # traffic flowed: the delta vs the >= window-old baseline is clean.
+        counters.total, counters.errors = 1100, 50
+        payload = monitor.evaluate(now=30.0)
+        entry = payload["objectives"][0]
+        assert entry["state"] == "ok"
+        assert entry["burn_rate"] == 0.0
+        assert entry["window_errors"] == 0
+        assert payload["status"] == "ok"
+
+    def test_young_process_uses_oldest_snapshot(self):
+        counters, monitor = make_monitor((AVAILABILITY,))
+        counters.total = 10
+        monitor.evaluate(now=0.0)
+        counters.total, counters.errors = 110, 4  # 4 errors in 100 new reqs
+        entry = monitor.evaluate(now=2.0)["objectives"][0]
+        assert entry["window_requests"] == 100
+        assert entry["window_errors"] == 4
+        assert entry["state"] == "breached"  # 4% > 1% budget
+
+
+class TestStaleness:
+    def test_fresh_artifact_is_ok(self):
+        counters, monitor = make_monitor((STALENESS,))
+        counters.staleness = 100.0
+        entry = monitor.evaluate(now=0.0)["objectives"][0]
+        assert entry["state"] == "ok"
+        assert entry["burn_rate"] == pytest.approx(0.5)
+        assert entry["staleness_seconds"] == 100.0
+
+    def test_stale_artifact_breaches(self):
+        counters, monitor = make_monitor((STALENESS,))
+        counters.staleness = 500.0
+        payload = monitor.evaluate(now=0.0)
+        assert payload["status"] == "degraded"
+        assert payload["objectives"][0]["burn_rate"] == pytest.approx(2.5)
+
+    def test_unknown_staleness_is_no_data(self):
+        _, monitor = make_monitor((STALENESS,))
+        entry = monitor.evaluate(now=0.0)["objectives"][0]
+        assert entry["state"] == "no_data"
+        assert entry["staleness_seconds"] is None
+
+
+class TestEscalation:
+    def test_breach_logs_warning_once_and_recovery_logs_info(self, caplog):
+        counters, monitor = make_monitor((AVAILABILITY,))
+        with caplog.at_level(logging.INFO, logger="repro.obs.slo"):
+            counters.total, counters.errors = 100, 10
+            monitor.evaluate(now=0.0)
+            counters.total, counters.errors = 200, 20
+            monitor.evaluate(now=1.0)  # still breached: no second warning
+            counters.total, counters.errors = 2200, 20
+            monitor.evaluate(now=30.0)  # recovered
+        warnings = [r for r in caplog.records if r.levelno == logging.WARNING]
+        infos = [r for r in caplog.records if r.levelno == logging.INFO]
+        assert len(warnings) == 1
+        assert "SLO breached: avail" in warnings[0].getMessage()
+        assert any("SLO recovered: avail" in r.getMessage() for r in infos)
+
+    def test_burn_rates_reflect_last_evaluation(self):
+        counters, monitor = make_monitor((AVAILABILITY, STALENESS))
+        # Before any evaluation: everything nominally ok at burn 0.
+        assert monitor.burn_rates() == {"avail": (0.0, True), "stale": (0.0, True)}
+        counters.total, counters.errors = 100, 10
+        counters.staleness = 50.0
+        monitor.evaluate(now=0.0)
+        rates = monitor.burn_rates()
+        assert rates["avail"] == (10.0, False)
+        assert rates["stale"] == (pytest.approx(0.25), True)
+
+    def test_last_payload_is_stored(self):
+        counters, monitor = make_monitor((AVAILABILITY,))
+        assert monitor.last_payload is None
+        payload = monitor.evaluate(now=0.0)
+        assert monitor.last_payload is payload

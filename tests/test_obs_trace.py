@@ -118,6 +118,73 @@ class TestMerge:
         NOOP_TRACER.add_spans(worker.export(), parent=None)
         assert NOOP_TRACER.export() == []
 
+    def test_empty_worker_export_is_a_noop(self):
+        # A worker whose subset peeled zero vertices exports no spans; the
+        # merge must neither fail nor leave partial state behind.
+        parent = Tracer()
+        with parent.span("fd") as fd_span:
+            parent.add_spans([], parent=fd_span)
+        exported = parent.export()
+        assert [span["name"] for span in exported] == ["fd"]
+
+    def test_orphan_roots_with_dead_parent_id_reattach(self):
+        # A worker export can carry spans whose parent id references a span
+        # that did not travel (dropped, filtered, or from an earlier batch).
+        # Those orphans must attach to the given parent, not keep a dangling
+        # id from another process's id space.
+        parent = Tracer()
+        dead_parent_id = 999_999
+        orphans = [
+            {"name": "fd.peel_subset", "id": 1, "parent": dead_parent_id,
+             "start": 0.0, "dur": 0.01, "tid": 1, "pid": 42, "attrs": {},
+             "start_unix": parent._wall0 + 0.001},
+            {"name": "child", "id": 2, "parent": 1,
+             "start": 0.0, "dur": 0.005, "tid": 1, "pid": 42, "attrs": {},
+             "start_unix": parent._wall0 + 0.002},
+        ]
+        with parent.span("fd") as fd_span:
+            parent.add_spans(orphans, parent=fd_span)
+        grouped = _by_name(parent.export())
+        subset = grouped["fd.peel_subset"][0]
+        assert subset["parent"] == fd_span.span_id
+        # The intact intra-export link was remapped, not rerooted.
+        assert grouped["child"][0]["parent"] == subset["id"]
+        # Imported ids were re-issued from this process's id source.
+        assert subset["id"] != 1
+
+    def test_add_spans_without_parent_leaves_roots(self):
+        worker = Tracer()
+        with worker.span("orphan"):
+            pass
+        parent = Tracer()
+        parent.add_spans(worker.export(), parent=None)
+        exported = parent.export()
+        assert exported[0]["name"] == "orphan"
+        assert exported[0]["parent"] is None
+
+    def test_wall_anchor_before_parent_trace_start_clamps_to_zero(self):
+        # Clock skew (or a worker that started before the parent tracer)
+        # can anchor an imported span before the parent's wall-clock zero;
+        # re-basing must clamp to the timeline origin, never go negative.
+        parent = Tracer()
+        early = [{"name": "skewed", "id": 7, "parent": None,
+                  "start": 0.0, "dur": 0.002, "tid": 1, "pid": 42, "attrs": {},
+                  "start_unix": parent._wall0 - 5.0}]
+        parent.add_spans(early, parent=None)
+        span = parent.export()[0]
+        assert span["start"] == 0.0
+        assert span["dur"] == 0.002
+
+    def test_add_spans_does_not_mutate_the_input(self):
+        parent = Tracer()
+        source = [{"name": "x", "id": 3, "parent": None, "start": 1.0,
+                   "dur": 0.1, "tid": 1, "pid": 42, "attrs": {},
+                   "start_unix": parent._wall0 + 0.5}]
+        snapshot = [dict(span) for span in source]
+        with parent.span("root") as root:
+            parent.add_spans(source, parent=root)
+        assert source == snapshot  # caller's dicts untouched (workers reuse them)
+
 
 class TestReceiptTracing:
     @pytest.fixture(scope="class")
