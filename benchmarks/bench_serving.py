@@ -27,14 +27,22 @@ a full decomposition.  This benchmark quantifies that claim end-to-end:
    point-θ QPS, unpipelined p50/p99 latency, NDJSON bulk throughput, and
    read latency under mixed read/update load (admission-controlled
    writes racing coalesced reads).
+6. **Sharding + replication** — asserts the θ-range ``ShardRouter``
+   answers byte-identically to the unsharded service at every shard
+   count (offline, threaded, and async), measures batch-θ throughput
+   per shard count, gates 1-shard scatter/gather at parity with the
+   unsharded path, and runs a leader + follower topology reporting
+   replication convergence (offsets, lag reaching 0, read identity).
 
 Results go to ``BENCH_serving.json`` at the repository root.
-``--check-speedup`` gates two things: warm-cache batch-θ throughput is
-at least 10x the re-peel path (the serving layer's reason to exist), and
+``--check-speedup`` gates three things: warm-cache batch-θ throughput is
+at least 10x the re-peel path (the serving layer's reason to exist),
 async pipelined point-θ QPS is at least 10x the threaded per-connection
-baseline (the async front end's reason to exist).  Unlike wall-clock
-scaling gates both hold on any hardware, single-core CI runners
-included.
+baseline (the async front end's reason to exist), and 1-shard
+scatter/gather batch-θ throughput is at least parity (0.75x) with the
+unsharded index (sharding must not tax the degenerate deployment).
+Unlike wall-clock scaling gates all three hold on any hardware,
+single-core CI runners included.
 
 Dataset generation honours ``REPRO_DATASET_CACHE`` (see
 ``repro.datasets.registry``).
@@ -81,6 +89,10 @@ SPEEDUP_GATE = 10.0
 #: Required point-QPS advantage of the async pipelined transport over the
 #: threaded per-connection baseline.
 ASYNC_GATE = 10.0
+
+#: Required 1-shard scatter/gather batch-θ throughput relative to the
+#: unsharded index (the 1-shard fast path must cost ~nothing).
+SHARDING_PARITY_GATE = 0.75
 
 #: Routes whose (status, body) must be byte-identical across offline,
 #: threaded, and async serving.  /stats is excluded: its request counters
@@ -503,6 +515,141 @@ def main(argv=None) -> int:
         finally:
             handle.stop()
 
+        # -- 6: sharded scatter/gather + replication --------------------
+        import shutil
+
+        from repro.service.replication import ReplicationCoordinator
+        from repro.service.sharding import ShardRouter
+
+        shard_counts = (1, 2, 4)
+        shard_identity_routes = IDENTITY_ROUTES + (
+            "/top-k?k=5", f"/k-tip?k={k_mid}&limit=16")
+
+        # Identity gate, offline: every shard count answers byte-identically.
+        shard_services = {n: TipService([artifact_path], shards=n)
+                          for n in shard_counts}
+        for n, sharded_service in shard_services.items():
+            for route in shard_identity_routes:
+                unsharded = _offline_bytes(offline_service, route)
+                sharded = _offline_bytes(sharded_service, route)
+                if unsharded != sharded:
+                    print(f"FAIL: {n}-shard router disagrees on {route}:\n"
+                          f"  unsharded {unsharded}\n"
+                          f"  sharded   {sharded}", file=sys.stderr)
+                    return 1
+
+        # Identity gate, served: one sharded service behind both transports.
+        shard_http = create_server([], service=shard_services[2], port=0)
+        threading.Thread(target=shard_http.serve_forever, daemon=True).start()
+        shard_async = start_server_thread([], service=shard_services[2])
+        try:
+            shard_base = (f"http://{shard_http.server_address[0]}:"
+                          f"{shard_http.server_address[1]}")
+            for route in shard_identity_routes:
+                unsharded = _offline_bytes(offline_service, route)
+                threaded_answer = _http_get_bytes(shard_base, route)
+                async_answer = _http_get_bytes(shard_async.base_url, route)
+                if not (unsharded == threaded_answer == async_answer):
+                    print(f"FAIL: sharded transports disagree on {route}:\n"
+                          f"  offline  {unsharded}\n"
+                          f"  threaded {threaded_answer}\n"
+                          f"  async    {async_answer}", file=sys.stderr)
+                    return 1
+        finally:
+            shard_async.stop()
+            shard_http.shutdown()
+            shard_http.server_close()
+        print(f"sharding: {len(shard_identity_routes)} routes byte-identical "
+              f"at shard counts {list(shard_counts)} across "
+              f"offline/threaded/async")
+
+        # Throughput scaling: batch-θ per shard count vs the raw index.
+        _, unsharded_seconds = _timed(
+            lambda: [index.theta_batch(batch) for batch in batches])
+        unsharded_batch_per_sec = (
+            batch_requests * batch_size) / max(unsharded_seconds, 1e-9)
+        shard_batch_per_sec = {}
+        for n in shard_counts:
+            router = ShardRouter.from_index(index, n)
+            _, sharded_seconds = _timed(
+                lambda: [router.theta_batch(batch) for batch in batches])
+            shard_batch_per_sec[n] = (
+                batch_requests * batch_size) / max(sharded_seconds, 1e-9)
+        one_shard_parity = shard_batch_per_sec[1] / max(unsharded_batch_per_sec, 1e-9)
+        scaling = " | ".join(
+            f"{n} shard(s) {qps:,.0f} θ/s"
+            for n, qps in shard_batch_per_sec.items())
+        print(f"sharding: unsharded {unsharded_batch_per_sec:,.0f} θ/s | "
+              f"{scaling} -> 1-shard parity {one_shard_parity:.2f}x")
+
+        # Replication: leader + follower convergence on artifact copies.
+        leader_path = Path(workdir) / "leader.tipidx"
+        follower_path = Path(workdir) / "follower.tipidx"
+        shutil.copytree(artifact_path, leader_path)
+        shutil.copytree(artifact_path, follower_path)
+        follower_service = TipService([follower_path])
+        follower_http = create_server([], service=follower_service, port=0)
+        threading.Thread(
+            target=follower_http.serve_forever, daemon=True).start()
+        follower_url = (f"http://{follower_http.server_address[0]}:"
+                        f"{follower_http.server_address[1]}")
+        leader_service = TipService([leader_path])
+        leader_coord = ReplicationCoordinator(
+            leader_service, role="leader", follower_urls=(follower_url,))
+        leader_coord.start()
+        leader_http = create_server([], service=leader_service, port=0)
+        threading.Thread(target=leader_http.serve_forever, daemon=True).start()
+        leader_url = (f"http://{leader_http.server_address[0]}:"
+                      f"{leader_http.server_address[1]}")
+        follower_coord = ReplicationCoordinator(
+            follower_service, role="follower", leader_url=leader_url,
+            poll_interval=0.2)
+        follower_coord.start()
+        try:
+            repl_rounds = 2
+            repl_start = time.perf_counter()
+            for _ in range(repl_rounds):
+                for body in ({"insert": delta}, {"delete": delta}):
+                    _http_post(leader_url, "/update", body)
+            updates_applied = 2 * repl_rounds
+            deadline = time.time() + 60
+            max_lag = 0
+            while True:
+                _, status_payload, _ = _http_get(
+                    follower_url, "/replication/status")
+                max_lag = max(max_lag, int(status_payload["lag"]))
+                if (status_payload["lag"] == 0
+                        and status_payload["offset"] == updates_applied):
+                    break
+                if time.time() > deadline:
+                    print(f"FAIL: follower never converged: {status_payload}",
+                          file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+            convergence_seconds = time.perf_counter() - repl_start
+            probe_route = "/theta/batch?vertices=" + ",".join(
+                str(int(v)) for v in rng.integers(0, graph.n_u, size=64))
+            reads_identical = (_http_get_bytes(leader_url, probe_route)
+                               == _http_get_bytes(follower_url, probe_route))
+            if not reads_identical:
+                print("FAIL: follower reads differ from the leader after "
+                      "convergence", file=sys.stderr)
+                return 1
+            staleness = status_payload.get("staleness_seconds")
+            print(f"replication: {updates_applied} updates fanned out, "
+                  f"follower at offset {status_payload['offset']} lag 0 "
+                  f"after {convergence_seconds:.2f}s "
+                  f"(max observed lag {max_lag}, staleness "
+                  f"{staleness if staleness is None else round(staleness, 2)}s)")
+        finally:
+            leader_coord.stop()
+            follower_coord.stop()
+            leader_http.shutdown()
+            leader_http.server_close()
+            follower_http.shutdown()
+            follower_http.server_close()
+
+        manifest_now = read_manifest(artifact_path)
         report = {
             "benchmark": "serving",
             "mode": "quick" if args.quick else "full",
@@ -512,7 +659,12 @@ def main(argv=None) -> int:
             "graph": {"n_u": graph.n_u, "n_v": graph.n_v, "n_edges": graph.n_edges},
             "artifact": {
                 "bytes": artifact_bytes,
-                "fingerprint": read_manifest(artifact_path).fingerprint,
+                "fingerprint": manifest_now.fingerprint,
+                # Content identity, matching /stats and bench-history: the
+                # streaming base fingerprint when present, else the manifest.
+                "base_fingerprint": str(
+                    manifest_now.streaming.get("base_fingerprint")
+                    or manifest_now.fingerprint),
                 "build_seconds": round(build_seconds, 4),
             },
             "load": {
@@ -557,10 +709,33 @@ def main(argv=None) -> int:
                 "coalescer": coalescer_metrics,
                 "admission": admission_metrics,
             },
+            "sharding": {
+                "shard_counts": list(shard_counts),
+                "identity_routes_checked": len(shard_identity_routes),
+                "transports_checked": ["offline", "thread", "async"],
+                "unsharded_batch_lookups_per_sec": round(
+                    unsharded_batch_per_sec, 1),
+                "batch_lookups_per_sec": {
+                    str(n): round(qps, 1)
+                    for n, qps in shard_batch_per_sec.items()},
+                "one_shard_parity": round(one_shard_parity, 3),
+            },
+            "replication": {
+                "updates_applied": updates_applied,
+                "final_offset": int(status_payload["offset"]),
+                "max_observed_lag": max_lag,
+                "convergence_seconds": round(convergence_seconds, 3),
+                "follower_reads_identical": bool(reads_identical),
+                "staleness_seconds": (
+                    None if staleness is None else round(float(staleness), 3)),
+            },
             "speedup_gate": SPEEDUP_GATE,
             "speedup_gate_passed": bool(speedup >= SPEEDUP_GATE),
             "async_gate": ASYNC_GATE,
             "async_gate_passed": bool(async_speedup >= ASYNC_GATE),
+            "sharding_parity_gate": SHARDING_PARITY_GATE,
+            "sharding_parity_gate_passed": bool(
+                one_shard_parity >= SHARDING_PARITY_GATE),
         }
 
     output = Path(args.output)
@@ -579,6 +754,13 @@ def main(argv=None) -> int:
         return 1
     print(f"OK: async pipelined point-θ QPS is {async_speedup:,.1f}x the "
           f"threaded baseline (gate: {ASYNC_GATE:.0f}x)")
+    if args.check_speedup and one_shard_parity < SHARDING_PARITY_GATE:
+        print(f"FAIL: 1-shard scatter/gather batch-θ throughput is only "
+              f"{one_shard_parity:.2f}x the unsharded index "
+              f"(gate: {SHARDING_PARITY_GATE:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"OK: 1-shard scatter/gather is {one_shard_parity:.2f}x the "
+          f"unsharded index (gate: {SHARDING_PARITY_GATE:.2f}x)")
     return 0
 
 

@@ -20,7 +20,14 @@ Sub-commands:
   the asyncio batch-coalescing front end (identical answers, the async
   one batches concurrent point-θ requests into one vectorized lookup
   per event-loop tick and admission-controls updates).  Both transports
-  expose Prometheus metrics on ``GET /metrics``.
+  expose Prometheus metrics on ``GET /metrics``.  ``--shards N`` serves
+  through the scatter/gather :class:`ShardRouter` (bit-identical
+  answers); ``--role leader --follower URL`` / ``--role follower
+  --leader URL`` run the replicated topology where the leader fans
+  validated update batches out to read-only followers.
+* ``shard-plan`` — split a ``*.tipidx`` artifact into per-shard
+  artifacts keyed on disjoint θ ranges (the paper's CD subsets) and
+  write a loadable ``tip-shard-plan`` directory.
 * ``trace-summary`` — phase-time breakdown of a trace file written by
   ``--trace-out`` (available on ``decompose``, ``build-index``,
   ``compare``, ``update`` and ``serve``), mirroring the paper's
@@ -283,10 +290,24 @@ def build_parser() -> argparse.ArgumentParser:
                                     "back to a full re-decomposition")
     _add_trace_argument(update_parser)
 
+    shard_parser = subparsers.add_parser(
+        "shard-plan",
+        help="split a tip-index artifact into per-θ-range shard artifacts")
+    shard_parser.add_argument("artifact", help="path to a *.tipidx artifact directory")
+    shard_parser.add_argument("--shards", type=int, required=True,
+                              help="requested shard count (cuts snap to tip-number "
+                                   "level boundaries, so fewer shards may result)")
+    shard_parser.add_argument("--out", required=True,
+                              help="shard-plan directory to write "
+                                   "(conventionally *.tipshards)")
+    shard_parser.add_argument("--force", action="store_true",
+                              help="replace an existing plan at --out")
+
     serve_parser = subparsers.add_parser(
         "serve", help="serve tip-index artifacts over the JSON HTTP API")
     serve_parser.add_argument("artifacts", nargs="+",
-                              help="one or more *.tipidx artifact directories")
+                              help="one or more *.tipidx artifact directories "
+                                   "(or *.tipshards shard-plan directories)")
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8750,
                               help="TCP port (0 picks a free one)")
@@ -313,6 +334,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="async transport: bounded /update admission "
                                    "queue; overflow answers 503 + Retry-After "
                                    "(default 4)")
+    serve_parser.add_argument("--shards", type=int, default=None,
+                              help="answer queries through an in-memory θ-range "
+                                   "ShardRouter with this many shards "
+                                   "(bit-identical to unsharded serving)")
+    serve_parser.add_argument("--role", default="standalone",
+                              choices=["standalone", "leader", "follower"],
+                              help="replication role: standalone (default, no "
+                                   "replication), leader (applies updates and "
+                                   "fans them out), or follower (read-only "
+                                   "replica applying the leader's log)")
+    serve_parser.add_argument("--leader", default=None, metavar="URL",
+                              help="follower role: base URL of the leader, "
+                                   "e.g. http://127.0.0.1:8750")
+    serve_parser.add_argument("--follower", action="append", default=None,
+                              metavar="URL",
+                              help="leader role: base URL of a follower to push "
+                                   "update records to (repeatable)")
+    serve_parser.add_argument("--replication-log", default=None, metavar="FILE",
+                              help="leader role: replication log path (default: "
+                                   "<artifact>.replog next to the artifact)")
+    serve_parser.add_argument("--poll-interval", type=float, default=1.0,
+                              help="follower role: seconds between catch-up "
+                                   "polls of the leader's log (default 1.0)")
     _add_trace_argument(serve_parser)
 
     trace_parser = subparsers.add_parser(
@@ -532,37 +576,78 @@ def _command_update(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_serve(args: argparse.Namespace) -> int:
-    # --trace-out wraps the whole serving session: spans recorded while
-    # requests are handled (streaming repairs, wing re-peels) land in one
-    # trace written at shutdown (Ctrl-C).
-    with _maybe_trace(args.trace_out):
-        if args.transport == "async":
-            from .service.aserver import serve_async
+def _command_shard_plan(args: argparse.Namespace) -> int:
+    from .service.sharding import write_shard_plan
 
-            serve_async(
+    payload = write_shard_plan(
+        args.artifact, args.out, args.shards, overwrite=args.force)
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # The TipService is built here (rather than inside serve/serve_async)
+    # so a replication coordinator can attach to it before the transport
+    # starts accepting requests; --trace-out wraps the whole serving
+    # session and the trace is written at shutdown (Ctrl-C).
+    from .service.server import TipService
+
+    if args.role == "follower" and not args.leader:
+        raise ReproError("--role follower requires --leader URL")
+    if args.role != "follower" and args.leader:
+        raise ReproError("--leader only applies to --role follower")
+    if args.role != "leader" and args.follower:
+        raise ReproError("--follower only applies to --role leader")
+
+    service = TipService(
+        args.artifacts,
+        cache_capacity=args.cache_capacity,
+        mmap=not args.no_mmap,
+        shards=args.shards,
+    )
+    coordinator = None
+    if args.role != "standalone":
+        from .service.replication import ReplicationCoordinator
+
+        coordinator = ReplicationCoordinator(
+            service,
+            role=args.role,
+            log_path=args.replication_log,
+            leader_url=args.leader,
+            follower_urls=tuple(args.follower or ()),
+            poll_interval=args.poll_interval,
+        )
+        coordinator.start()
+
+    try:
+        with _maybe_trace(args.trace_out):
+            if args.transport == "async":
+                from .service.aserver import serve_async
+
+                serve_async(
+                    args.artifacts,
+                    host=args.host,
+                    port=args.port,
+                    quiet=False,
+                    max_batch=args.coalesce_max_batch,
+                    max_delay=args.coalesce_max_delay_ms / 1000.0,
+                    max_pending_updates=args.max_pending_updates,
+                    service=service,
+                )
+                return 0
+            from .service.server import serve
+
+            serve(
                 args.artifacts,
                 host=args.host,
                 port=args.port,
-                cache_capacity=args.cache_capacity,
-                mmap=not args.no_mmap,
                 quiet=False,
-                max_batch=args.coalesce_max_batch,
-                max_delay=args.coalesce_max_delay_ms / 1000.0,
-                max_pending_updates=args.max_pending_updates,
+                service=service,
             )
-            return 0
-        from .service.server import serve
-
-        serve(
-            args.artifacts,
-            host=args.host,
-            port=args.port,
-            cache_capacity=args.cache_capacity,
-            mmap=not args.no_mmap,
-            quiet=False,
-        )
-    return 0
+        return 0
+    finally:
+        if coordinator is not None:
+            coordinator.stop()
 
 
 def _command_bench_history(args: argparse.Namespace) -> int:
@@ -599,17 +684,24 @@ def _command_bench_history(args: argparse.Namespace) -> int:
             print(f"bench-history: no history at {history_path}")
             return 0
         seen: dict = {}
+        fingerprints: dict = {}
         for record in history:
+            run_key = (record["benchmark"], record.get("mode", ""))
+            # Same field name as /stats: base_fingerprint identifies the
+            # artifact content a run measured (older rows may lack it).
+            if record.get("base_fingerprint"):
+                fingerprints[run_key] = str(record["base_fingerprint"])
             for metric, value in record.get("metrics", {}).items():
-                key = (record["benchmark"], record.get("mode", ""), metric)
-                seen.setdefault(key, []).append(float(value))
+                seen.setdefault(run_key + (metric,), []).append(float(value))
         print(f"bench-history: {len(history)} run(s) in {history_path}")
         for (benchmark, mode, metric), values in sorted(seen.items()):
             baseline = baseline_for(history, benchmark, mode, metric, window=window)
             trail = " ".join(f"{value:.4g}" for value in values[-window:])
+            fingerprint = fingerprints.get((benchmark, mode))
+            suffix = f" base_fingerprint={fingerprint[:12]}" if fingerprint else ""
             print(f"  {benchmark}/{mode} {metric}: latest={values[-1]:.4g} "
                   f"baseline(median of {min(len(values), window)})={baseline:.4g} "
-                  f"[{trail}]")
+                  f"[{trail}]{suffix}")
         return 0
 
     if not bench_files:
@@ -677,6 +769,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _command_query(args)
         if args.command == "update":
             return _command_update(args)
+        if args.command == "shard-plan":
+            return _command_shard_plan(args)
         if args.command == "serve":
             return _command_serve(args)
         if args.command == "trace-summary":

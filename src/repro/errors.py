@@ -20,6 +20,7 @@ __all__ = [
     "StreamingError",
     "ServiceError",
     "ServiceOverloadedError",
+    "ReplicationError",
 ]
 
 
@@ -96,6 +97,17 @@ class StreamingError(ReproError):
     does not, out-of-range vertex ids, or the same edge appearing twice in
     one batch.  Validation happens before any state is touched, so a failed
     batch leaves the graph and the served index unchanged.
+    """
+
+
+class ReplicationError(ReproError):
+    """Raised when the leader/follower replication chain cannot advance.
+
+    Typical causes: the leader is unreachable, the on-disk replication log
+    is corrupt or no longer matches the artifact it chains over, or a
+    replica's state fingerprint disagrees with the log (divergence).  A
+    diverged follower stops applying records — serving a stale prefix is
+    acceptable, silently serving *wrong* tip numbers is not.
     """
 
 

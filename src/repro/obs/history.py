@@ -104,6 +104,7 @@ METRIC_SPECS: Dict[str, Tuple[MetricSpec, ...]] = {
     "serving": (
         MetricSpec("offline.warm_batch_speedup_vs_repeel", "higher", 0.60, abs_floor=50.0),
         MetricSpec("async.speedup_vs_threaded_point", "higher", 0.60, abs_floor=3.0),
+        MetricSpec("sharding.one_shard_parity", "higher", 0.60, abs_floor=0.3),
     ),
     "streaming": (
         MetricSpec("session_stream.mean_speedup", "higher", 0.60, abs_floor=2.0),
@@ -142,13 +143,22 @@ def record_from_bench(
             metrics[spec.key] = value
     if not metrics:
         return None
-    return {
+    record = {
         "recorded_unix": float(recorded_unix),
         "benchmark": str(benchmark),
         "mode": str(payload.get("mode", "")),
         "source": str(source),
         "metrics": metrics,
     }
+    # The field is named base_fingerprint everywhere (it identifies the
+    # *content* a run was measured against, matching /stats); older bench
+    # payloads that only carry artifact.fingerprint are accepted as-is.
+    artifact = payload.get("artifact")
+    if isinstance(artifact, dict):
+        fingerprint = artifact.get("base_fingerprint") or artifact.get("fingerprint")
+        if fingerprint:
+            record["base_fingerprint"] = str(fingerprint)
+    return record
 
 
 def load_history(path: str | Path) -> List[Dict[str, Any]]:

@@ -146,6 +146,10 @@ class SloMonitor:
         self._latency_source = latency_source
         self._availability_source = availability_source
         self._staleness_source = staleness_source
+        # Per-objective staleness overrides (see add_objective): lets a
+        # later subsystem (e.g. replication) contribute its own staleness
+        # signal without re-pointing the shared default source.
+        self._staleness_overrides: Dict[str, Callable[[], Optional[float]]] = {}
         self._lock = threading.Lock()
         # name -> deque[(monotonic_time, bad_cumulative, total_cumulative)]
         self._snapshots: Dict[str, Deque[Tuple[float, int, int]]] = {
@@ -199,8 +203,31 @@ class SloMonitor:
             "window_errors": int(d_bad),
         }
 
+    def add_objective(
+        self,
+        objective: Objective,
+        *,
+        staleness_source: Optional[Callable[[], Optional[float]]] = None,
+    ) -> None:
+        """Register one more objective after construction.
+
+        Used by subsystems that attach to a running service (the
+        replication coordinator adds its follower-staleness promise this
+        way).  A ``staleness_source`` override scopes the staleness signal
+        to this objective; windowed kinds keep using the shared sources.
+        """
+        with self._lock:
+            if any(existing.name == objective.name for existing in self.objectives):
+                raise ValueError(f"objective {objective.name!r} already registered")
+            self.objectives = self.objectives + (objective,)
+            self._snapshots[objective.name] = deque(maxlen=_MAX_SNAPSHOTS)
+            self._breached[objective.name] = False
+            if staleness_source is not None:
+                self._staleness_overrides[objective.name] = staleness_source
+
     def _evaluate_staleness(self, objective: Objective) -> Dict[str, Any]:
-        staleness = self._staleness_source()
+        source = self._staleness_overrides.get(objective.name, self._staleness_source)
+        staleness = source()
         if staleness is None:
             return {"state": "no_data", "burn_rate": 0.0, "compliance": None,
                     "staleness_seconds": None}

@@ -119,6 +119,7 @@ class ArtifactManifest:
     fingerprint: str = ""
 
     def as_dict(self) -> dict:
+        """Manifest as the JSON-serialisable dict written to disk."""
         return {
             "format_version": self.format_version,
             "kind": self.kind,
@@ -135,6 +136,7 @@ class ArtifactManifest:
 
     @classmethod
     def from_dict(cls, payload: dict, *, source: str = "") -> "ArtifactManifest":
+        """Parse and validate a manifest dict read from ``manifest.json``."""
         try:
             manifest = cls(
                 format_version=int(payload["format_version"]),

@@ -32,7 +32,11 @@ Routing stays :meth:`~repro.service.server.TipService.handle` (the θ fast
 path goes through its vectorized twin
 :meth:`~repro.service.server.TipService.theta_payloads`), so offline,
 threaded, and async answers are byte-for-byte identical — the serving
-benchmark asserts exactly that.
+benchmark asserts exactly that.  That fall-through also covers the
+sharded query surface and the replication plane for free; the one
+blocking replication route (``POST /replication/apply`` replays a
+streaming repair) hops to the default executor so the event loop keeps
+serving reads while a follower catches up.
 """
 
 from __future__ import annotations
@@ -106,11 +110,13 @@ class AsyncTipServer:
         max_pending_updates: int = 4,
         retry_after_seconds: float = 1.0,
         stats_cache_seconds: float = 0.05,
+        shards: int | None = None,
         quiet: bool = True,
     ):
         if service is None:
             service = TipService(
-                artifact_paths or [], cache_capacity=cache_capacity, mmap=mmap)
+                artifact_paths or [], cache_capacity=cache_capacity, mmap=mmap,
+                shards=shards)
         self.service = service
         self.host = host
         self.port = int(port)
@@ -137,17 +143,20 @@ class AsyncTipServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        """Bind the listening socket (``port=0`` picks a free port)."""
         self._stop_event = asyncio.Event()
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port, reuse_address=True)
 
     @property
     def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)``; valid after :meth:`start`."""
         assert self._server is not None, "call start() first"
         name = self._server.sockets[0].getsockname()
         return name[0], name[1]
 
     async def serve_forever(self) -> None:
+        """Block until :meth:`request_stop` is called."""
         assert self._stop_event is not None, "call start() first"
         await self._stop_event.wait()
 
@@ -157,6 +166,7 @@ class AsyncTipServer:
             self._stop_event.set()
 
     async def close(self) -> None:
+        """Stop listening and cancel every open connection task."""
         if self._server is not None:
             self._server.close()
         for task in list(self._conn_tasks):
@@ -395,6 +405,13 @@ class AsyncTipServer:
                     task = asyncio.get_running_loop().create_task(
                         self._update_response(params, parsed_body, close))
                     return task, close
+                if route == "/replication/apply":
+                    # Replaying a record runs a full streaming repair;
+                    # like /debug/profile, it must not block the loop.
+                    parsed_body = parse_post_body(body)
+                    task = asyncio.get_running_loop().create_task(
+                        self._replication_response(params, parsed_body, close))
+                    return task, close
                 content_type = headers.get("content-type", "")
                 if (route == "/theta/batch"
                         and content_type.split(";")[0].strip().lower()
@@ -433,6 +450,22 @@ class AsyncTipServer:
         try:
             payload = await loop.run_in_executor(
                 None, lambda: self.service.handle("/debug/profile", params, None))
+        except ServiceError as error:
+            return self._render_error(error, close=close)
+        except ReproError as error:
+            return self._render(
+                500, _json_bytes(error_payload(error, status=500)), close=close)
+        except Exception as error:
+            return self._render(
+                500, _json_bytes(error_payload(error, status=500)), close=True)
+        return self._render(200, _json_bytes(payload), close=close)
+
+    async def _replication_response(self, params: dict, body: dict, close: bool) -> bytes:
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                None,
+                lambda: self.service.handle("/replication/apply", params, body))
         except ServiceError as error:
             return self._render_error(error, close=close)
         except ReproError as error:
@@ -550,6 +583,8 @@ def serve_async(
     max_batch: int = DEFAULT_MAX_BATCH,
     max_delay: float = 0.0,
     max_pending_updates: int = 4,
+    shards: int | None = None,
+    service: TipService | None = None,
     ready_event: threading.Event | None = None,
 ) -> None:
     """Serve artifacts on the async transport until interrupted.
@@ -558,6 +593,7 @@ def serve_async(
     """
     server = AsyncTipServer(
         artifact_paths,
+        service=service,
         host=host,
         port=port,
         cache_capacity=cache_capacity,
@@ -565,6 +601,7 @@ def serve_async(
         max_batch=max_batch,
         max_delay=max_delay,
         max_pending_updates=max_pending_updates,
+        shards=shards,
         quiet=quiet,
     )
     try:
@@ -584,18 +621,22 @@ class AsyncServerHandle:
 
     @property
     def service(self) -> TipService:
+        """The :class:`TipService` behind the running server."""
         return self.server.service
 
     @property
     def address(self) -> tuple[str, int]:
+        """Bound ``(host, port)`` of the background server."""
         return self.server.address
 
     @property
     def base_url(self) -> str:
+        """``http://host:port`` for plain-URL clients."""
         host, port = self.address
         return f"http://{host}:{port}"
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Stop the server and join its thread."""
         self._loop.call_soon_threadsafe(self.server.request_stop)
         self._thread.join(timeout)
 
@@ -620,7 +661,10 @@ def start_server_thread(
     box: dict = {}
 
     def runner() -> None:
+        """Thread target: own the event loop for the server's lifetime."""
+
         async def main() -> None:
+            """Build, start and run the server inside the thread's loop."""
             server = AsyncTipServer(
                 artifact_paths,
                 service=service,

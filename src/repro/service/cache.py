@@ -52,6 +52,7 @@ class IndexCache:
 
     @property
     def capacity(self) -> int:
+        """Maximum number of indexes kept resident."""
         return self._capacity
 
     def __len__(self) -> int:
@@ -135,6 +136,7 @@ class IndexCache:
             return False
 
     def clear(self) -> None:
+        """Drop every cached index (counters are kept)."""
         with self._lock:
             self._entries.clear()
             self._path_fingerprints.clear()

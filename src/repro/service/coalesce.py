@@ -217,10 +217,12 @@ class UpdateAdmissionController:
             self._completed += 1
 
     def close(self) -> None:
+        """Shut down the single writer thread without draining its queue."""
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     # ------------------------------------------------------------------
     def metrics(self) -> dict:
+        """Admission counters surfaced by ``/stats`` under ``async.admission``."""
         return {
             "max_pending": self.max_pending,
             "retry_after_seconds": self.retry_after_seconds,

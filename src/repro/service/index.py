@@ -148,14 +148,17 @@ class TipIndex:
     # ------------------------------------------------------------------
     @property
     def n_vertices(self) -> int:
+        """Number of vertices on the decomposed side."""
         return int(self.tip_numbers.shape[0])
 
     @property
     def max_tip_number(self) -> int:
+        """Largest tip number in the decomposition (0 when empty)."""
         return int(self._sorted_tips[-1]) if self._sorted_tips.size else 0
 
     @property
     def n_levels(self) -> int:
+        """Number of distinct tip-number levels."""
         return int(self.level_values.shape[0])
 
     # ------------------------------------------------------------------

@@ -1,0 +1,571 @@
+"""Leader/follower replication of the ``POST /update`` stream.
+
+The streaming repair (PR 4) is deterministic and bit-exact, which makes
+replication almost embarrassingly simple: the **leader** is the only
+writer — it applies each validated edge batch locally, appends it to a
+monotone-offset JSONL log, and fans the record out to its followers; a
+**follower** replays the same batches in the same order through the same
+repair code and must land on byte-identical state.  No conflicting-write
+machinery is needed, only ordering — the shape of PrkDB-style single-
+leader replication.
+
+**State fingerprints.**  Artifact *manifest* fingerprints cover wall-clock
+timestamps and timing counters, so two replicas holding identical data
+report different manifest fingerprints.  Replication therefore chains on
+:func:`state_fingerprint` — a SHA-256 over exactly the replicated state
+(graph CSR + side + tip numbers).  Every log record carries the state it
+applies to (``previous_state``) and the state it produces (``state``);
+a follower checks the former before applying and *asserts* the latter
+after — any mismatch means the replicas diverged and the follower stops
+applying rather than silently serving wrong tip numbers.
+
+**Catch-up** needs no special snapshot transfer: a follower seeded from
+any copy of the leader's artifact fingerprints itself into the log chain
+(its state is either the chain base or some record's post-state) and
+replays everything after that point.  Reads on a follower therefore
+always reflect a *prefix* of the leader's applied batches — the PRAM
+property the replication tests assert.
+
+Delivery is push + poll: the leader pushes each record to every follower
+synchronously (best effort; failures are recorded per follower, never
+block the write), and followers poll ``GET /replication/log`` on an
+interval to close any gap a missed push left.  Offsets, lag and staleness
+surface in ``/stats``, ``GET /replication/status`` and the
+``repro_replication_*`` gauges.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ReplicationError, ServiceError
+from ..obs.log import get_logger
+from ..obs.slo import Objective
+
+__all__ = [
+    "ReplicationCoordinator",
+    "ReplicationLog",
+    "state_fingerprint",
+]
+
+_LOG = get_logger("repro.service.replication")
+
+#: Suffix appended to the artifact path for the leader's default log
+#: location.  The log must live *outside* the artifact directory: the
+#: ``/update`` write path replaces that directory wholesale on every
+#: applied batch.
+LOG_SUFFIX = ".replog"
+
+#: Default follower staleness promise (seconds behind the leader before
+#: the ``replication-staleness`` SLO objective burns through its budget).
+DEFAULT_STALENESS_THRESHOLD_SECONDS = 30.0
+
+
+def state_fingerprint(index) -> str:
+    """Deterministic SHA-256 of the replicated state of a loaded index.
+
+    Covers the dual CSR (structure), the decomposed side and the tip
+    numbers — everything replication must keep identical across replicas
+    — and nothing time- or machine-dependent, so leader and follower
+    fingerprints match exactly iff their served answers do.
+    """
+    digest = hashlib.sha256()
+    graph = getattr(index, "graph", None)
+    if graph is not None:
+        digest.update(struct.pack("<qqq", graph.n_u, graph.n_v, graph.n_edges))
+        csr = graph.csr_arrays()
+        for key in ("u_offsets", "u_neighbors", "v_offsets", "v_neighbors"):
+            digest.update(np.ascontiguousarray(csr[key], dtype=np.int64).tobytes())
+    digest.update(str(index.side).encode("utf-8"))
+    digest.update(np.ascontiguousarray(index.tip_numbers, dtype=np.int64).tobytes())
+    return digest.hexdigest()
+
+
+_RECORD_FIELDS = ("offset", "artifact", "insert", "delete",
+                  "previous_state", "state")
+
+
+def _validate_record(record: dict) -> dict:
+    if not isinstance(record, dict):
+        raise ServiceError("replication record must be a JSON object")
+    missing = [key for key in _RECORD_FIELDS if key not in record]
+    if missing:
+        raise ServiceError(
+            f"replication record is missing fields: {', '.join(missing)}")
+    try:
+        record["offset"] = int(record["offset"])
+    except (TypeError, ValueError):
+        raise ServiceError("replication record offset must be an integer") from None
+    if record["offset"] < 1:
+        raise ServiceError(
+            f"replication record offset must be >= 1, got {record['offset']}")
+    return record
+
+
+class ReplicationLog:
+    """Append-only JSONL log of applied update batches, monotone offsets.
+
+    One JSON object per line; offsets are 1-based and assigned at append
+    time.  The file is the leader's durable record: on restart the leader
+    reloads it and refuses to serve if its artifact state no longer
+    matches the chain tip (that means the artifact was modified outside
+    the log — the operator must re-seed or drop the log).
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._records: list[dict] = []
+        if self.path.exists():
+            for line_number, line in enumerate(
+                    self.path.read_text(encoding="utf-8").splitlines(), start=1):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ReplicationError(
+                        f"corrupt replication log {self.path} at line "
+                        f"{line_number}: {exc}") from exc
+                expected = len(self._records) + 1
+                if int(record.get("offset", -1)) != expected:
+                    raise ReplicationError(
+                        f"replication log {self.path} offset gap at line "
+                        f"{line_number}: expected {expected}, got {record.get('offset')}")
+                self._records.append(record)
+
+    @property
+    def last_offset(self) -> int:
+        """Offset of the newest record (0 when the log is empty)."""
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def base_state(self) -> str | None:
+        """State fingerprint the chain starts from (None when empty)."""
+        with self._lock:
+            if not self._records:
+                return None
+            return str(self._records[0]["previous_state"])
+
+    def append(self, record: dict) -> dict:
+        """Assign the next offset, persist the record, return it."""
+        with self._lock:
+            record = dict(record)
+            record["offset"] = len(self._records) + 1
+            line = json.dumps(record, sort_keys=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+            self._records.append(record)
+            return record
+
+    def records_from(self, offset: int, *, limit: int | None = None) -> list[dict]:
+        """Records with offsets >= ``offset`` (1-based), oldest first."""
+        offset = max(1, int(offset))
+        with self._lock:
+            records = self._records[offset - 1:]
+        if limit is not None:
+            records = records[: max(0, int(limit))]
+        return [dict(record) for record in records]
+
+
+def _http_json(url: str, *, payload: dict | None = None, timeout: float) -> dict:
+    """One JSON request/response round trip (POST when a payload is given)."""
+    data = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        data = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(url, data=data, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = ""
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 - best-effort error detail
+            pass
+        raise ReplicationError(
+            f"{url} answered HTTP {exc.code}" + (f": {detail}" if detail else "")
+        ) from None
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as exc:
+        raise ReplicationError(f"cannot reach {url}: {exc}") from None
+
+
+class ReplicationCoordinator:
+    """Role-aware replication driver attached to one :class:`TipService`.
+
+    * ``role="leader"`` — owns the :class:`ReplicationLog`; the service
+      calls :meth:`record_applied` (under its update lock) after every
+      locally applied batch, which appends the record and pushes it to
+      every configured follower URL synchronously, best effort.
+    * ``role="follower"`` — rejects direct ``POST /update`` (HTTP 409),
+      accepts pushed records on ``POST /replication/apply``, and runs a
+      daemon poll thread that pulls missed records from the leader's log.
+      Both paths serialize on one apply lock, verify the fingerprint
+      chain, and assert the repaired state matches the leader's record.
+
+    Replication covers exactly one artifact; when the service serves
+    several, pass ``artifact`` explicitly.
+    """
+
+    def __init__(
+        self,
+        service,
+        *,
+        role: str,
+        artifact: str | None = None,
+        log_path: str | Path | None = None,
+        leader_url: str | None = None,
+        follower_urls: tuple[str, ...] | list[str] = (),
+        poll_interval: float = 1.0,
+        push_timeout: float = 5.0,
+        staleness_threshold_seconds: float = DEFAULT_STALENESS_THRESHOLD_SECONDS,
+    ):
+        if role not in ("leader", "follower"):
+            raise ServiceError(f"replication role must be leader or follower, got {role!r}")
+        if role == "follower" and not leader_url:
+            raise ServiceError("a follower needs the leader's URL (--leader)")
+        self.service = service
+        self.role = role
+        self.poll_interval = float(poll_interval)
+        self.push_timeout = float(push_timeout)
+        self.staleness_threshold_seconds = float(staleness_threshold_seconds)
+        self.leader_url = leader_url.rstrip("/") if leader_url else None
+
+        if artifact is None:
+            names = service.artifact_names
+            if len(names) != 1:
+                raise ServiceError(
+                    "replication covers one artifact; pass artifact=NAME "
+                    f"(serving: {', '.join(names)})")
+            artifact = names[0]
+        elif artifact not in service.artifact_names:
+            raise ServiceError(
+                f"unknown artifact {artifact!r} "
+                f"(serving: {', '.join(service.artifact_names)})", status=404)
+        self.artifact = artifact
+
+        # Current replicated-state fingerprint; maintained incrementally
+        # (each applied record's post-state) after the initial computation.
+        self._state = state_fingerprint(service.base_index_for(artifact))
+        self._apply_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._poll_thread: threading.Thread | None = None
+        self.diverged: str | None = None  # divergence description, once fatal
+
+        if role == "leader":
+            if log_path is None:
+                log_path = Path(str(service.artifact_path(artifact)) + LOG_SUFFIX)
+            self.log = ReplicationLog(log_path)
+            last = self.log.records_from(self.log.last_offset)
+            if last and str(last[0]["state"]) != self._state:
+                raise ReplicationError(
+                    f"replication log {self.log.path} tip (offset "
+                    f"{last[0]['offset']}) does not match the artifact's current "
+                    "state; the artifact changed outside the log — remove the "
+                    "log to start a fresh chain or restore the matching snapshot")
+            self.followers = {
+                url.rstrip("/"): {"acked_offset": 0, "last_push_unix": None,
+                                  "last_error": None}
+                for url in follower_urls
+            }
+        else:
+            self.log = None
+            self.followers = {}
+            # applied_offset is resolved lazily on first contact: the
+            # follower fingerprints its snapshot into the leader's chain.
+            self.applied_offset: int | None = None
+            self._leader_last_offset: int | None = None
+            self._last_contact_unix: float | None = None
+            self._last_synced_unix: float | None = None
+            self.last_error: str | None = None
+
+        service.attach_replication(self)
+
+    # ------------------------------------------------------------------
+    # Shared surface
+    # ------------------------------------------------------------------
+    def objective(self) -> Objective | None:
+        """The follower staleness SLO objective (None on the leader)."""
+        if self.role != "follower":
+            return None
+        return Objective(
+            name="replication-staleness",
+            kind="staleness",
+            description=(
+                "follower replayed the leader's log within "
+                f"{self.staleness_threshold_seconds:g} s"),
+            target=0.999,
+            threshold_seconds=self.staleness_threshold_seconds,
+        )
+
+    def check_writable(self) -> None:
+        """Guard on ``POST /update``: only the leader accepts writes."""
+        if self.role == "follower":
+            raise ServiceError(
+                "this replica is a read-only follower; send updates to the "
+                f"leader at {self.leader_url}", status=409)
+
+    def gauge_values(self) -> tuple[int, int, float | None]:
+        """(offset, lag, staleness_seconds) for the replication gauges."""
+        if self.role == "leader":
+            last = self.log.last_offset
+            lag = max((last - peer["acked_offset"] for peer in self.followers.values()),
+                      default=0)
+            return last, int(lag), 0.0
+        applied = self.applied_offset or 0
+        leader_last = self._leader_last_offset
+        lag = max(0, (leader_last or applied) - applied)
+        return applied, int(lag), self.staleness_seconds()
+
+    def staleness_seconds(self) -> float | None:
+        """Seconds since this follower last verified it matched the leader.
+
+        ``None`` before the first successful sync (the SLO treats that as
+        ``no_data``, not a breach); on the leader, always 0.
+        """
+        if self.role == "leader":
+            return 0.0
+        synced = self._last_synced_unix
+        if synced is None:
+            return None
+        return max(0.0, time.time() - synced)
+
+    def status(self) -> dict:
+        """The ``GET /replication/status`` payload (also embedded in /stats)."""
+        offset, lag, staleness = self.gauge_values()
+        payload = {
+            "role": self.role,
+            "artifact": self.artifact,
+            "offset": offset,
+            "lag": lag,
+            "staleness_seconds": staleness,
+            "state": self._state,
+            "diverged": self.diverged,
+        }
+        if self.role == "leader":
+            payload["followers"] = {
+                url: dict(peer) for url, peer in self.followers.items()}
+            payload["base_state"] = self.log.base_state or self._state
+        else:
+            payload["leader"] = self.leader_url
+            payload["leader_last_offset"] = self._leader_last_offset
+            payload["last_error"] = self.last_error
+        return payload
+
+    # ------------------------------------------------------------------
+    # Leader side
+    # ------------------------------------------------------------------
+    def record_applied(self, artifact: str, body: dict, payload: dict, repaired) -> dict:
+        """Log one locally applied batch and fan it out (leader only).
+
+        Called by the service under its update lock, so records are
+        appended in exactly the order batches were applied.  Push failures
+        are recorded per follower and never fail the update — the poll
+        path delivers the record later.
+        """
+        if self.role != "leader" or artifact != self.artifact:
+            return {}
+        previous_state = self._state
+        new_state = state_fingerprint(repaired)
+        record = {
+            "artifact": artifact,
+            "insert": list(body.get("insert") or []),
+            "delete": list(body.get("delete") or []),
+            "previous_state": previous_state,
+            "state": new_state,
+            "mode": payload.get("mode"),
+            "leader_fingerprint": payload.get("fingerprint"),
+            "applied_unix": time.time(),
+        }
+        if "damage_threshold" in body:
+            record["damage_threshold"] = body["damage_threshold"]
+        record = self.log.append(record)
+        self._state = new_state
+        self._push(record)
+        return record
+
+    def _push(self, record: dict) -> None:
+        for url, peer in self.followers.items():
+            try:
+                response = _http_json(
+                    url + "/replication/apply", payload=record,
+                    timeout=self.push_timeout)
+            except ReplicationError as exc:
+                peer["last_error"] = str(exc)
+                _LOG.warning("replication push to %s failed: %s", url, exc)
+                continue
+            peer["acked_offset"] = int(response.get("offset", peer["acked_offset"]))
+            peer["last_push_unix"] = time.time()
+            peer["last_error"] = None
+
+    def log_payload(self, params: dict) -> dict:
+        """The ``GET /replication/log`` payload (leader only)."""
+        if self.role != "leader":
+            raise ServiceError(
+                "this replica is a follower; fetch the log from the leader at "
+                f"{self.leader_url}", status=409)
+        try:
+            start = int(params.get("from", 1))
+            limit = int(params["limit"]) if "limit" in params else None
+        except (TypeError, ValueError):
+            raise ServiceError("parameters 'from'/'limit' must be integers") from None
+        return {
+            "artifact": self.artifact,
+            "base_state": self.log.base_state or self._state,
+            "last_offset": self.log.last_offset,
+            "from": start,
+            "records": self.log.records_from(start, limit=limit),
+        }
+
+    # ------------------------------------------------------------------
+    # Follower side
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the follower's catch-up poll thread (no-op on the leader)."""
+        if self.role != "follower" or self._poll_thread is not None:
+            return
+        self._poll_thread = threading.Thread(
+            target=self._poll_loop, name="replication-poll", daemon=True)
+        self._poll_thread.start()
+
+    def stop(self) -> None:
+        """Stop the poll thread (if running) and join it."""
+        self._stop.set()
+        if self._poll_thread is not None:
+            self._poll_thread.join(timeout=5.0)
+            self._poll_thread = None
+
+    def _poll_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.sync_once()
+            except ReplicationError as exc:
+                self.last_error = str(exc)
+
+    def handle_push(self, record: dict | None) -> dict:
+        """Apply one pushed record (``POST /replication/apply``)."""
+        if record is None:
+            raise ServiceError(
+                "replication apply requires a POST body with one log record",
+                status=405)
+        if self.role != "follower":
+            raise ServiceError(
+                "this replica is the leader; followers accept pushed records",
+                status=409)
+        record = _validate_record(dict(record))
+        with self._apply_lock:
+            self._ensure_offset_locked()
+            offset = record["offset"]
+            self._leader_last_offset = max(self._leader_last_offset or 0, offset)
+            self._last_contact_unix = time.time()
+            if offset <= self.applied_offset:
+                applied = False  # duplicate delivery; already reflected
+            elif offset == self.applied_offset + 1:
+                self._apply_record_locked(record)
+                applied = True
+            else:
+                # Gap: a prior push was lost.  Pull the missing prefix from
+                # the leader right now instead of waiting for the poll tick.
+                self._sync_locked()
+                applied = self.applied_offset >= offset
+            if self.applied_offset >= (self._leader_last_offset or 0):
+                self._last_synced_unix = time.time()
+        return {"applied": applied, "offset": self.applied_offset,
+                "lag": self.gauge_values()[1]}
+
+    def sync_once(self) -> dict:
+        """One catch-up round against the leader's log (follower only)."""
+        if self.role != "follower":
+            raise ServiceError("sync_once is a follower operation", status=409)
+        with self._apply_lock:
+            return self._sync_locked()
+
+    def _sync_locked(self) -> dict:
+        self._ensure_offset_locked()
+        response = _http_json(
+            self.leader_url +
+            f"/replication/log?from={self.applied_offset + 1}",
+            timeout=self.push_timeout)
+        self._leader_last_offset = int(response.get("last_offset", 0))
+        self._last_contact_unix = time.time()
+        applied = 0
+        for record in response.get("records", []):
+            record = _validate_record(dict(record))
+            if record["offset"] <= self.applied_offset:
+                continue
+            if record["offset"] != self.applied_offset + 1:
+                raise ReplicationError(
+                    f"leader log answered offset {record['offset']} while the "
+                    f"follower expected {self.applied_offset + 1}")
+            self._apply_record_locked(record)
+            applied += 1
+        if self.applied_offset >= (self._leader_last_offset or 0):
+            self._last_synced_unix = time.time()
+        self.last_error = None
+        return {"applied": applied, "offset": self.applied_offset,
+                "lag": max(0, (self._leader_last_offset or 0) - self.applied_offset)}
+
+    def _ensure_offset_locked(self) -> None:
+        """Fingerprint this follower's snapshot into the leader's chain."""
+        if self.applied_offset is not None:
+            return
+        response = _http_json(
+            self.leader_url + "/replication/log?from=1", timeout=self.push_timeout)
+        self._leader_last_offset = int(response.get("last_offset", 0))
+        self._last_contact_unix = time.time()
+        if self._state == str(response.get("base_state", "")):
+            self.applied_offset = 0
+            return
+        for record in response.get("records", []):
+            if str(record.get("state")) == self._state:
+                self.applied_offset = int(record["offset"])
+                return
+        self.diverged = (
+            "follower snapshot does not appear anywhere in the leader's log "
+            "chain; re-seed this follower from a current leader snapshot")
+        raise ReplicationError(self.diverged)
+
+    def _apply_record_locked(self, record: dict) -> None:
+        if self.diverged:
+            raise ReplicationError(self.diverged)
+        if str(record["previous_state"]) != self._state:
+            self.diverged = (
+                f"record {record['offset']} applies to state "
+                f"{str(record['previous_state'])[:12]}... but this follower "
+                f"holds {self._state[:12]}...; replicas diverged")
+            raise ReplicationError(self.diverged)
+        body = {}
+        if record.get("insert"):
+            body["insert"] = record["insert"]
+        if record.get("delete"):
+            body["delete"] = record["delete"]
+        if "damage_threshold" in record:
+            body["damage_threshold"] = record["damage_threshold"]
+        payload = self.service.apply_replicated(self.artifact, body)
+        repaired = self.service.base_index_for(self.artifact)
+        new_state = state_fingerprint(repaired)
+        if new_state != str(record["state"]):
+            self.diverged = (
+                f"applying record {record['offset']} produced state "
+                f"{new_state[:12]}... but the leader recorded "
+                f"{str(record['state'])[:12]}...; the repair diverged")
+            raise ReplicationError(self.diverged)
+        self._state = new_state
+        self.applied_offset = record["offset"]
+        _LOG.info(
+            "replicated offset %d (%s): +%d/-%d edges",
+            record["offset"], payload.get("mode"),
+            len(record.get("insert") or []), len(record.get("delete") or []))

@@ -30,6 +30,18 @@ Endpoints (all JSON)::
     POST /update {"insert": [[u,v],..],    apply an edge-update batch: CSR
                   "delete": [[u,v],..]}    patch + incremental tip repair
 
+Diagnostic (operator) routes — ``GET /slo``, ``GET /debug/memory``,
+``GET /debug/profile`` — and, when replication is attached, the
+replication plane (``GET /replication/status``, ``GET /replication/log``,
+``POST /replication/apply``) ride the same dispatch; see
+:data:`DIAGNOSTIC_ENDPOINTS`.
+
+The service can also answer from **θ-range shards** instead of one
+monolithic index: pass ``shards=N`` to scatter/gather over an in-memory
+:class:`~repro.service.sharding.ShardRouter`, or serve a persisted shard
+plan directory (``repro shard-plan``) directly — answers stay
+bit-identical to the unsharded index either way.
+
 ``/update`` is the one write path: it routes the batch through the
 streaming engine (:mod:`repro.streaming`), persists the refreshed artifact
 with the usual atomic directory swap, and puts the repaired index straight
@@ -68,6 +80,7 @@ from ..obs.slo import DEFAULT_OBJECTIVES, SloMonitor
 from .artifacts import ARRAYS_FILENAME, read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
+from .sharding import ShardRouter, is_shard_plan, read_shard_plan
 
 __all__ = [
     "TipService",
@@ -101,6 +114,9 @@ DIAGNOSTIC_ENDPOINTS = (
     "/slo",
     "/debug/memory",
     "/debug/profile",
+    "/replication/status",
+    "/replication/log",
+    "/replication/apply",
 )
 
 #: Routes that get their own label value in request metrics; everything
@@ -140,6 +156,9 @@ DOCUMENTED_METRICS = (
     "repro_memory_artifact_bytes",
     "repro_slo_burn_rate",
     "repro_slo_ok",
+    "repro_replication_offset",
+    "repro_replication_lag",
+    "repro_replication_staleness_seconds",
 )
 
 
@@ -218,7 +237,17 @@ def to_jsonable(value):
 
 
 class TipService:
-    """Route dispatch over one or more artifacts, via the index cache."""
+    """Transport-free request dispatch over one or more served artifacts.
+
+    ``handle(route, params, body)`` is the whole contract: route + query
+    params + optional JSON body in, JSON-able payload out, ``ServiceError``
+    (carrying an HTTP status) on bad input.  Both HTTP transports and the
+    offline ``repro query`` command call it, which is what keeps their
+    answers byte-identical.  Serves plain ``*.tipidx`` artifacts, persisted
+    shard plans, or in-memory θ-range shard views (``shards=N``), and
+    optionally participates in leader/follower replication
+    (:meth:`attach_replication`).
+    """
 
     def __init__(
         self,
@@ -226,9 +255,21 @@ class TipService:
         *,
         cache_capacity: int = 8,
         mmap: bool = True,
+        shards: int | None = None,
     ):
         self.cache = IndexCache(cache_capacity)
         self.mmap = mmap
+        if shards is not None and int(shards) < 1:
+            raise ServiceError(f"shard count must be >= 1, got {shards}")
+        self.shard_count = int(shards) if shards is not None else None
+        # Persisted shard plans served directly: name -> loaded router.
+        self._routers: dict[str, ShardRouter] = {}
+        # In-memory shard views (shards=N): name -> (fingerprint, router),
+        # rebuilt lazily whenever the underlying artifact's fingerprint
+        # moves (i.e. after every applied /update).
+        self._shard_views: dict[str, tuple[str, ShardRouter]] = {}
+        # Replication coordinator, attached after construction (if at all).
+        self.replication = None
         self.requests: Counter = Counter()
         self.update_modes: Counter = Counter()
         # Transport front ends (e.g. the async coalescing server) register
@@ -260,11 +301,20 @@ class TipService:
         self._artifacts: dict[str, Path] = {}
         for raw_path in artifact_paths:
             path = Path(raw_path)
-            manifest = read_manifest(path)  # validates eagerly: fail at startup
-            name = manifest.name
+            if is_shard_plan(path):
+                # Shard plans load eagerly: fail at startup, and the
+                # router's arrays are memmapped so this stays cheap.
+                router = ShardRouter.load(path, mmap=self.mmap)
+                name = router.name or path.name
+            else:
+                manifest = read_manifest(path)  # validates eagerly: fail at startup
+                name = manifest.name
+                router = None
             if name in self._artifacts:
                 name = f"{name}#{len(self._artifacts)}"
             self._artifacts[name] = path
+            if router is not None:
+                self._routers[name] = router
         if not self._artifacts:
             raise ServiceError("no artifacts to serve", status=500)
 
@@ -273,7 +323,44 @@ class TipService:
     # ------------------------------------------------------------------
     @property
     def artifact_names(self) -> list[str]:
+        """Names of everything served (artifacts and shard plans alike)."""
         return list(self._artifacts)
+
+    def artifact_path(self, name: str) -> Path:
+        """Filesystem path of a served artifact or shard plan, by name."""
+        path = self._artifacts.get(name)
+        if path is None:
+            raise ServiceError(
+                f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
+                status=404,
+            )
+        return path
+
+    def attach_replication(self, coordinator) -> None:
+        """Join a replication topology (called by the coordinator).
+
+        Installs the coordinator for the ``/replication/*`` routes, the
+        ``/update`` follower guard, the ``repro_replication_*`` gauges and
+        the ``/stats`` section; on a follower, also registers the
+        ``replication-staleness`` SLO objective backed by the
+        coordinator's staleness signal.
+        """
+        self.replication = coordinator
+        objective = coordinator.objective()
+        if objective is not None:
+            self.slo.add_objective(
+                objective, staleness_source=coordinator.staleness_seconds)
+            self._slo_burn_rate.labels(objective=objective.name).set(0.0)
+            self._slo_ok.labels(objective=objective.name).set(1.0)
+
+    def apply_replicated(self, artifact: str, body: dict) -> dict:
+        """Apply one replicated record's batch, bypassing the follower guard.
+
+        Only the replication coordinator calls this; ordering and
+        fingerprint-chain checks happen there, the actual CSR patch + tip
+        repair is the exact ``/update`` code path.
+        """
+        return self._apply_update(artifact, {}, body, replicated=True)
 
     def count_requests(self, route: str, n: int = 1) -> None:
         """Advance the per-route request counter (fast paths bypass handle)."""
@@ -377,6 +464,21 @@ class TipService:
             "1 while the objective holds (or has no data), 0 while breached.",
             labelnames=("objective",),
         )
+        self._replication_offset = registry.gauge(
+            "repro_replication_offset",
+            "Newest replication-log offset this replica has applied "
+            "(on the leader: appended).",
+        )
+        self._replication_lag = registry.gauge(
+            "repro_replication_lag",
+            "Log records this follower (on the leader: its laggiest "
+            "follower) is behind the leader's head.",
+        )
+        self._replication_staleness = registry.gauge(
+            "repro_replication_staleness_seconds",
+            "Seconds since this follower last verified it matched the "
+            "leader's log head (0 on the leader).",
+        )
         for objective in self.slo.objectives:
             self._slo_burn_rate.labels(objective=objective.name).set(0.0)
             self._slo_ok.labels(objective=objective.name).set(1.0)
@@ -429,6 +531,12 @@ class TipService:
         self._memory_workspace.set(live_workspace_stats()["current_bytes"])
         self._memory_shm.set(live_segment_stats()["bytes"])
         self._memory_artifact.set(self._artifact_bytes_total())
+        if self.replication is not None:
+            offset, lag, staleness = self.replication.gauge_values()
+            self._replication_offset.set(offset)
+            self._replication_lag.set(lag)
+            if staleness is not None:
+                self._replication_staleness.set(staleness)
         # The scrape drives periodic SLO evaluation (one snapshot per
         # scrape feeds the rolling windows).
         self.slo.evaluate()
@@ -591,6 +699,33 @@ class TipService:
                 time.sleep(0.05)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def _plan_summary(self, name: str, path: Path) -> dict:
+        """Per-shard-plan /stats summary (parallel to `_manifest_summary`)."""
+        router = self._routers[name]
+        plan = read_shard_plan(path)
+        return {
+            "kind": str(plan.get("kind")),
+            "side": router.side,
+            "algorithm": router.algorithm,
+            "n_vertices": router.n_vertices,
+            "max_tip_number": router.max_tip_number,
+            "n_levels": router.n_levels,
+            "format_version": int(plan.get("format_version", 1)),
+            "fingerprint": router.fingerprint,
+            # Unified lineage field (see _manifest_summary): the manifest
+            # fingerprint of the artifact lineage this plan was cut from.
+            "base_fingerprint": router.base_fingerprint,
+            "source_fingerprint": str(plan.get("source_fingerprint", "")),
+            "has_graph": False,
+            "loaded": True,
+            "sharding": {
+                "mode": "plan",
+                "n_shards": router.n_shards,
+                "requested_shards": router.requested_shards,
+                "shards": [shard.summary() for shard in router.shards],
+            },
+        }
+
     def _manifest_summary(self, name: str | None) -> dict:
         """Per-artifact /stats summary from the manifest alone (no load)."""
         if name is None and len(self._artifacts) == 1:
@@ -601,9 +736,11 @@ class TipService:
                 f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
                 status=404,
             )
+        if name in self._routers:
+            return self._plan_summary(str(name), path)
         manifest = self._read_manifest_retrying(path)
         streaming = manifest.streaming
-        return {
+        summary = {
             "side": manifest.decomposition.get("side"),
             "algorithm": str(manifest.decomposition.get("algorithm", "")),
             "n_vertices": manifest.summary.get("n_vertices"),
@@ -611,6 +748,12 @@ class TipService:
             "n_levels": manifest.summary.get("n_levels"),
             "format_version": manifest.format_version,
             "fingerprint": manifest.fingerprint,
+            # The unified lineage field (also what `repro bench-history`
+            # reports): the fingerprint the artifact's update stream
+            # started from — equal to ``fingerprint`` until a first
+            # ``/update`` moves the manifest fingerprint past it.
+            "base_fingerprint": str(
+                streaming.get("base_fingerprint") or manifest.fingerprint),
             "graph_fingerprint": str(manifest.graph.get("fingerprint", "")),
             "n_edges": manifest.graph.get("n_edges"),
             "has_graph": "u_offsets" in manifest.arrays,
@@ -632,8 +775,17 @@ class TipService:
                 "modes": dict(streaming.get("modes", {})),
             },
         }
+        if self.shard_count:
+            view = self._shard_views.get(str(name))
+            summary["sharding"] = {
+                "mode": "in-memory",
+                "n_shards": view[1].n_shards if view else self.shard_count,
+                "requested_shards": self.shard_count,
+            }
+        return summary
 
-    def index_for(self, name: str | None = None) -> TipIndex:
+    def index_for(self, name: str | None = None) -> TipIndex | ShardRouter:
+        """The query engine for an artifact name: index, plan, or shard view."""
         if name is None:
             if len(self._artifacts) == 1:
                 name = next(iter(self._artifacts))
@@ -648,7 +800,38 @@ class TipService:
                 f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
                 status=404,
             )
-        return self.cache.get_or_load(path, mmap=self.mmap)
+        if name in self._routers:
+            return self._routers[name]
+        index = self.cache.get_or_load(path, mmap=self.mmap)
+        if not self.shard_count:
+            return index
+        # In-memory sharded serving: the router slices the cached index's
+        # arrays zero-copy, and is rebuilt whenever the fingerprint moves
+        # (a concurrent rebuild is benign — both routers are exact).
+        view = self._shard_views.get(name)
+        if view is not None and view[0] == index.fingerprint:
+            return view[1]
+        router = ShardRouter.from_index(index, self.shard_count, name=name)
+        self._shard_views[name] = (index.fingerprint, router)
+        return router
+
+    def base_index_for(self, name: str | None = None) -> TipIndex:
+        """The unsharded :class:`TipIndex` behind an artifact name.
+
+        Replication fingerprints and repairs this base index even when the
+        service answers queries through a θ-range shard view; persisted
+        shard plans carry no base index (they are read-only) and refuse.
+        """
+        engine = self.index_for(name)
+        if isinstance(engine, ShardRouter):
+            resolved = name if name is not None else self.artifact_names[0]
+            if resolved in self._routers:
+                raise ServiceError(
+                    f"{resolved!r} is a persisted shard plan; replication "
+                    "needs the source *.tipidx artifact", status=409)
+            return self.cache.get_or_load(
+                self._artifacts[resolved], mmap=self.mmap)
+        return engine
 
     # ------------------------------------------------------------------
     # Streaming updates (the one write path)
@@ -671,7 +854,15 @@ class TipService:
                 raise ServiceError(f'body field "{key}" contains an id outside int64 range')
         return raw
 
-    def _apply_update(self, artifact: str | None, params: dict, body: dict | None) -> dict:
+    def _apply_update(self, artifact: str | None, params: dict, body: dict | None,
+                      *, replicated: bool = False) -> dict:
+        """Apply one edge-update batch (the ``/update`` body).
+
+        ``replicated=True`` marks a batch the replication coordinator is
+        replaying from the leader's log: it bypasses the follower
+        write guard and skips the leader fan-out hook (the record already
+        exists), but runs the identical patch + repair + persist path.
+        """
         if body is None:
             raise ServiceError(
                 "update requires a POST body with insert/delete edge lists", status=405
@@ -697,6 +888,14 @@ class TipService:
                 f"unknown artifact {name!r} (serving: {', '.join(self._artifacts)})",
                 status=404,
             )
+        if name in self._routers:
+            raise ServiceError(
+                "shard plans are read-only; apply updates to the source "
+                "artifact (or through the replication leader) and re-plan",
+                status=409,
+            )
+        if self.replication is not None and not replicated:
+            self.replication.check_writable()
 
         with self._update_lock:
             index = self.cache.get_or_load(path, mmap=self.mmap)
@@ -763,8 +962,22 @@ class TipService:
             repaired.fingerprint = new_manifest.fingerprint
             self.cache.invalidate(manifest.fingerprint)
             self.cache.put(new_manifest.fingerprint, repaired)
+            # The in-memory shard view (if any) sliced the displaced
+            # snapshot's arrays; drop it so the next read re-shards the
+            # repaired index.
+            self._shard_views.pop(name, None)
             with self._requests_lock:
                 self.update_modes[update.mode] += 1
+            # Leader fan-out, still under the update lock so log offsets
+            # are assigned in exactly the order batches were applied.
+            record = None
+            if (self.replication is not None and not replicated
+                    and self.replication.role == "leader"):
+                record = self.replication.record_applied(
+                    name, body,
+                    {"mode": update.mode, "fingerprint": new_manifest.fingerprint},
+                    repaired,
+                )
 
         payload = update.summary()
         payload.update({
@@ -774,6 +987,11 @@ class TipService:
             "n_edges": update.graph.n_edges,
             "streaming": streaming,
         })
+        if record:
+            payload["replication"] = {
+                "offset": record["offset"],
+                "state": record["state"],
+            }
         return payload
 
     # ------------------------------------------------------------------
@@ -840,7 +1058,10 @@ class TipService:
             return [error] * len(vertices)
         ids = np.asarray(vertices, dtype=np.int64)
         if ids.size and 0 <= int(ids.min()) and int(ids.max()) < index.n_vertices:
-            thetas = index.tip_numbers[ids]
+            # A TipIndex exposes the dense per-vertex array; a ShardRouter
+            # answers the same gather by shard-scatter (still vectorized).
+            dense = getattr(index, "tip_numbers", None)
+            thetas = dense[ids] if dense is not None else index.gather_thetas(ids)
             return [
                 {"vertex": int(vertex), "theta": int(theta)}
                 for vertex, theta in zip(vertices, thetas)
@@ -888,6 +1109,18 @@ class TipService:
         if route == "/debug/profile":
             return self._profile_payload(params)
 
+        if route.startswith("/replication/"):
+            if self.replication is None:
+                raise ServiceError(
+                    "replication is not configured on this server "
+                    "(start with --role leader or --role follower)", status=404)
+            if route == "/replication/status":
+                return self.replication.status()
+            if route == "/replication/log":
+                return self.replication.log_payload(params)
+            if route == "/replication/apply":
+                return self.replication.handle_push(body)
+
         if route == "/stats":
             payload: dict = {"artifacts": {}}
             names = [artifact] if artifact else self.artifact_names
@@ -920,6 +1153,8 @@ class TipService:
                 payload["transport"] = {
                     name: provider() for name, provider in self.transport_metrics.items()
                 }
+            if self.replication is not None:
+                payload["replication"] = self.replication.status()
             return payload
 
         if route == "/update":
@@ -1002,6 +1237,8 @@ class _TipHTTPServer(ThreadingHTTPServer):
 
 def _make_handler(service: TipService, *, quiet: bool) -> type:
     class TipRequestHandler(BaseHTTPRequestHandler):
+        """Threaded-transport request handler bound to one :class:`TipService`."""
+
         server_version = "repro-tip-service/1"
         # Persistent connections: with HTTP/1.0 (the BaseHTTPRequestHandler
         # default) every request paid a fresh TCP handshake, handicapping
@@ -1065,9 +1302,11 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
                 "thread", route, status, time.perf_counter() - started, quiet=quiet)
 
         def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+            """Dispatch a GET request (no body)."""
             self._dispatch(None)
 
         def do_POST(self) -> None:  # noqa: N802
+            """Read, cap and parse the POST body, then dispatch."""
             length = int(self.headers.get("Content-Length") or 0)
             if length > MAX_REQUEST_BODY_BYTES:
                 # The unread body would corrupt the keep-alive stream; hang up.
@@ -1088,6 +1327,7 @@ def _make_handler(service: TipService, *, quiet: bool) -> type:
             self._dispatch(body)
 
         def log_message(self, format: str, *args) -> None:  # noqa: A002
+            """Respect ``quiet``: suppress the default stderr access log."""
             if not quiet:
                 super().log_message(format, *args)
 
@@ -1102,6 +1342,7 @@ def create_server(
     cache_capacity: int = 8,
     mmap: bool = True,
     quiet: bool = True,
+    shards: int | None = None,
     service: TipService | None = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server; ``port=0`` picks a free port.
@@ -1113,7 +1354,8 @@ def create_server(
     assert byte-identical diagnostics.
     """
     if service is None:
-        service = TipService(artifact_paths, cache_capacity=cache_capacity, mmap=mmap)
+        service = TipService(
+            artifact_paths, cache_capacity=cache_capacity, mmap=mmap, shards=shards)
     server = _TipHTTPServer((host, port), _make_handler(service, quiet=quiet))
     server.service = service  # type: ignore[attr-defined]
     return server
@@ -1127,6 +1369,8 @@ def serve(
     cache_capacity: int = 8,
     mmap: bool = True,
     quiet: bool = False,
+    shards: int | None = None,
+    service: TipService | None = None,
     ready_event: threading.Event | None = None,
 ) -> None:
     """Serve artifacts until interrupted (the ``repro serve`` command body)."""
@@ -1137,6 +1381,8 @@ def serve(
         cache_capacity=cache_capacity,
         mmap=mmap,
         quiet=quiet,
+        shards=shards,
+        service=service,
     )
     bound_host, bound_port = server.server_address[0], server.server_address[1]
     print(

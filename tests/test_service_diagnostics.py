@@ -195,7 +195,9 @@ class TestRouting:
         # bench_serving's byte-identity harness and the 404 contract both
         # enumerate ENDPOINTS; diagnostics live in their own tuple.
         assert not set(DIAGNOSTIC_ENDPOINTS) & set(ENDPOINTS)
-        assert DIAGNOSTIC_ENDPOINTS == ("/slo", "/debug/memory", "/debug/profile")
+        assert DIAGNOSTIC_ENDPOINTS == (
+            "/slo", "/debug/memory", "/debug/profile",
+            "/replication/status", "/replication/log", "/replication/apply")
 
     def test_slo_and_memory_metric_families_documented(self):
         for name in ("repro_slo_burn_rate", "repro_slo_ok",

@@ -1,0 +1,285 @@
+"""Leader/follower replication: convergence, prefix consistency, divergence."""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.receipt import tip_decomposition
+from repro.datasets.generators import planted_blocks
+from repro.errors import ReplicationError, ServiceError
+from repro.service.artifacts import save_artifact
+from repro.service.replication import (
+    ReplicationCoordinator,
+    ReplicationLog,
+    state_fingerprint,
+)
+from repro.service.server import TipService, create_server
+
+
+@pytest.fixture(scope="module")
+def source(tmp_path_factory):
+    graph = planted_blocks(40, 25, [(8, 6), (6, 4)], background_edges=50, seed=3)
+    result = tip_decomposition(graph, "U", algorithm="receipt", n_partitions=4)
+    path = tmp_path_factory.mktemp("repl") / "blocks.tipidx"
+    save_artifact(path, graph, result)
+    return path
+
+
+def _copy(source, tmp_path, name):
+    dest = tmp_path / f"{name}.tipidx"
+    shutil.copytree(source, dest)
+    return dest
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def _serve(service):
+    server = create_server([], service=service, port=0)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    return server, f"http://127.0.0.1:{server.server_address[1]}"
+
+
+BATCHES = (
+    {"insert": [[0, 20], [1, 21]]},
+    {"insert": [[2, 22]], "delete": [[0, 20]]},
+    {"insert": [[3, 23], [4, 24]]},
+)
+
+
+class TestReplicationLog:
+    def test_append_assigns_monotone_offsets(self, tmp_path):
+        log = ReplicationLog(tmp_path / "a.replog")
+        for i in range(3):
+            record = log.append({"artifact": "a", "insert": [], "delete": [],
+                                 "previous_state": f"s{i}", "state": f"s{i + 1}"})
+            assert record["offset"] == i + 1
+        reopened = ReplicationLog(tmp_path / "a.replog")
+        assert reopened.last_offset == 3
+        assert reopened.base_state == "s0"
+        assert [r["offset"] for r in reopened.records_from(2)] == [2, 3]
+
+    def test_corrupt_line_is_fatal(self, tmp_path):
+        path = tmp_path / "bad.replog"
+        path.write_text('{"offset": 1, "artifact": "a", "insert": [], '
+                        '"delete": [], "previous_state": "x", "state": "y"}\n'
+                        "not json\n", encoding="utf-8")
+        with pytest.raises(ReplicationError):
+            ReplicationLog(path)
+
+    def test_offset_gap_is_fatal(self, tmp_path):
+        path = tmp_path / "gap.replog"
+        lines = []
+        for offset in (1, 3):
+            lines.append(json.dumps({
+                "offset": offset, "artifact": "a", "insert": [], "delete": [],
+                "previous_state": "x", "state": "y"}))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ReplicationError):
+            ReplicationLog(path)
+
+    def test_stale_log_rejected_at_leader_startup(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "leader")
+        log_path = tmp_path / "stale.replog"
+        log = ReplicationLog(log_path)
+        log.append({"artifact": "blocks", "insert": [], "delete": [],
+                    "previous_state": "old", "state": "does-not-match"})
+        service = TipService([artifact])
+        with pytest.raises(ReplicationError):
+            ReplicationCoordinator(service, role="leader", log_path=log_path)
+
+
+class TestRoles:
+    def test_follower_requires_leader_url(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "f")
+        with pytest.raises(ServiceError):
+            ReplicationCoordinator(TipService([artifact]), role="follower")
+
+    def test_unknown_role_rejected(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "f")
+        with pytest.raises(ServiceError):
+            ReplicationCoordinator(TipService([artifact]), role="observer")
+
+    def test_follower_rejects_writes(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "f")
+        service = TipService([artifact])
+        ReplicationCoordinator(service, role="follower",
+                               leader_url="http://127.0.0.1:1")
+        with pytest.raises(ServiceError) as excinfo:
+            service.handle("/update", {}, dict(BATCHES[0]))
+        assert excinfo.value.status == 409
+
+    def test_leader_records_every_update(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "leader")
+        service = TipService([artifact])
+        coordinator = ReplicationCoordinator(service, role="leader")
+        for i, batch in enumerate(BATCHES, start=1):
+            payload = service.handle("/update", {}, dict(batch))
+            assert payload["replication"]["offset"] == i
+        status = coordinator.status()
+        assert status["offset"] == 3
+        assert status["state"] == state_fingerprint(
+            service.index_for(service.artifact_names[0]))
+
+
+class TestPrefixConsistency:
+    def test_follower_reads_are_an_applied_prefix(self, source, tmp_path):
+        """After each applied record the follower equals that leader prefix."""
+        leader_art = _copy(source, tmp_path, "leader")
+        follower_art = _copy(source, tmp_path, "follower")
+        leader = TipService([leader_art])
+        coordinator = ReplicationCoordinator(leader, role="leader")
+        leader_srv, leader_url = _serve(leader)
+        name = leader.artifact_names[0]
+        probe = np.arange(40)
+        try:
+            snapshots = [leader.index_for(name).theta_batch(probe).tolist()]
+            for batch in BATCHES:
+                leader.handle("/update", {}, dict(batch))
+                snapshots.append(
+                    leader.index_for(name).theta_batch(probe).tolist())
+            records = coordinator.log_payload({})["records"]
+            assert len(records) == len(BATCHES)
+
+            follower = TipService([follower_art])
+            fcoord = ReplicationCoordinator(
+                follower, role="follower", leader_url=leader_url)
+            for prefix, record in enumerate(records, start=1):
+                result = fcoord.handle_push(record)
+                assert result["applied"] and result["offset"] == prefix
+                got = follower.index_for(name).theta_batch(probe).tolist()
+                assert got == snapshots[prefix], f"prefix {prefix}"
+            # Re-pushing an old record is an idempotent no-op, not a rewind.
+            result = fcoord.handle_push(records[0])
+            assert not result["applied"] and result["offset"] == len(records)
+        finally:
+            leader_srv.shutdown()
+            leader_srv.server_close()
+
+    def test_tampered_record_marks_divergence(self, source, tmp_path):
+        leader_art = _copy(source, tmp_path, "leader")
+        follower_art = _copy(source, tmp_path, "follower")
+        leader = TipService([leader_art])
+        coordinator = ReplicationCoordinator(leader, role="leader")
+        leader_srv, leader_url = _serve(leader)
+        try:
+            leader.handle("/update", {}, dict(BATCHES[0]))
+            record = dict(coordinator.log_payload({})["records"][0])
+            record["state"] = "0" * 64  # claims a different post-state
+
+            follower = TipService([follower_art])
+            fcoord = ReplicationCoordinator(
+                follower, role="follower", leader_url=leader_url)
+            with pytest.raises(ReplicationError):
+                fcoord.handle_push(record)
+            assert fcoord.diverged is not None
+            # A diverged follower refuses further records rather than
+            # serving wrong tip numbers.
+            with pytest.raises(ReplicationError):
+                fcoord.handle_push(record)
+        finally:
+            leader_srv.shutdown()
+            leader_srv.server_close()
+
+
+class TestTopology:
+    """Leader + two followers over real HTTP: push, poll, catch-up, metrics."""
+
+    def test_two_followers_converge_to_lag_zero(self, source, tmp_path):
+        leader_art = _copy(source, tmp_path, "leader")
+        f1_art = _copy(source, tmp_path, "f1")
+        f2_art = _copy(source, tmp_path, "f2")
+
+        f1 = TipService([f1_art])
+        f1_srv, f1_url = _serve(f1)
+        f2 = TipService([f2_art])
+        f2_srv, f2_url = _serve(f2)
+
+        leader = TipService([leader_art])
+        lcoord = ReplicationCoordinator(
+            leader, role="leader", follower_urls=(f1_url, f2_url))
+        lcoord.start()
+        leader_srv, leader_url = _serve(leader)
+
+        coords = []
+        for service in (f1, f2):
+            fcoord = ReplicationCoordinator(
+                service, role="follower", leader_url=leader_url,
+                poll_interval=0.2)
+            fcoord.start()
+            coords.append(fcoord)
+        try:
+            # One update before follower 2's first poll plus two after
+            # exercise push delivery and snapshot+log catch-up together.
+            for batch in BATCHES:
+                _post(leader_url + "/update", dict(batch))
+
+            deadline = time.time() + 20
+            while time.time() < deadline:
+                statuses = [_get(url + "/replication/status")
+                            for url in (f1_url, f2_url)]
+                if all(s["offset"] == 3 and s["lag"] == 0 for s in statuses):
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail(f"followers never converged: {statuses}")
+
+            probe = "/theta/batch?vertices=" + ",".join(map(str, range(40)))
+            want = _get(leader_url + probe)
+            assert _get(f1_url + probe) == want
+            assert _get(f2_url + probe) == want
+
+            leader_status = _get(leader_url + "/replication/status")
+            assert leader_status["role"] == "leader"
+            assert leader_status["lag"] == 0
+            acked = [f["acked_offset"]
+                     for f in leader_status["followers"].values()]
+            assert acked == [3, 3]
+
+            log_payload = _get(leader_url + "/replication/log?from=2")
+            assert [r["offset"] for r in log_payload["records"]] == [2, 3]
+
+            # Follower surfaces: write rejection, stats, gauges, SLO.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f1_url + "/update", dict(BATCHES[0]))
+            assert excinfo.value.code == 409
+
+            stats = _get(f1_url + "/stats")
+            assert stats["replication"]["role"] == "follower"
+            assert stats["replication"]["offset"] == 3
+
+            with urllib.request.urlopen(f1_url + "/metrics", timeout=10) as r:
+                scrape = r.read().decode()
+            for family in ("repro_replication_offset",
+                           "repro_replication_lag",
+                           "repro_replication_staleness_seconds"):
+                assert family in scrape
+            slo = _get(f1_url + "/slo")
+            staleness = [o for o in slo["objectives"]
+                         if o["name"] == "replication-staleness"]
+            assert staleness and staleness[0]["state"] in ("ok", "no_data")
+        finally:
+            lcoord.stop()
+            for fcoord in coords:
+                fcoord.stop()
+            for srv in (leader_srv, f1_srv, f2_srv):
+                srv.shutdown()
+                srv.server_close()

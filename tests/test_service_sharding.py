@@ -1,0 +1,206 @@
+"""θ-range sharding: exactness vs the unsharded index, plans, HTTP parity."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.receipt import tip_decomposition
+from repro.datasets.generators import planted_blocks
+from repro.errors import ArtifactError, ServiceError
+from repro.service.artifacts import load_artifact, save_artifact
+from repro.service.index import TipIndex
+from repro.service.server import TipService, create_server
+from repro.service.sharding import (
+    ShardRouter,
+    plan_boundaries,
+    plan_shards,
+    read_shard_plan,
+    write_shard_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def artifact(tmp_path_factory):
+    graph = planted_blocks(40, 25, [(8, 6), (6, 4)], background_edges=50, seed=3)
+    result = tip_decomposition(graph, "U", algorithm="receipt", n_partitions=4)
+    path = tmp_path_factory.mktemp("shard") / "blocks.tipidx"
+    save_artifact(path, graph, result)
+    return path
+
+
+@pytest.fixture(scope="module")
+def index(artifact):
+    return TipIndex.from_artifact(load_artifact(artifact))
+
+
+def _assert_router_matches_index(router: ShardRouter, index: TipIndex) -> None:
+    """Every query surface must be bit-identical to the unsharded index."""
+    vertices = np.arange(index.n_vertices)
+    assert np.array_equal(router.theta_batch(vertices), index.theta_batch(vertices))
+    for vertex in (0, index.n_vertices // 2, index.n_vertices - 1):
+        assert router.theta(vertex) == index.theta(vertex)
+    assert router.histogram() == index.histogram()
+    assert np.array_equal(router.levels(), index.levels())
+    for k in range(1, index.n_vertices + 1):
+        got_ids, got_thetas = router.top_k(k)
+        want_ids, want_thetas = index.top_k(k)
+        assert np.array_equal(got_ids, want_ids), f"top_k({k}) ids"
+        assert np.array_equal(got_thetas, want_thetas), f"top_k({k}) thetas"
+    probes = sorted({0, 1, index.max_tip_number // 2, index.max_tip_number,
+                     index.max_tip_number + 1})
+    for k in probes:
+        assert router.k_tip_size(k) == index.k_tip_size(k)
+        assert np.array_equal(router.k_tip_members(k), index.k_tip_members(k))
+        for limit in (0, 1, 3, 10_000):
+            assert np.array_equal(
+                router.k_tip_members(k, limit=limit),
+                index.k_tip_members(k, limit=limit)), f"k_tip_members({k}, {limit})"
+
+
+class TestExactness:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(n_shards=st.sampled_from([1, 2, 3, 5]))
+    def test_any_shard_count_is_bit_identical(self, index, n_shards):
+        router = ShardRouter.from_index(index, n_shards)
+        _assert_router_matches_index(router, index)
+
+    def test_more_shards_than_levels_clamps(self, index):
+        router = ShardRouter.from_index(index, index.n_levels + 10)
+        assert router.n_shards <= index.n_levels
+        _assert_router_matches_index(router, index)
+
+    def test_boundaries_are_level_aligned_and_cover(self, index):
+        offsets = index.level_offsets
+        cuts = plan_boundaries(offsets, 3)
+        assert cuts[0] == 0 and cuts[-1] == offsets[-1]
+        assert all(c in set(int(o) for o in offsets) for c in cuts)
+        assert list(cuts) == sorted(set(cuts))
+
+    def test_bad_shard_count_rejected(self, index):
+        with pytest.raises(ServiceError):
+            ShardRouter.from_index(index, 0)
+
+    def test_validation_errors_match_the_index(self, index):
+        router = ShardRouter.from_index(index, 3)
+        for bad in (-1, index.n_vertices):
+            with pytest.raises(ServiceError) as from_router:
+                router.theta(bad)
+            with pytest.raises(ServiceError) as from_index:
+                index.theta(bad)
+            assert str(from_router.value) == str(from_index.value)
+
+    def test_router_is_read_only(self, index):
+        router = ShardRouter.from_index(index, 2)
+        with pytest.raises(ServiceError) as excinfo:
+            router.apply_delta(inserts=[(0, 0)])
+        assert excinfo.value.status == 409
+
+
+class TestPersistedPlan:
+    def test_write_load_round_trip(self, artifact, index, tmp_path):
+        out = tmp_path / "blocks.tipshards"
+        payload = write_shard_plan(artifact, out, 3)
+        assert payload["kind"] == "tip-shard-plan"
+        assert payload["n_shards"] == len(payload["shards"])
+        router = ShardRouter.load(out)
+        assert router.fingerprint == payload["fingerprint"]
+        _assert_router_matches_index(router, index)
+
+    def test_read_shard_plan_validates(self, artifact, tmp_path):
+        out = tmp_path / "plan.tipshards"
+        write_shard_plan(artifact, out, 2)
+        payload = read_shard_plan(out)
+        assert payload["format_version"] == 1
+        with pytest.raises(ArtifactError):
+            read_shard_plan(tmp_path / "missing.tipshards")
+        with pytest.raises(ArtifactError):
+            write_shard_plan(artifact, out, 2)  # overwrite not requested
+
+    def test_plan_has_no_graph_so_communities_404(self, artifact, tmp_path):
+        out = tmp_path / "blocks.tipshards"
+        write_shard_plan(artifact, out, 2)
+        router = ShardRouter.load(out)
+        with pytest.raises(ServiceError) as excinfo:
+            router.communities(1)
+        assert excinfo.value.status == 404
+
+    def test_in_memory_plan_keeps_the_graph(self, artifact, index):
+        router = plan_shards(artifact, 2)
+        k = index.max_tip_number
+        got = [sorted(c.tolist()) for c in router.communities(k)]
+        want = [sorted(c.tolist()) for c in index.communities(k)]
+        assert got == want
+
+
+class TestServedSharding:
+    """The HTTP surface answers byte-identically with and without shards."""
+
+    @pytest.fixture()
+    def pair(self, artifact):
+        plain = TipService([artifact])
+        sharded = TipService([artifact], shards=3)
+        plain_srv = create_server([], service=plain, port=0)
+        shard_srv = create_server([], service=sharded, port=0)
+        for srv in (plain_srv, shard_srv):
+            threading.Thread(target=srv.serve_forever, daemon=True).start()
+        yield (f"http://127.0.0.1:{plain_srv.server_address[1]}",
+               f"http://127.0.0.1:{shard_srv.server_address[1]}")
+        for srv in (plain_srv, shard_srv):
+            srv.shutdown()
+            srv.server_close()
+
+    def _body(self, base, route):
+        with urllib.request.urlopen(base + route, timeout=10) as response:
+            return response.read()
+
+    def test_query_routes_byte_identical(self, pair):
+        plain, sharded = pair
+        for route in ("/theta?vertex=7", "/theta/batch?vertices=0,3,9,21",
+                      "/top-k?k=5", "/k-tip?k=1&limit=3",
+                      "/stats?histogram=1"):
+            if route.startswith("/stats"):
+                name = "planted-blocks.U"
+                left = json.loads(self._body(plain, route))
+                right = json.loads(self._body(sharded, route))
+                assert (left["artifacts"][name]["histogram"]
+                        == right["artifacts"][name]["histogram"])
+            else:
+                assert self._body(plain, route) == self._body(sharded, route), route
+
+    def test_stats_reports_sharding_mode(self, pair):
+        _, sharded = pair
+        payload = json.loads(self._body(sharded, "/stats"))
+        summary = payload["artifacts"]["planted-blocks.U"]
+        assert summary["sharding"]["mode"] == "in-memory"
+        assert summary["sharding"]["requested_shards"] == 3
+
+    def test_served_plan_rejects_updates(self, artifact, tmp_path):
+        out = tmp_path / "blocks.tipshards"
+        write_shard_plan(artifact, out, 2)
+        service = TipService([out])
+        with pytest.raises(ServiceError) as excinfo:
+            service.handle("/update", {}, {"insert": [[0, 20]]})
+        assert excinfo.value.status == 409
+
+    def test_update_invalidates_shard_views(self, artifact, tmp_path):
+        import shutil
+
+        copy = tmp_path / "mutable.tipidx"
+        shutil.copytree(artifact, copy)
+        service = TipService([copy], shards=2)
+        service.handle("/theta/batch", {"vertices": ",".join(map(str, range(40)))})
+        service.handle("/update", {}, {"insert": [[0, 20], [1, 21]]})
+        after = service.handle("/theta/batch",
+                               {"vertices": ",".join(map(str, range(40)))})
+        fresh = TipIndex.from_artifact(load_artifact(copy))
+        assert np.array_equal(np.asarray(after["thetas"]),
+                              fresh.theta_batch(np.arange(40)))
