@@ -357,6 +357,35 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--poll-interval", type=float, default=1.0,
                               help="follower role: seconds between catch-up "
                                    "polls of the leader's log (default 1.0)")
+    serve_parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                              help="arm deterministic fault injection: "
+                                   "'site:action[:key=value]...' rules joined "
+                                   "by ';', or a JSON file/object (also via "
+                                   "the REPRO_FAULT_PLAN environment variable;"
+                                   " see docs/RESILIENCE.md)")
+    serve_parser.add_argument("--fault-seed", type=int, default=None,
+                              help="seed for the fault plan's RNGs (same seed "
+                                   "= same fault schedule)")
+    serve_parser.add_argument("--retry-attempts", type=int, default=3,
+                              help="replication: attempts per push/poll before "
+                                   "giving up (default 3)")
+    serve_parser.add_argument("--retry-base-delay-ms", type=float, default=50.0,
+                              help="replication: first-retry backoff ceiling; "
+                                   "later retries double it, with full jitter "
+                                   "(default 50)")
+    serve_parser.add_argument("--retry-budget-seconds", type=float, default=5.0,
+                              help="replication: wall-clock cap across one "
+                                   "call's retries (default 5.0)")
+    serve_parser.add_argument("--breaker-threshold", type=int, default=5,
+                              help="consecutive failures that open a circuit "
+                                   "breaker (default 5)")
+    serve_parser.add_argument("--breaker-reset-seconds", type=float, default=15.0,
+                              help="seconds an open breaker waits before its "
+                                   "half-open probe (default 15.0)")
+    serve_parser.add_argument("--log-compact-threshold", type=int, default=None,
+                              help="leader role: checkpoint-compact the "
+                                   "replication log once it holds more than "
+                                   "this many records (default: never)")
     _add_trace_argument(serve_parser)
 
     trace_parser = subparsers.add_parser(
@@ -599,15 +628,31 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.role != "leader" and args.follower:
         raise ReproError("--follower only applies to --role leader")
 
+    from .service import faults
+
+    if args.fault_plan:
+        plan = faults.install(
+            faults.FaultPlan.parse(args.fault_plan, seed=args.fault_seed))
+        print(f"fault injection ARMED (seed {plan.seed}): "
+              + "; ".join(f"{r.site}:{r.action}" for r in plan.rules))
+    else:
+        faults.arm_from_env()
+
     service = TipService(
         args.artifacts,
         cache_capacity=args.cache_capacity,
         mmap=not args.no_mmap,
         shards=args.shards,
     )
+    service.breakers.configure(
+        failure_threshold=args.breaker_threshold,
+        reset_seconds=args.breaker_reset_seconds,
+    )
     coordinator = None
     if args.role != "standalone":
+        from .errors import ReplicationError
         from .service.replication import ReplicationCoordinator
+        from .service.resilience import RetryPolicy
 
         coordinator = ReplicationCoordinator(
             service,
@@ -616,6 +661,13 @@ def _command_serve(args: argparse.Namespace) -> int:
             leader_url=args.leader,
             follower_urls=tuple(args.follower or ()),
             poll_interval=args.poll_interval,
+            retry_policy=RetryPolicy(
+                max_attempts=args.retry_attempts,
+                base_delay=args.retry_base_delay_ms / 1000.0,
+                budget_seconds=args.retry_budget_seconds,
+                retryable=(ReplicationError,),
+            ),
+            log_compact_threshold=args.log_compact_threshold,
         )
         coordinator.start()
 

@@ -21,6 +21,9 @@ __all__ = [
     "ServiceError",
     "ServiceOverloadedError",
     "ReplicationError",
+    "FaultInjectedError",
+    "CircuitOpenError",
+    "DeadlineExceededError",
 ]
 
 
@@ -135,5 +138,47 @@ class ServiceOverloadedError(ServiceError):
     """
 
     def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message, status=503)
+        self.retry_after = float(retry_after)
+
+
+class FaultInjectedError(ServiceError):
+    """Raised by the deterministic fault-injection harness (never in prod).
+
+    An armed :class:`~repro.service.faults.FaultPlan` raises this at a
+    named fault site to simulate a crash, an I/O error or a failed remote
+    call.  It maps to HTTP 503 so an injected fault is always a *failed*
+    request, never a wrong answer — the chaos property tests rely on
+    exactly that distinction.
+    """
+
+    def __init__(self, message: str, *, site: str = ""):
+        super().__init__(message, status=503)
+        self.site = str(site)
+
+
+class CircuitOpenError(ServiceError):
+    """Raised when a circuit breaker short-circuits a call to a sick target.
+
+    Carries a ``Retry-After`` hint equal to the breaker's remaining reset
+    timeout: callers (and HTTP clients) should not retry before the
+    breaker is willing to probe the target again.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0):
+        super().__init__(message, status=503)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceededError(ServiceError):
+    """Raised when a request's deadline expires before an answer exists.
+
+    The scatter/gather read path propagates per-request deadlines
+    (``deadline_ms``); when not even a partial (degraded) answer could be
+    assembled in time, the request fails with HTTP 503 plus a
+    ``Retry-After`` hint instead of hanging on a slow shard.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.1):
         super().__init__(message, status=503)
         self.retry_after = float(retry_after)

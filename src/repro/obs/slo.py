@@ -45,6 +45,7 @@ __all__ = [
     "DEFAULT_OBJECTIVES",
     "Objective",
     "SloMonitor",
+    "breaker_open_objective",
 ]
 
 
@@ -114,6 +115,27 @@ DEFAULT_OBJECTIVES: Tuple[Objective, ...] = (
         threshold_seconds=86_400.0,
     ),
 )
+
+def breaker_open_objective(threshold_seconds: float = 60.0) -> Objective:
+    """The resilience layer's circuit-breaker objective.
+
+    Shaped as a ``staleness`` objective whose signal is the longest time
+    any circuit breaker has currently been open (the service wires
+    ``CircuitBreakerRegistry.oldest_open_seconds`` in as the per-objective
+    staleness source): burn is instant while a dependency stays
+    short-circuited past ``threshold_seconds``, and clears the moment the
+    breaker closes.
+    """
+    return Objective(
+        name="breaker-open",
+        kind="staleness",
+        description=(
+            "no circuit breaker stays open longer than "
+            f"{threshold_seconds:g} s"),
+        target=0.999,
+        threshold_seconds=float(threshold_seconds),
+    )
+
 
 #: Snapshots kept per windowed objective; at one evaluation per scrape
 #: (typically >= 10 s apart) this covers windows far longer than default.

@@ -189,7 +189,7 @@ class TipArtifact:
         not persisted.
         """
         counter_fields = set(PeelingCounters.__dataclass_fields__)
-        result = TipDecompositionResult(
+        return TipDecompositionResult(
             tip_numbers=np.asarray(self.arrays["tip_numbers"], dtype=np.int64).copy(),
             side=self.manifest.decomposition["side"],
             initial_butterflies=np.asarray(
@@ -207,7 +207,6 @@ class TipArtifact:
                 for phase, counters in self.manifest.phase_counters.items()
             },
         )
-        return result
 
 
 # ----------------------------------------------------------------------

@@ -49,6 +49,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from ..errors import ReproError, ServiceError
 from .coalesce import DEFAULT_MAX_BATCH, ThetaCoalescer, UpdateAdmissionController
+from .resilience import Deadline
 from .server import (
     MAX_REQUEST_BODY_BYTES,
     METRICS_CONTENT_TYPE,
@@ -394,8 +395,15 @@ class AsyncTipServer:
                             vertex = int(raw)
                         except (TypeError, ValueError):
                             vertex = None  # handle() produces the exact 400
+                    deadline = None
+                    if vertex is not None and "deadline_ms" in params:
+                        try:
+                            deadline = Deadline.from_params(params)
+                        except ServiceError:
+                            vertex = None  # handle() produces the exact 400
                     if vertex is not None:
-                        future = self.coalescer.submit(params.get("artifact"), vertex)
+                        future = self.coalescer.submit(
+                            params.get("artifact"), vertex, deadline=deadline)
                         return self._theta_response(future, close), close
                 payload = service.handle(route, params, None)
                 return self._render(200, _json_bytes(payload), close=close), close

@@ -35,7 +35,13 @@ from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..errors import ServiceError, ServiceOverloadedError
+from ..errors import (
+    DeadlineExceededError,
+    FaultInjectedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from . import faults
 
 __all__ = ["ThetaCoalescer", "UpdateAdmissionController"]
 
@@ -76,16 +82,22 @@ class ThetaCoalescer:
         self._waits = deque(maxlen=_WAIT_WINDOW)
 
     # ------------------------------------------------------------------
-    def submit(self, artifact: str | None, vertex: int) -> asyncio.Future:
+    def submit(self, artifact: str | None, vertex: int,
+               *, deadline=None) -> asyncio.Future:
         """Enqueue one point-θ request; the future resolves at the next flush.
 
         Must be called from the event loop.  The future resolves with the
         exact ``handle("/theta", ...)`` payload, or raises the exact
-        :class:`ServiceError` the point path would have raised.
+        :class:`ServiceError` the point path would have raised.  A
+        ``deadline`` (:class:`~repro.service.resilience.Deadline`) that
+        expires before the flush reaches this entry resolves it with
+        :class:`~repro.errors.DeadlineExceededError` instead of a stale
+        answer.
         """
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        self._pending.append((artifact, int(vertex), future, time.monotonic()))
+        self._pending.append(
+            (artifact, int(vertex), future, time.monotonic(), deadline))
         depth = len(self._pending)
         if depth > self._peak_depth:
             self._peak_depth = depth
@@ -112,19 +124,47 @@ class ThetaCoalescer:
         self._batches += 1
         self._requests += len(batch)
         self._largest_batch = max(self._largest_batch, len(batch))
+        # The async transport's chaos seam: an injected "error" (or a
+        # dropped flush) fails every request in the batch with the 503 the
+        # clients would see if the batcher's downstream genuinely died —
+        # futures are never stranded.
+        try:
+            token = faults.fire("transport.coalesce")
+        except FaultInjectedError as error:
+            token = error
+        if token in ("drop", "corrupt") or isinstance(token, Exception):
+            error = token if isinstance(token, Exception) else FaultInjectedError(
+                "injected fault: coalesced flush lost", site="transport.coalesce")
+            for _, _, future, _, _ in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
         # Prometheus histograms live on the service so both transports share
         # one registry; getattr keeps bare test doubles working.
         batch_hist = getattr(self._service, "coalesce_batch_size", None)
         if batch_hist is not None:
             batch_hist.observe(float(len(batch)))
         wait_hist = getattr(self._service, "coalesce_wait_seconds", None)
+        count_expired = getattr(self._service, "count_deadline_exceeded", None)
         # Group by artifact, preserving order within each group: one
         # vectorized lookup per artifact per flush.
         groups: dict = {}
-        for artifact, vertex, future, enqueued_at in batch:
+        for artifact, vertex, future, enqueued_at, deadline in batch:
             self._waits.append(now - enqueued_at)
             if wait_hist is not None:
                 wait_hist.observe(now - enqueued_at)
+            if deadline is not None and deadline.expired():
+                # The request's budget ran out while it waited in the
+                # queue; a late answer is worse than an honest 503.
+                if not future.done():
+                    future.set_exception(DeadlineExceededError(
+                        "coalesced /theta request exceeded its "
+                        f"{deadline.seconds * 1000.0:.0f}ms deadline while "
+                        "queued",
+                        retry_after=max(0.05, deadline.seconds)))
+                if count_expired is not None:
+                    count_expired()
+                continue
             groups.setdefault(artifact, []).append((vertex, future))
         for artifact, entries in groups.items():
             try:

@@ -16,40 +16,55 @@ report different manifest fingerprints.  Replication therefore chains on
 (graph CSR + side + tip numbers).  Every log record carries the state it
 applies to (``previous_state``) and the state it produces (``state``);
 a follower checks the former before applying and *asserts* the latter
-after — any mismatch means the replicas diverged and the follower stops
-applying rather than silently serving wrong tip numbers.
+after — any mismatch means the replicas diverged.
 
-**Catch-up** needs no special snapshot transfer: a follower seeded from
-any copy of the leader's artifact fingerprints itself into the log chain
-(its state is either the chain base or some record's post-state) and
-replays everything after that point.  Reads on a follower therefore
-always reflect a *prefix* of the leader's applied batches — the PRAM
-property the replication tests assert.
+**Crash safety and recovery (PR 10).**  Appends are fsync'd; a torn
+final line (writer crashed mid-append) is truncated-and-recovered at
+open instead of being fatal, while mid-log corruption stays fatal.  The
+log checkpoints/compacts against a snapshot (a ``checkpoint`` first
+line), and a leader whose artifact is *behind* its log tip at startup
+replays the missing suffix through the same repair path.  A follower
+that diverges no longer freezes forever: the poll loop automatically
+re-bootstraps it from a leader snapshot (``GET /replication/snapshot``),
+counted in ``resyncs`` and logged once per recovery.
 
-Delivery is push + poll: the leader pushes each record to every follower
-synchronously (best effort; failures are recorded per follower, never
-block the write), and followers poll ``GET /replication/log`` on an
-interval to close any gap a missed push left.  Offsets, lag and staleness
-surface in ``/stats``, ``GET /replication/status`` and the
-``repro_replication_*`` gauges.
+**Delivery** is push + poll, now wrapped in the resilience layer:
+per-follower pushes and the follower's poll both go through a
+budget-capped :class:`~repro.service.resilience.RetryPolicy` and a
+per-target :class:`~repro.service.resilience.CircuitBreaker`, and every
+network seam is a named fault site for the deterministic chaos harness
+(:mod:`repro.service.faults`).  Offsets, lag, staleness, breaker states
+and resync counts surface in ``/stats``, ``GET /replication/status`` and
+the ``repro_replication_*`` / ``repro_resilience_*`` gauges.
 """
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
+import os
+import shutil
 import struct
 import threading
 import time
 import urllib.error
 import urllib.request
+from collections import deque
 from pathlib import Path
 
 import numpy as np
 
-from ..errors import ReplicationError, ServiceError
+from ..errors import (
+    CircuitOpenError,
+    FaultInjectedError,
+    ReplicationError,
+    ServiceError,
+)
 from ..obs.log import get_logger
 from ..obs.slo import Objective
+from . import faults
+from .resilience import CircuitBreakerRegistry, RetryPolicy
 
 __all__ = [
     "ReplicationCoordinator",
@@ -68,6 +83,9 @@ LOG_SUFFIX = ".replog"
 #: Default follower staleness promise (seconds behind the leader before
 #: the ``replication-staleness`` SLO objective burns through its budget).
 DEFAULT_STALENESS_THRESHOLD_SECONDS = 30.0
+
+#: How many push-failure messages to keep per follower in ``status()``.
+ERROR_HISTORY_LIMIT = 8
 
 
 def state_fingerprint(index) -> str:
@@ -115,65 +133,242 @@ class ReplicationLog:
     """Append-only JSONL log of applied update batches, monotone offsets.
 
     One JSON object per line; offsets are 1-based and assigned at append
-    time.  The file is the leader's durable record: on restart the leader
-    reloads it and refuses to serve if its artifact state no longer
-    matches the chain tip (that means the artifact was modified outside
-    the log — the operator must re-seed or drop the log).
+    time.  Appends are flushed *and fsync'd* before they are acknowledged.
+
+    **Torn-tail recovery.**  A process killed mid-append leaves a final
+    line without its trailing newline.  At open, such a tail is either
+    kept (it parses as a complete record with the expected offset — only
+    the newline was lost, which is repaired) or truncated with a warning
+    (``recovered_torn_tail`` is set either way).  A *complete* line that
+    fails to parse, or an offset gap, is mid-log corruption and stays
+    fatal — that data cannot be reconstructed.
+
+    **Checkpoint/compaction.**  :meth:`compact` drops all but the newest
+    ``retain`` records behind a first-line checkpoint
+    ``{"checkpoint": {"offset": N, "state": ..., "base_state": ...}}``.
+    ``base_offset`` is then N and ``records_from`` can only answer
+    offsets > N; followers further behind re-bootstrap from a snapshot.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._lock = threading.Lock()
         self._records: list[dict] = []
+        self._base_offset = 0
+        self._checkpoint_state: str | None = None
+        self._chain_base_state: str | None = None
+        self.recovered_torn_tail = False
         if self.path.exists():
-            for line_number, line in enumerate(
-                    self.path.read_text(encoding="utf-8").splitlines(), start=1):
-                if not line.strip():
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ReplicationError(
-                        f"corrupt replication log {self.path} at line "
-                        f"{line_number}: {exc}") from exc
-                expected = len(self._records) + 1
-                if int(record.get("offset", -1)) != expected:
-                    raise ReplicationError(
-                        f"replication log {self.path} offset gap at line "
-                        f"{line_number}: expected {expected}, got {record.get('offset')}")
-                self._records.append(record)
+            self._load()
 
+    # ------------------------------------------------------------------
+    # Loading and torn-tail recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        raw = self.path.read_bytes()
+        if not raw:
+            return
+        text = raw.decode("utf-8")
+        torn_tail: str | None = None
+        if text.endswith("\n"):
+            body = text[:-1]
+            lines = body.split("\n") if body else []
+        else:
+            head, _, torn_tail = text.rpartition("\n")
+            lines = head.split("\n") if head else []
+
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ReplicationError(
+                    f"corrupt replication log {self.path} at line "
+                    f"{line_number}: {exc}") from exc
+            if (line_number == 1 and isinstance(record, dict)
+                    and "checkpoint" in record and "offset" not in record):
+                checkpoint = record["checkpoint"]
+                self._base_offset = int(checkpoint["offset"])
+                self._checkpoint_state = str(checkpoint["state"])
+                base_state = checkpoint.get("base_state")
+                self._chain_base_state = (
+                    str(base_state) if base_state is not None else None)
+                continue
+            expected = self._base_offset + len(self._records) + 1
+            if int(record.get("offset", -1)) != expected:
+                raise ReplicationError(
+                    f"replication log {self.path} offset gap at line "
+                    f"{line_number}: expected {expected}, got {record.get('offset')}")
+            self._records.append(record)
+
+        if self._chain_base_state is None and self._records:
+            self._chain_base_state = str(self._records[0]["previous_state"])
+
+        if torn_tail is not None:
+            self._recover_torn_tail(raw, torn_tail)
+
+    def _recover_torn_tail(self, raw: bytes, tail: str) -> None:
+        """Repair or truncate a final line that never got its newline."""
+        self.recovered_torn_tail = True
+        expected = self._base_offset + len(self._records) + 1
+        record = None
+        if tail.strip():
+            try:
+                parsed = json.loads(tail)
+            except json.JSONDecodeError:
+                parsed = None
+            if isinstance(parsed, dict) and int(parsed.get("offset", -1)) == expected:
+                record = parsed
+        if record is not None:
+            # The record reached disk intact; only the newline was lost.
+            self._records.append(record)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            _LOG.warning(
+                "replication log %s: repaired missing newline on final "
+                "record (offset %d)", self.path, expected)
+            return
+        keep_bytes = len(raw) - len(tail.encode("utf-8"))
+        with open(self.path, "r+b") as handle:
+            handle.truncate(keep_bytes)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _LOG.warning(
+            "replication log %s: truncated torn final line (%d bytes) left "
+            "by a crash mid-append; log resumes at offset %d",
+            self.path, len(tail.encode("utf-8")), expected)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def last_offset(self) -> int:
-        """Offset of the newest record (0 when the log is empty)."""
+        """Offset of the newest record (``base_offset`` when empty)."""
+        with self._lock:
+            return self._base_offset + len(self._records)
+
+    @property
+    def base_offset(self) -> int:
+        """Offset of the checkpoint the retained records follow (0 = none)."""
+        with self._lock:
+            return self._base_offset
+
+    @property
+    def record_count(self) -> int:
+        """How many records are physically retained (after compaction)."""
         with self._lock:
             return len(self._records)
 
     @property
-    def base_state(self) -> str | None:
-        """State fingerprint the chain starts from (None when empty)."""
+    def checkpoint_state(self) -> str | None:
+        """State fingerprint at ``base_offset`` (None when never compacted)."""
         with self._lock:
-            if not self._records:
-                return None
-            return str(self._records[0]["previous_state"])
+            return self._checkpoint_state
 
+    @property
+    def base_state(self) -> str | None:
+        """State fingerprint the *chain* starts from (None when empty)."""
+        with self._lock:
+            if self._chain_base_state is not None:
+                return self._chain_base_state
+            if self._records:
+                return str(self._records[0]["previous_state"])
+            return None
+
+    @property
+    def tip_state(self) -> str | None:
+        """State fingerprint at the log tip (checkpoint state when empty)."""
+        with self._lock:
+            if self._records:
+                return str(self._records[-1]["state"])
+            return self._checkpoint_state
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def append(self, record: dict) -> dict:
-        """Assign the next offset, persist the record, return it."""
+        """Assign the next offset, durably persist the record, return it.
+
+        The ``log.append`` fault site simulates crashes here: ``corrupt``
+        writes half the line with no newline and then dies (the torn-tail
+        scenario recovery must handle), ``drop`` loses the write, and
+        ``error`` fails before anything reaches disk.
+        """
         with self._lock:
             record = dict(record)
-            record["offset"] = len(self._records) + 1
+            record["offset"] = self._base_offset + len(self._records) + 1
             line = json.dumps(record, sort_keys=True)
+            token = faults.fire("log.append")
+            if token == "drop":
+                raise ReplicationError(
+                    "injected fault: log append dropped before reaching disk")
             with open(self.path, "a", encoding="utf-8") as handle:
+                if token == "corrupt":
+                    handle.write(line[: max(1, len(line) // 2)])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    raise ReplicationError(
+                        "injected fault: writer crashed mid-append; the log "
+                        "now has a torn tail")
                 handle.write(line + "\n")
                 handle.flush()
+                os.fsync(handle.fileno())
+            if self._chain_base_state is None and not self._records:
+                self._chain_base_state = str(record["previous_state"])
             self._records.append(record)
             return record
 
+    def compact(self, *, retain: int) -> int:
+        """Checkpoint-and-drop all but the newest ``retain`` records.
+
+        Atomically rewrites the log as one checkpoint line plus the
+        retained suffix; returns how many records were dropped.
+        """
+        retain = max(0, int(retain))
+        with self._lock:
+            if len(self._records) <= retain:
+                return 0
+            split = len(self._records) - retain
+            dropped, kept = self._records[:split], self._records[split:]
+            new_base_offset = self._base_offset + len(dropped)
+            checkpoint = {
+                "offset": new_base_offset,
+                "state": str(dropped[-1]["state"]),
+            }
+            if self._chain_base_state is not None:
+                checkpoint["base_state"] = self._chain_base_state
+            staging = self.path.with_name(self.path.name + ".compact")
+            with open(staging, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"checkpoint": checkpoint},
+                                        sort_keys=True) + "\n")
+                for record in kept:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(staging, self.path)
+            self._base_offset = new_base_offset
+            self._checkpoint_state = checkpoint["state"]
+            self._records = kept
+            _LOG.info(
+                "replication log %s: compacted %d records behind checkpoint "
+                "offset %d (%d retained)",
+                self.path, len(dropped), new_base_offset, len(kept))
+            return len(dropped)
+
     def records_from(self, offset: int, *, limit: int | None = None) -> list[dict]:
-        """Records with offsets >= ``offset`` (1-based), oldest first."""
+        """Retained records with offsets >= ``offset``, oldest first.
+
+        Offsets at or below ``base_offset`` were compacted away; callers
+        detect that via the ``base_offset`` field of the log payload and
+        re-bootstrap from a snapshot instead.
+        """
         offset = max(1, int(offset))
         with self._lock:
-            records = self._records[offset - 1:]
+            start = max(0, offset - self._base_offset - 1)
+            records = self._records[start:]
         if limit is not None:
             records = records[: max(0, int(limit))]
         return [dict(record) for record in records]
@@ -209,15 +404,24 @@ class ReplicationCoordinator:
     * ``role="leader"`` — owns the :class:`ReplicationLog`; the service
       calls :meth:`record_applied` (under its update lock) after every
       locally applied batch, which appends the record and pushes it to
-      every configured follower URL synchronously, best effort.
+      every configured follower URL through a retry policy and a
+      per-follower circuit breaker, best effort.  A leader whose artifact
+      is *behind* the log tip at startup (crash between log append and
+      the next write) replays the missing suffix; an artifact *ahead* of
+      or outside the chain is still fatal.
     * ``role="follower"`` — rejects direct ``POST /update`` (HTTP 409),
       accepts pushed records on ``POST /replication/apply``, and runs a
       daemon poll thread that pulls missed records from the leader's log.
       Both paths serialize on one apply lock, verify the fingerprint
       chain, and assert the repaired state matches the leader's record.
+      On divergence (or when the leader compacted past this follower's
+      offset) the poll path automatically re-bootstraps from a leader
+      snapshot instead of freezing.
 
     Replication covers exactly one artifact; when the service serves
-    several, pass ``artifact`` explicitly.
+    several, pass ``artifact`` explicitly.  ``http_client`` is an
+    injection seam for tests (socket-free in-process topologies): any
+    callable with the :func:`_http_json` signature.
     """
 
     def __init__(
@@ -232,17 +436,31 @@ class ReplicationCoordinator:
         poll_interval: float = 1.0,
         push_timeout: float = 5.0,
         staleness_threshold_seconds: float = DEFAULT_STALENESS_THRESHOLD_SECONDS,
+        retry_policy: RetryPolicy | None = None,
+        log_compact_threshold: int | None = None,
+        http_client=None,
     ):
         if role not in ("leader", "follower"):
             raise ServiceError(f"replication role must be leader or follower, got {role!r}")
         if role == "follower" and not leader_url:
             raise ServiceError("a follower needs the leader's URL (--leader)")
+        if log_compact_threshold is not None and int(log_compact_threshold) < 2:
+            raise ServiceError(
+                f"log compact threshold must be >= 2, got {log_compact_threshold}")
         self.service = service
         self.role = role
         self.poll_interval = float(poll_interval)
         self.push_timeout = float(push_timeout)
         self.staleness_threshold_seconds = float(staleness_threshold_seconds)
         self.leader_url = leader_url.rstrip("/") if leader_url else None
+        self.log_compact_threshold = (
+            int(log_compact_threshold) if log_compact_threshold else None)
+        self._http = http_client if http_client is not None else _http_json
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.05, max_delay=1.0, budget_seconds=5.0,
+            retryable=(ReplicationError,))
+        self.breakers: CircuitBreakerRegistry = (
+            getattr(service, "breakers", None) or CircuitBreakerRegistry())
 
         if artifact is None:
             names = service.artifact_names
@@ -263,22 +481,26 @@ class ReplicationCoordinator:
         self._apply_lock = threading.Lock()
         self._stop = threading.Event()
         self._poll_thread: threading.Thread | None = None
-        self.diverged: str | None = None  # divergence description, once fatal
+        self.diverged: str | None = None  # divergence description until recovery
+        self.resyncs = 0
+        self.last_resync_unix: float | None = None
+        self.recovered_records = 0
 
         if role == "leader":
             if log_path is None:
                 log_path = Path(str(service.artifact_path(artifact)) + LOG_SUFFIX)
             self.log = ReplicationLog(log_path)
-            last = self.log.records_from(self.log.last_offset)
-            if last and str(last[0]["state"]) != self._state:
-                raise ReplicationError(
-                    f"replication log {self.log.path} tip (offset "
-                    f"{last[0]['offset']}) does not match the artifact's current "
-                    "state; the artifact changed outside the log — remove the "
-                    "log to start a fresh chain or restore the matching snapshot")
+            tip = self.log.tip_state
+            if tip is not None and tip != self._state:
+                self.recovered_records = self._replay_log_tail()
             self.followers = {
-                url.rstrip("/"): {"acked_offset": 0, "last_push_unix": None,
-                                  "last_error": None}
+                url.rstrip("/"): {
+                    "acked_offset": 0,
+                    "last_push_unix": None,
+                    "last_error": None,
+                    "consecutive_failures": 0,
+                    "recent_errors": deque(maxlen=ERROR_HISTORY_LIMIT),
+                }
                 for url in follower_urls
             }
         else:
@@ -354,11 +576,23 @@ class ReplicationCoordinator:
             "staleness_seconds": staleness,
             "state": self._state,
             "diverged": self.diverged,
+            "resyncs": self.resyncs,
+            "last_resync_unix": self.last_resync_unix,
+            "breakers": self.breakers.snapshot(),
         }
         if self.role == "leader":
             payload["followers"] = {
-                url: dict(peer) for url, peer in self.followers.items()}
+                url: {**peer, "recent_errors": list(peer["recent_errors"])}
+                for url, peer in self.followers.items()}
             payload["base_state"] = self.log.base_state or self._state
+            payload["recovered_records"] = self.recovered_records
+            payload["log"] = {
+                "path": str(self.log.path),
+                "base_offset": self.log.base_offset,
+                "record_count": self.log.record_count,
+                "last_offset": self.log.last_offset,
+                "recovered_torn_tail": self.log.recovered_torn_tail,
+            }
         else:
             payload["leader"] = self.leader_url
             payload["leader_last_offset"] = self._leader_last_offset
@@ -368,13 +602,65 @@ class ReplicationCoordinator:
     # ------------------------------------------------------------------
     # Leader side
     # ------------------------------------------------------------------
-    def record_applied(self, artifact: str, body: dict, payload: dict, repaired) -> dict:
-        """Log one locally applied batch and fan it out (leader only).
+    def _replay_log_tail(self) -> int:
+        """Replay logged batches the artifact is missing (crash recovery).
 
-        Called by the service under its update lock, so records are
-        appended in exactly the order batches were applied.  Push failures
-        are recorded per follower and never fail the update — the poll
-        path delivers the record later.
+        A crash after the fsync'd log append but before the artifact swap
+        leaves the artifact one or more records behind the log tip.  The
+        batches are all in the log, so recovery is a deterministic replay
+        through the same repair path, asserting every recorded post-state.
+        An artifact that matches *nowhere* in the chain changed outside
+        the log and is still fatal.
+        """
+        records = self.log.records_from(1)
+        start_offset = None
+        if self._state == (self.log.checkpoint_state or ""):
+            start_offset = self.log.base_offset
+        elif records and str(records[0]["previous_state"]) == self._state:
+            start_offset = records[0]["offset"] - 1
+        else:
+            for record in records:
+                if str(record["state"]) == self._state:
+                    start_offset = record["offset"]
+                    break
+        if start_offset is None:
+            raise ReplicationError(
+                f"replication log {self.log.path} tip (offset "
+                f"{self.log.last_offset}) does not match the artifact's current "
+                "state; the artifact changed outside the log — remove the "
+                "log to start a fresh chain or restore the matching snapshot")
+        replayed = 0
+        for record in records:
+            if record["offset"] <= start_offset:
+                continue
+            self.service.apply_replicated(self.artifact, _record_body(record))
+            new_state = state_fingerprint(self.service.base_index_for(self.artifact))
+            if new_state != str(record["state"]):
+                raise ReplicationError(
+                    f"replaying log record {record['offset']} produced state "
+                    f"{new_state[:12]}... but the log recorded "
+                    f"{str(record['state'])[:12]}...; the log does not match "
+                    "this artifact")
+            self._state = new_state
+            replayed += 1
+        _LOG.warning(
+            "leader recovered %d logged batch(es) at startup (artifact was "
+            "behind the replication log after a crash)", replayed)
+        return replayed
+
+    def record_applied(self, artifact: str, body: dict, mode: str | None,
+                       repaired) -> dict:
+        """Durably log one applied batch, write-ahead of the artifact swap.
+
+        Called by the service under its update lock *before* the new
+        artifact is persisted, so the fsync'd log is always at or ahead of
+        the artifact on disk: a crash mid-append leaves a torn tail the
+        log truncates at the next open (the batch was never acknowledged
+        and the artifact never swapped — a clean reject), while a crash
+        between the append and the swap is replayed deterministically by
+        :meth:`_replay_log_tail` at the next startup.  Fan-out happens
+        separately through :meth:`push_applied` once the artifact commit
+        succeeded.
         """
         if self.role != "leader" or artifact != self.artifact:
             return {}
@@ -386,30 +672,62 @@ class ReplicationCoordinator:
             "delete": list(body.get("delete") or []),
             "previous_state": previous_state,
             "state": new_state,
-            "mode": payload.get("mode"),
-            "leader_fingerprint": payload.get("fingerprint"),
+            "mode": mode,
             "applied_unix": time.time(),
         }
         if "damage_threshold" in body:
             record["damage_threshold"] = body["damage_threshold"]
         record = self.log.append(record)
         self._state = new_state
-        self._push(record)
+        if (self.log_compact_threshold is not None
+                and self.log.record_count > self.log_compact_threshold):
+            self.log.compact(retain=max(1, self.log_compact_threshold // 2))
         return record
+
+    def push_applied(self, record: dict) -> None:
+        """Fan a just-committed record out to followers (leader only).
+
+        Push failures are recorded per follower and never fail the
+        update — the poll path delivers the record later.
+        """
+        if record:
+            self._push(record)
+
+    def _note_push_failure(self, url: str, peer: dict, message: str) -> None:
+        peer["last_error"] = message
+        peer["consecutive_failures"] = int(peer["consecutive_failures"]) + 1
+        peer["recent_errors"].append(message)
+        _LOG.warning("replication push to %s failed: %s", url, message)
 
     def _push(self, record: dict) -> None:
         for url, peer in self.followers.items():
+            breaker = self.breakers.get(f"push:{url}")
             try:
-                response = _http_json(
-                    url + "/replication/apply", payload=record,
-                    timeout=self.push_timeout)
-            except ReplicationError as exc:
-                peer["last_error"] = str(exc)
-                _LOG.warning("replication push to %s failed: %s", url, exc)
+                token = faults.fire("replication.push")
+            except FaultInjectedError as exc:
+                self._note_push_failure(url, peer, str(exc))
+                continue
+            if token == "drop":
+                self._note_push_failure(
+                    url, peer, "injected fault: replication push dropped")
+                continue
+            outbound = record
+            if token == "corrupt":
+                outbound = dict(record)
+                outbound["state"] = "0" * 64
+            try:
+                response = breaker.call(
+                    self.retry_policy.call,
+                    lambda u=url, r=outbound: self._http(
+                        u + "/replication/apply", payload=r,
+                        timeout=self.push_timeout))
+            except (CircuitOpenError, ReplicationError) as exc:
+                self._note_push_failure(url, peer, str(exc))
                 continue
             peer["acked_offset"] = int(response.get("offset", peer["acked_offset"]))
             peer["last_push_unix"] = time.time()
             peer["last_error"] = None
+            peer["consecutive_failures"] = 0
 
     def log_payload(self, params: dict) -> dict:
         """The ``GET /replication/log`` payload (leader only)."""
@@ -425,10 +743,56 @@ class ReplicationCoordinator:
         return {
             "artifact": self.artifact,
             "base_state": self.log.base_state or self._state,
+            "base_offset": self.log.base_offset,
+            "checkpoint_state": self.log.checkpoint_state,
             "last_offset": self.log.last_offset,
             "from": start,
             "records": self.log.records_from(start, limit=limit),
         }
+
+    def snapshot_payload(self) -> dict:
+        """The ``GET /replication/snapshot`` payload (leader only).
+
+        A consistent point-in-time copy of the artifact directory plus
+        the log offset/state it corresponds to — what a diverged or
+        compacted-past follower re-bootstraps from.  Lock-free: uses the
+        service's mutation sequence as a seqlock (odd = update in flight)
+        so a follower resync can never deadlock against the leader's
+        update lock.
+        """
+        if self.role != "leader":
+            raise ServiceError(
+                "this replica is a follower; fetch snapshots from the leader "
+                f"at {self.leader_url}", status=409)
+        root = Path(self.service.artifact_path(self.artifact))
+        seq_of = getattr(self.service, "mutation_seq", lambda: 0)
+        for _ in range(32):
+            seq_before = seq_of()
+            if seq_before % 2:
+                time.sleep(0.005)
+                continue
+            state = self._state
+            last_offset = self.log.last_offset
+            try:
+                files = {
+                    str(path.relative_to(root)):
+                        base64.b64encode(path.read_bytes()).decode("ascii")
+                    for path in sorted(root.rglob("*")) if path.is_file()
+                }
+            except OSError:
+                continue
+            if seq_of() == seq_before and self._state == state:
+                return {
+                    "artifact": self.artifact,
+                    "state": state,
+                    "last_offset": last_offset,
+                    "base_state": self.log.base_state or state,
+                    "files": files,
+                }
+            time.sleep(0.005)
+        raise ReplicationError(
+            "could not capture a consistent leader snapshot (updates kept "
+            "landing mid-read); retry when the write rate drops")
 
     # ------------------------------------------------------------------
     # Follower side
@@ -452,11 +816,37 @@ class ReplicationCoordinator:
         while not self._stop.wait(self.poll_interval):
             try:
                 self.sync_once()
-            except ReplicationError as exc:
+            except (ReplicationError, ServiceError) as exc:
                 self.last_error = str(exc)
 
+    def _fetch_from_leader(self, path: str, *, timeout: float | None = None) -> dict:
+        """One resilient GET against the leader (breaker + retry + faults)."""
+        token = faults.fire("replication.poll")
+        if token == "drop":
+            raise ReplicationError(
+                "injected fault: replication poll dropped")
+        breaker = self.breakers.get(f"poll:{self.leader_url}")
+        response = breaker.call(
+            self.retry_policy.call,
+            lambda: self._http(self.leader_url + path,
+                               timeout=timeout or self.push_timeout))
+        if token == "corrupt":
+            records = response.get("records")
+            if records:
+                tampered = dict(records[0])
+                tampered["state"] = "f" * 64
+                records[0] = tampered
+        return response
+
     def handle_push(self, record: dict | None) -> dict:
-        """Apply one pushed record (``POST /replication/apply``)."""
+        """Apply one pushed record (``POST /replication/apply``).
+
+        While diverged, pushes are acknowledged-but-not-applied
+        (``applied: false``) rather than triggering an inline resync:
+        pushes arrive under the *leader's* update lock, and a resync
+        fetches a snapshot from that same leader — recovery belongs to
+        the poll path, which owns no leader resources.
+        """
         if record is None:
             raise ServiceError(
                 "replication apply requires a POST body with one log record",
@@ -467,6 +857,9 @@ class ReplicationCoordinator:
                 status=409)
         record = _validate_record(dict(record))
         with self._apply_lock:
+            if self.diverged:
+                return {"applied": False, "offset": self.applied_offset or 0,
+                        "lag": self.gauge_values()[1], "diverged": True}
             self._ensure_offset_locked()
             offset = record["offset"]
             self._leader_last_offset = max(self._leader_last_offset or 0, offset)
@@ -478,8 +871,9 @@ class ReplicationCoordinator:
                 applied = True
             else:
                 # Gap: a prior push was lost.  Pull the missing prefix from
-                # the leader right now instead of waiting for the poll tick.
-                self._sync_locked()
+                # the leader right now instead of waiting for the poll tick
+                # (pull only — never a snapshot resync, see docstring).
+                self._sync_locked(allow_resync=False)
                 applied = self.applied_offset >= offset
             if self.applied_offset >= (self._leader_last_offset or 0):
                 self._last_synced_unix = time.time()
@@ -487,18 +881,40 @@ class ReplicationCoordinator:
                 "lag": self.gauge_values()[1]}
 
     def sync_once(self) -> dict:
-        """One catch-up round against the leader's log (follower only)."""
+        """One catch-up round against the leader's log (follower only).
+
+        This is the recovery path: a diverged follower re-bootstraps from
+        a leader snapshot here before resuming the normal pull.
+        """
         if self.role != "follower":
             raise ServiceError("sync_once is a follower operation", status=409)
         with self._apply_lock:
             return self._sync_locked()
 
-    def _sync_locked(self) -> dict:
-        self._ensure_offset_locked()
-        response = _http_json(
-            self.leader_url +
-            f"/replication/log?from={self.applied_offset + 1}",
-            timeout=self.push_timeout)
+    def _sync_locked(self, *, allow_resync: bool = True) -> dict:
+        if self.diverged:
+            if not allow_resync:
+                raise ReplicationError(self.diverged)
+            self._resync_locked()
+        try:
+            self._ensure_offset_locked()
+        except ReplicationError:
+            if not allow_resync or not self.diverged:
+                raise
+            self._resync_locked()
+        response = self._fetch_from_leader(
+            f"/replication/log?from={self.applied_offset + 1}")
+        base_offset = int(response.get("base_offset", 0))
+        if self.applied_offset < base_offset:
+            # The leader compacted the log past this follower's position;
+            # the records it needs no longer exist — re-bootstrap.
+            if not allow_resync:
+                raise ReplicationError(
+                    f"leader compacted its log past offset {self.applied_offset} "
+                    f"(base is now {base_offset}); snapshot re-sync required")
+            self._resync_locked()
+            response = self._fetch_from_leader(
+                f"/replication/log?from={self.applied_offset + 1}")
         self._leader_last_offset = int(response.get("last_offset", 0))
         self._last_contact_unix = time.time()
         applied = 0
@@ -518,24 +934,99 @@ class ReplicationCoordinator:
         return {"applied": applied, "offset": self.applied_offset,
                 "lag": max(0, (self._leader_last_offset or 0) - self.applied_offset)}
 
+    def resync(self) -> dict:
+        """Force a snapshot re-bootstrap from the leader (follower only)."""
+        if self.role != "follower":
+            raise ServiceError("resync is a follower operation", status=409)
+        with self._apply_lock:
+            self._resync_locked()
+            return {"offset": self.applied_offset, "resyncs": self.resyncs}
+
+    def _resync_locked(self) -> None:
+        """Re-bootstrap this follower from a leader snapshot.
+
+        Installs the snapshot with the same staging + rename swap the
+        shard planner uses, reloads the service's cached views, and
+        rejoins the chain at the snapshot's offset.  Clears ``diverged``.
+        """
+        reason = self.diverged or "operator-requested resync"
+        snapshot = self._fetch_from_leader("/replication/snapshot",
+                                           timeout=max(self.push_timeout, 30.0))
+        if str(snapshot.get("artifact")) != self.artifact:
+            raise ReplicationError(
+                f"leader snapshot covers artifact {snapshot.get('artifact')!r}, "
+                f"not {self.artifact!r}")
+        self._install_snapshot_locked(snapshot)
+        self.resyncs += 1
+        self.last_resync_unix = time.time()
+        self.diverged = None
+        self.last_error = None
+        self._leader_last_offset = max(
+            self._leader_last_offset or 0, int(snapshot["last_offset"]))
+        if self.applied_offset >= (self._leader_last_offset or 0):
+            self._last_synced_unix = time.time()
+        _LOG.warning(
+            "follower re-synced from a leader snapshot at offset %d "
+            "(recovery #%d; cause: %s)",
+            self.applied_offset, self.resyncs, reason)
+
+    def _install_snapshot_locked(self, snapshot: dict) -> None:
+        files = snapshot.get("files")
+        if not isinstance(files, dict) or not files:
+            raise ReplicationError("leader snapshot carries no files")
+        root = Path(self.service.artifact_path(self.artifact))
+        staging = root.with_name(root.name + ".resync-staging")
+        retired = root.with_name(root.name + ".resync-old")
+        shutil.rmtree(staging, ignore_errors=True)
+        shutil.rmtree(retired, ignore_errors=True)
+        staging.mkdir(parents=True)
+        try:
+            for rel, encoded in files.items():
+                rel_path = Path(rel)
+                if rel_path.is_absolute() or ".." in rel_path.parts:
+                    raise ReplicationError(
+                        f"leader snapshot names an unsafe path {rel!r}")
+                dest = staging / rel_path
+                dest.parent.mkdir(parents=True, exist_ok=True)
+                dest.write_bytes(base64.b64decode(encoded))
+            os.rename(root, retired)
+            os.rename(staging, root)
+        except OSError as exc:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise ReplicationError(f"snapshot install failed: {exc}") from None
+        shutil.rmtree(retired, ignore_errors=True)
+        self.service.reload_artifact(self.artifact)
+        self._state = state_fingerprint(self.service.base_index_for(self.artifact))
+        if self._state != str(snapshot.get("state")):
+            raise ReplicationError(
+                "installed leader snapshot fingerprints to "
+                f"{self._state[:12]}... but the leader labelled it "
+                f"{str(snapshot.get('state'))[:12]}...; snapshot was torn")
+        self.applied_offset = int(snapshot["last_offset"])
+
     def _ensure_offset_locked(self) -> None:
         """Fingerprint this follower's snapshot into the leader's chain."""
         if self.applied_offset is not None:
             return
-        response = _http_json(
-            self.leader_url + "/replication/log?from=1", timeout=self.push_timeout)
+        response = self._fetch_from_leader("/replication/log?from=1")
         self._leader_last_offset = int(response.get("last_offset", 0))
         self._last_contact_unix = time.time()
-        if self._state == str(response.get("base_state", "")):
+        base_offset = int(response.get("base_offset", 0))
+        if self._state == str(response.get("base_state", "")) and base_offset == 0:
             self.applied_offset = 0
+            return
+        if (response.get("checkpoint_state")
+                and self._state == str(response["checkpoint_state"])):
+            self.applied_offset = base_offset
             return
         for record in response.get("records", []):
             if str(record.get("state")) == self._state:
                 self.applied_offset = int(record["offset"])
                 return
+        self.applied_offset = base_offset
         self.diverged = (
-            "follower snapshot does not appear anywhere in the leader's log "
-            "chain; re-seed this follower from a current leader snapshot")
+            "follower snapshot does not appear anywhere in the leader's "
+            "retained log chain; re-bootstrapping from a leader snapshot")
         raise ReplicationError(self.diverged)
 
     def _apply_record_locked(self, record: dict) -> None:
@@ -547,14 +1038,7 @@ class ReplicationCoordinator:
                 f"{str(record['previous_state'])[:12]}... but this follower "
                 f"holds {self._state[:12]}...; replicas diverged")
             raise ReplicationError(self.diverged)
-        body = {}
-        if record.get("insert"):
-            body["insert"] = record["insert"]
-        if record.get("delete"):
-            body["delete"] = record["delete"]
-        if "damage_threshold" in record:
-            body["damage_threshold"] = record["damage_threshold"]
-        payload = self.service.apply_replicated(self.artifact, body)
+        payload = self.service.apply_replicated(self.artifact, _record_body(record))
         repaired = self.service.base_index_for(self.artifact)
         new_state = state_fingerprint(repaired)
         if new_state != str(record["state"]):
@@ -569,3 +1053,15 @@ class ReplicationCoordinator:
             "replicated offset %d (%s): +%d/-%d edges",
             record["offset"], payload.get("mode"),
             len(record.get("insert") or []), len(record.get("delete") or []))
+
+
+def _record_body(record: dict) -> dict:
+    """The ``/update``-shaped body replaying one log record."""
+    body = {}
+    if record.get("insert"):
+        body["insert"] = record["insert"]
+    if record.get("delete"):
+        body["delete"] = record["delete"]
+    if "damage_threshold" in record:
+        body["damage_threshold"] = record["damage_threshold"]
+    return body

@@ -61,13 +61,19 @@ import json
 import threading
 import time
 from collections import Counter
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
-from ..errors import ReproError, ServiceError, StreamingError
+from ..errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    StreamingError,
+)
 from ..obs.log import log_request
 from ..obs.memory import memory_snapshot, rss_bytes
 from ..obs.metrics import BATCH_SIZE_BUCKETS, MetricRegistry
@@ -76,10 +82,12 @@ from ..obs.profile import (
     ProfileBusyError,
     collect_profile,
 )
-from ..obs.slo import DEFAULT_OBJECTIVES, SloMonitor
+from ..obs.slo import DEFAULT_OBJECTIVES, SloMonitor, breaker_open_objective
+from . import faults
 from .artifacts import ARRAYS_FILENAME, read_manifest, save_artifact
 from .cache import IndexCache
 from .index import TipIndex
+from .resilience import CircuitBreakerRegistry, Deadline
 from .sharding import ShardRouter, is_shard_plan, read_shard_plan
 
 __all__ = [
@@ -117,6 +125,7 @@ DIAGNOSTIC_ENDPOINTS = (
     "/replication/status",
     "/replication/log",
     "/replication/apply",
+    "/replication/snapshot",
 )
 
 #: Routes that get their own label value in request metrics; everything
@@ -159,6 +168,14 @@ DOCUMENTED_METRICS = (
     "repro_replication_offset",
     "repro_replication_lag",
     "repro_replication_staleness_seconds",
+    "repro_resilience_retries_total",
+    "repro_resilience_breakers_open",
+    "repro_resilience_breaker_open_seconds",
+    "repro_resilience_resyncs_total",
+    "repro_resilience_degraded_total",
+    "repro_resilience_deadline_exceeded_total",
+    "repro_faults_armed",
+    "repro_faults_injected_total",
 )
 
 
@@ -279,6 +296,11 @@ class TipService:
         self.started_unix = time.time()
         self._started_monotonic = time.monotonic()
         self.registry = MetricRegistry()
+        # Per-target circuit breakers (replication push/poll, shard gather)
+        # and the degradation counters the resilience gauges read.
+        self.breakers = CircuitBreakerRegistry()
+        self.degraded_total = 0
+        self.deadline_exceeded_total = 0
         # SLO monitoring reads the cumulative request instruments; it must
         # exist before _init_metrics so the per-objective gauges can be
         # instantiated eagerly (zero-valued from the first scrape).
@@ -288,6 +310,11 @@ class TipService:
             staleness_source=self._worst_staleness,
             objectives=DEFAULT_OBJECTIVES,
         )
+        # Breaker-open objective: burns while any breaker stays open, fed by
+        # the registry's oldest-open clock (a staleness-shaped signal).
+        self.slo.add_objective(
+            breaker_open_objective(),
+            staleness_source=self.breakers.oldest_open_seconds)
         # Last stored deep-diagnostic payloads: ``?cached=1`` / ``?last=1``
         # return these verbatim, which is how the observability benchmark
         # asserts byte-identity of volatile payloads across transports.
@@ -298,6 +325,11 @@ class TipService:
         # One writer at a time: /update batches serialize here while readers
         # keep answering from the previous snapshot.
         self._update_lock = threading.Lock()
+        # Seqlock over artifact mutation: odd while an update is in flight.
+        # The replication snapshot endpoint reads it to capture a consistent
+        # artifact copy without ever taking the update lock (lock-free, so a
+        # follower resync can never deadlock against a pushing leader).
+        self._mutation_seq = 0
         self._artifacts: dict[str, Path] = {}
         for raw_path in artifact_paths:
             path = Path(raw_path)
@@ -366,6 +398,42 @@ class TipService:
         """Advance the per-route request counter (fast paths bypass handle)."""
         with self._requests_lock:
             self.requests[metric_route(route)] += n
+
+    def count_degraded(self) -> None:
+        """Note one request answered with a partial (``degraded: true``) payload."""
+        with self._requests_lock:
+            self.degraded_total += 1
+
+    def count_deadline_exceeded(self) -> None:
+        """Note one request failed outright on its ``deadline_ms`` budget."""
+        with self._requests_lock:
+            self.deadline_exceeded_total += 1
+
+    def mutation_seq(self) -> int:
+        """Artifact-mutation seqlock value (odd = an update is in flight)."""
+        return self._mutation_seq
+
+    @contextmanager
+    def _mutating(self):
+        """Hold the mutation seqlock odd for the duration of an update."""
+        self._mutation_seq += 1
+        try:
+            yield
+        finally:
+            self._mutation_seq += 1
+
+    def reload_artifact(self, name: str) -> None:
+        """Drop every cached view of an artifact replaced on disk.
+
+        The replication coordinator calls this after installing a leader
+        snapshot over the artifact directory (a follower re-bootstrap):
+        the cache entry, any in-memory shard view and the displaced index
+        all described the *old* bytes.  The next read reloads and
+        re-shards lazily from the new manifest.
+        """
+        self.artifact_path(name)  # 404 on unknown names
+        self._shard_views.pop(name, None)
+        self.cache.clear()
 
     # ------------------------------------------------------------------
     # Metrics (shared by both transports; see DOCUMENTED_METRICS)
@@ -479,6 +547,41 @@ class TipService:
             "Seconds since this follower last verified it matched the "
             "leader's log head (0 on the leader).",
         )
+        self._resilience_retries = registry.gauge(
+            "repro_resilience_retries_total",
+            "Replication push/poll attempts retried after a retryable failure.",
+        )
+        self._resilience_breakers_open = registry.gauge(
+            "repro_resilience_breakers_open",
+            "Circuit breakers currently in the open state.",
+        )
+        self._resilience_breaker_open_seconds = registry.gauge(
+            "repro_resilience_breaker_open_seconds",
+            "Longest time any circuit breaker has currently been open.",
+        )
+        self._resilience_resyncs = registry.gauge(
+            "repro_resilience_resyncs_total",
+            "Follower snapshot re-bootstraps performed after divergence "
+            "or log compaction (0 on the leader).",
+        )
+        self._resilience_degraded = registry.gauge(
+            "repro_resilience_degraded_total",
+            "Requests answered with a partial (degraded: true) payload "
+            "because a deadline expired mid-gather.",
+        )
+        self._resilience_deadline_exceeded = registry.gauge(
+            "repro_resilience_deadline_exceeded_total",
+            "Requests failed with 503 because their deadline_ms budget "
+            "expired before any answer existed.",
+        )
+        self._faults_armed = registry.gauge(
+            "repro_faults_armed",
+            "1 while a deterministic fault-injection plan is armed.",
+        )
+        self._faults_injected = registry.gauge(
+            "repro_faults_injected_total",
+            "Faults injected by the armed plan since it was installed.",
+        )
         for objective in self.slo.objectives:
             self._slo_burn_rate.labels(objective=objective.name).set(0.0)
             self._slo_ok.labels(objective=objective.name).set(1.0)
@@ -537,6 +640,17 @@ class TipService:
             self._replication_lag.set(lag)
             if staleness is not None:
                 self._replication_staleness.set(staleness)
+            self._resilience_retries.set(
+                self.replication.retry_policy.stats()["retries_total"])
+            self._resilience_resyncs.set(self.replication.resyncs)
+        self._resilience_breakers_open.set(self.breakers.open_count())
+        self._resilience_breaker_open_seconds.set(self.breakers.oldest_open_seconds())
+        with self._requests_lock:
+            self._resilience_degraded.set(self.degraded_total)
+            self._resilience_deadline_exceeded.set(self.deadline_exceeded_total)
+        fault_state = faults.metrics()
+        self._faults_armed.set(1.0 if fault_state["armed"] else 0.0)
+        self._faults_injected.set(fault_state["injected_total"])
         # The scrape drives periodic SLO evaluation (one snapshot per
         # scrape feeds the rolling windows).
         self.slo.evaluate()
@@ -897,7 +1011,11 @@ class TipService:
         if self.replication is not None and not replicated:
             self.replication.check_writable()
 
-        with self._update_lock:
+        with self._update_lock, self._mutating():
+            # The "artifact.save" fault site fires before any state is
+            # touched, so a simulated persistence failure rejects the batch
+            # atomically (503) instead of leaving memory and disk torn.
+            faults.fire("artifact.save")
             index = self.cache.get_or_load(path, mmap=self.mmap)
             manifest = read_manifest(path)
             decomposition = dict(manifest.decomposition)
@@ -948,6 +1066,17 @@ class TipService:
                 "base_fingerprint": previous.get("base_fingerprint") or manifest.fingerprint,
                 "modes": dict(modes),
             }
+            # Write-ahead: the batch is fsync'd into the replication log
+            # *before* the artifact swap.  A crash mid-append leaves a
+            # torn log tail (truncated at next open; the batch was never
+            # acknowledged, so that is a clean reject), and a crash
+            # between append and swap is replayed from the log at the
+            # next leader startup.
+            record = None
+            if (self.replication is not None and not replicated
+                    and self.replication.role == "leader"):
+                record = self.replication.record_applied(
+                    name, body, update.mode, repaired)
             new_manifest = save_artifact(
                 path,
                 update.graph,
@@ -968,16 +1097,10 @@ class TipService:
             self._shard_views.pop(name, None)
             with self._requests_lock:
                 self.update_modes[update.mode] += 1
-            # Leader fan-out, still under the update lock so log offsets
-            # are assigned in exactly the order batches were applied.
-            record = None
-            if (self.replication is not None and not replicated
-                    and self.replication.role == "leader"):
-                record = self.replication.record_applied(
-                    name, body,
-                    {"mode": update.mode, "fingerprint": new_manifest.fingerprint},
-                    repaired,
-                )
+            # Leader fan-out after the local commit, still under the
+            # update lock so followers see records in apply order.
+            if record:
+                self.replication.push_applied(record)
 
         payload = update.summary()
         payload.update({
@@ -1076,6 +1199,39 @@ class TipService:
                 results.append(error)
         return results
 
+    def _theta_batch_deadline(self, index, vertices, deadline: Deadline) -> dict:
+        """Deadline-bounded ``/theta/batch``.
+
+        Byte-identical to the undeadlined answer whenever everything
+        resolves in time; a structured ``degraded: true`` partial answer
+        (``None`` thetas for unresolved shards) when some shards miss the
+        budget; 503 + ``Retry-After`` when no shard resolved at all.
+        """
+        if deadline.expired():
+            self.count_deadline_exceeded()
+            deadline.raise_if_expired("/theta/batch")
+        if not isinstance(index, ShardRouter):
+            # A single index gathers atomically: either it answers in time
+            # or the deadline check above already failed the request.
+            return {"vertices": vertices, "thetas": index.theta_batch(vertices)}
+        thetas, unresolved = index.theta_batch_degraded(vertices, deadline=deadline)
+        if not unresolved:
+            return {"vertices": vertices, "thetas": thetas}
+        resolved = sum(1 for theta in thetas if theta is not None)
+        if resolved == 0 and len(thetas) > 0:
+            self.count_deadline_exceeded()
+            raise DeadlineExceededError(
+                f"no shard resolved within the {deadline.seconds * 1000.0:.0f}ms "
+                "deadline", retry_after=max(0.05, deadline.seconds))
+        self.count_degraded()
+        return {
+            "vertices": vertices,
+            "thetas": thetas,
+            "degraded": True,
+            "resolved": resolved,
+            "unresolved_shards": unresolved,
+        }
+
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
@@ -1120,6 +1276,8 @@ class TipService:
                 return self.replication.log_payload(params)
             if route == "/replication/apply":
                 return self.replication.handle_push(body)
+            if route == "/replication/snapshot":
+                return self.replication.snapshot_payload()
 
         if route == "/stats":
             payload: dict = {"artifacts": {}}
@@ -1155,21 +1313,42 @@ class TipService:
                 }
             if self.replication is not None:
                 payload["replication"] = self.replication.status()
+            resilience: dict = {
+                "breakers": self.breakers.snapshot(),
+                "faults": faults.metrics(),
+            }
+            with self._requests_lock:
+                resilience["degraded_total"] = self.degraded_total
+                resilience["deadline_exceeded_total"] = self.deadline_exceeded_total
+            if self.replication is not None:
+                resilience["retry"] = self.replication.retry_policy.stats()
+                resilience["resyncs"] = self.replication.resyncs
+            payload["resilience"] = resilience
             return payload
 
         if route == "/update":
             return self._apply_update(artifact, params, body)
 
         if route == "/theta":
+            deadline = Deadline.from_params(params)
             index = self.index_for(artifact)
             vertex = self._int_param(params, "vertex")
+            if deadline is not None and deadline.expired():
+                self.count_deadline_exceeded()
+                deadline.raise_if_expired("/theta")
             return {"vertex": vertex, "theta": index.theta(vertex)}
 
         if route == "/theta/batch":
+            if body is not None and "deadline_ms" in body:
+                deadline = Deadline.from_params(body)
+            else:
+                deadline = Deadline.from_params(params)
             index = self.index_for(artifact)
             vertices = self._vertices_param(params, body)
-            thetas = index.theta_batch(vertices)
-            return {"vertices": vertices, "thetas": thetas}
+            if deadline is None:
+                thetas = index.theta_batch(vertices)
+                return {"vertices": vertices, "thetas": thetas}
+            return self._theta_batch_deadline(index, vertices, deadline)
 
         if route == "/top-k":
             index = self.index_for(artifact)

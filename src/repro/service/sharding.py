@@ -39,8 +39,9 @@ from pathlib import Path
 
 import numpy as np
 
-from ..errors import ArtifactError, ServiceError
+from ..errors import ArtifactError, FaultInjectedError, ServiceError
 from ..obs.trace import current_tracer
+from . import faults
 from .artifacts import load_artifact
 from .index import TipIndex
 
@@ -359,15 +360,18 @@ class ShardRouter:
             # Single shard: no scatter needed, one dense gather — parity
             # with the unsharded index (the 1-shard benchmark gate
             # measures this path).
+            faults.fire("shard.gather")
             return self._dense_tips[vertices]
         owners = self._routing[vertices]
         tracer = current_tracer()
         if self.n_shards == 1:
+            faults.fire("shard.gather")
             with tracer.span("router.gather").set(shard=0, n=int(vertices.size)):
                 return self._shards[0].lookup(vertices)
         for shard_id in np.unique(owners):
             mask = owners == shard_id
             shard = self._shards[int(shard_id)]
+            faults.fire("shard.gather")
             with tracer.span("router.gather").set(
                     shard=int(shard_id), n=int(np.count_nonzero(mask))):
                 out[mask] = shard.lookup(vertices[mask])
@@ -376,6 +380,50 @@ class ShardRouter:
     def theta_batch(self, vertices) -> np.ndarray:
         """Tip numbers for a batch of vertices (validated scatter/gather)."""
         return self.gather_thetas(self._validate_vertices(vertices))
+
+    def theta_batch_degraded(self, vertices, *, deadline=None):
+        """Deadline-bounded validated scatter/gather (the degraded read path).
+
+        Returns ``(thetas, unresolved_shards)``.  While every shard
+        resolves in time ``thetas`` is exactly :meth:`theta_batch`'s array
+        and ``unresolved_shards`` is empty — the serving layer then renders
+        a byte-identical payload.  A shard that raises an injected fault or
+        whose turn arrives after the deadline expired is *skipped*: its
+        vertices come back as ``None`` and its id lands in
+        ``unresolved_shards``, the structured partial answer the
+        ``degraded: true`` contract promises.
+        """
+        vertices = self._validate_vertices(vertices)
+        if self._dense_tips is not None or self.n_shards == 1:
+            # One shard is all-or-nothing: either the gather answers (the
+            # caller renders the exact payload) or its fault/deadline
+            # failure propagates as a plain 503.
+            return self.gather_thetas(vertices), []
+        out = np.empty(vertices.shape[0], dtype=np.int64)
+        resolved = np.zeros(vertices.shape[0], dtype=bool)
+        unresolved: list[int] = []
+        owners = self._routing[vertices] if vertices.size else np.zeros(0, dtype=np.int64)
+        tracer = current_tracer()
+        for shard_id in np.unique(owners):
+            mask = owners == shard_id
+            shard = self._shards[int(shard_id)]
+            if deadline is not None and deadline.expired():
+                unresolved.append(int(shard_id))
+                continue
+            try:
+                faults.fire("shard.gather")
+                with tracer.span("router.gather").set(
+                        shard=int(shard_id), n=int(np.count_nonzero(mask))):
+                    out[mask] = shard.lookup(vertices[mask])
+            except FaultInjectedError:
+                unresolved.append(int(shard_id))
+                continue
+            resolved[mask] = True
+        if not unresolved:
+            return out, []
+        values = [int(theta) if ok else None
+                  for theta, ok in zip(out, resolved)]
+        return values, unresolved
 
     # ------------------------------------------------------------------
     # Threshold / ranking queries

@@ -59,7 +59,8 @@ class TestSloEndpoint:
         payload = service.handle("/slo")
         assert payload["status"] in ("ok", "degraded")
         names = [entry["name"] for entry in payload["objectives"]]
-        assert names == ["request-latency", "availability", "artifact-staleness"]
+        assert names == ["request-latency", "availability",
+                         "artifact-staleness", "breaker-open"]
         for entry in payload["objectives"]:
             assert entry["state"] in ("ok", "breached", "no_data")
             assert entry["burn_rate"] >= 0.0
@@ -197,7 +198,8 @@ class TestRouting:
         assert not set(DIAGNOSTIC_ENDPOINTS) & set(ENDPOINTS)
         assert DIAGNOSTIC_ENDPOINTS == (
             "/slo", "/debug/memory", "/debug/profile",
-            "/replication/status", "/replication/log", "/replication/apply")
+            "/replication/status", "/replication/log", "/replication/apply",
+            "/replication/snapshot")
 
     def test_slo_and_memory_metric_families_documented(self):
         for name in ("repro_slo_burn_rate", "repro_slo_ok",

@@ -15,7 +15,9 @@ import pytest
 from repro.core.receipt import tip_decomposition
 from repro.datasets.generators import planted_blocks
 from repro.errors import ReplicationError, ServiceError
+from repro.service import faults
 from repro.service.artifacts import save_artifact
+from repro.service.faults import FaultPlan, FaultRule
 from repro.service.replication import (
     ReplicationCoordinator,
     ReplicationLog,
@@ -191,10 +193,202 @@ class TestPrefixConsistency:
             with pytest.raises(ReplicationError):
                 fcoord.handle_push(record)
             assert fcoord.diverged is not None
-            # A diverged follower refuses further records rather than
-            # serving wrong tip numbers.
+            # A diverged follower acknowledges-but-ignores further pushes
+            # rather than applying records it cannot verify...
+            result = fcoord.handle_push(record)
+            assert not result["applied"] and result["diverged"]
+            # ...and the poll path recovers it automatically: one sync
+            # re-bootstraps from a leader snapshot and lands at lag 0.
+            synced = fcoord.sync_once()
+            assert fcoord.diverged is None
+            assert fcoord.resyncs == 1
+            assert synced["lag"] == 0
+            name = leader.artifact_names[0]
+            probe = np.arange(40)
+            assert (follower.index_for(name).theta_batch(probe).tolist()
+                    == leader.index_for(name).theta_batch(probe).tolist())
+        finally:
+            leader_srv.shutdown()
+            leader_srv.server_close()
+
+
+class TestCrashRecovery:
+    """Torn-tail truncation, WAL replay, and the killed-writer regression."""
+
+    def _record(self, offset):
+        return {"offset": offset, "artifact": "a", "insert": [], "delete": [],
+                "previous_state": f"s{offset - 1}", "state": f"s{offset}"}
+
+    def test_torn_partial_line_is_truncated(self, tmp_path):
+        log = ReplicationLog(tmp_path / "torn.replog")
+        log.append({"artifact": "a", "insert": [], "delete": [],
+                    "previous_state": "s0", "state": "s1"})
+        with open(log.path, "ab") as handle:
+            handle.write(b'{"offset": 2, "artifact": "a", "ins')
+        reopened = ReplicationLog(log.path)
+        assert reopened.recovered_torn_tail
+        assert reopened.last_offset == 1
+        # The truncate is physical: a third open sees a clean file and the
+        # next append reuses the torn record's offset.
+        clean = ReplicationLog(log.path)
+        assert not clean.recovered_torn_tail
+        record = clean.append({"artifact": "a", "insert": [], "delete": [],
+                               "previous_state": "s1", "state": "s2"})
+        assert record["offset"] == 2
+
+    def test_torn_newline_only_is_repaired(self, tmp_path):
+        """A fully written final record missing only its newline is kept."""
+        log = ReplicationLog(tmp_path / "nl.replog")
+        log.append({"artifact": "a", "insert": [], "delete": [],
+                    "previous_state": "s0", "state": "s1"})
+        with open(log.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._record(2)))
+        reopened = ReplicationLog(log.path)
+        assert reopened.recovered_torn_tail
+        assert reopened.last_offset == 2
+        assert not ReplicationLog(log.path).recovered_torn_tail
+        assert ReplicationLog(log.path).last_offset == 2
+
+    def test_writer_killed_mid_append_rejects_batch_and_recovers(
+            self, source, tmp_path):
+        """Regression: a crash mid-append must not corrupt leader or log.
+
+        The injected ``log.append:corrupt`` fault writes half the record
+        and dies.  Write-ahead ordering means the batch was never
+        acknowledged and the artifact never swapped, so a restarted
+        leader truncates the torn tail and serves byte-identical answers.
+        """
+        artifact = _copy(source, tmp_path, "leader")
+        log_path = tmp_path / "leader.replog"
+        service = TipService([artifact])
+        ReplicationCoordinator(service, role="leader", log_path=log_path)
+        name = service.artifact_names[0]
+        probe = np.arange(40)
+        before = service.index_for(name).theta_batch(probe).tolist()
+        plan = FaultPlan(
+            [FaultRule(site="log.append", action="corrupt", count=1)], seed=11)
+        with faults.armed(plan):
             with pytest.raises(ReplicationError):
-                fcoord.handle_push(record)
+                service.handle("/update", {}, dict(BATCHES[0]))
+        # Atomic reject: readers never saw a half-applied batch.
+        assert service.index_for(name).theta_batch(probe).tolist() == before
+        raw = log_path.read_bytes()
+        assert raw and not raw.endswith(b"\n")  # the torn tail is on disk
+        # "Restart": a fresh process truncates the tail and serves the
+        # exact pre-crash answers, then applies the batch cleanly.
+        restarted = TipService([artifact])
+        coordinator = ReplicationCoordinator(
+            restarted, role="leader", log_path=log_path)
+        assert coordinator.log.recovered_torn_tail
+        assert coordinator.status()["offset"] == 0
+        assert restarted.index_for(name).theta_batch(probe).tolist() == before
+        payload = restarted.handle("/update", {}, dict(BATCHES[0]))
+        assert payload["replication"]["offset"] == 1
+
+    def test_crash_between_append_and_swap_replays_log(self, source, tmp_path):
+        """A batch fsync'd to the log but not the artifact replays at boot."""
+        artifact = _copy(source, tmp_path, "leader")
+        backup = tmp_path / "pre-crash-artifact"
+        shutil.copytree(artifact, backup)
+        log_path = tmp_path / "leader.replog"
+        service = TipService([artifact])
+        ReplicationCoordinator(service, role="leader", log_path=log_path)
+        name = service.artifact_names[0]
+        probe = np.arange(40)
+        for batch in BATCHES[:2]:
+            service.handle("/update", {}, dict(batch))
+        want = service.index_for(name).theta_batch(probe).tolist()
+        # Simulate the crash window: the log kept both records but the
+        # artifact directory reverts to its pre-update contents.
+        shutil.rmtree(artifact)
+        shutil.copytree(backup, artifact)
+        restarted = TipService([artifact])
+        coordinator = ReplicationCoordinator(
+            restarted, role="leader", log_path=log_path)
+        assert coordinator.recovered_records == 2
+        assert coordinator.status()["offset"] == 2
+        assert restarted.index_for(name).theta_batch(probe).tolist() == want
+
+    def test_artifact_changed_outside_log_is_still_fatal(self, source, tmp_path):
+        """Replay only covers logged batches; a foreign artifact is fatal."""
+        artifact = _copy(source, tmp_path, "leader")
+        log_path = tmp_path / "leader.replog"
+        service = TipService([artifact])
+        ReplicationCoordinator(service, role="leader", log_path=log_path)
+        service.handle("/update", {}, dict(BATCHES[0]))
+        # Out-of-band mutation: a second service without the log applies a
+        # different batch directly to the artifact.
+        TipService([artifact]).handle("/update", {}, dict(BATCHES[2]))
+        with pytest.raises(ReplicationError):
+            ReplicationCoordinator(
+                TipService([artifact]), role="leader", log_path=log_path)
+
+
+class TestCompaction:
+    def _chain(self, log, n, start=0):
+        for i in range(start, start + n):
+            log.append({"artifact": "a", "insert": [], "delete": [],
+                        "previous_state": f"s{i}", "state": f"s{i + 1}"})
+
+    def test_compact_drops_prefix_behind_checkpoint(self, tmp_path):
+        log = ReplicationLog(tmp_path / "c.replog")
+        self._chain(log, 5)
+        assert log.compact(retain=2) == 3
+        assert log.base_offset == 3
+        assert log.checkpoint_state == "s3"
+        assert log.last_offset == 5
+        assert [r["offset"] for r in log.records_from(1)] == [4, 5]
+        # Appends continue the chain past the checkpoint.
+        self._chain(log, 1, start=5)
+        assert log.last_offset == 6
+        # Compacting below the retained count is a no-op.
+        assert log.compact(retain=10) == 0
+
+    def test_compacted_log_reloads_from_disk(self, tmp_path):
+        log = ReplicationLog(tmp_path / "c.replog")
+        self._chain(log, 5)
+        log.compact(retain=2)
+        reopened = ReplicationLog(tmp_path / "c.replog")
+        assert reopened.base_offset == 3
+        assert reopened.checkpoint_state == "s3"
+        assert reopened.base_state == "s0"  # chain base survives compaction
+        assert [r["offset"] for r in reopened.records_from(4)] == [4, 5]
+
+    def test_leader_auto_compacts_past_threshold(self, source, tmp_path):
+        artifact = _copy(source, tmp_path, "leader")
+        service = TipService([artifact])
+        coordinator = ReplicationCoordinator(
+            service, role="leader", log_path=tmp_path / "l.replog",
+            log_compact_threshold=2)
+        for batch in BATCHES:
+            service.handle("/update", {}, dict(batch))
+        assert coordinator.log.base_offset > 0
+        assert coordinator.log.record_count <= 2
+        assert coordinator.status()["offset"] == 3
+
+    def test_follower_behind_checkpoint_resyncs_from_snapshot(
+            self, source, tmp_path):
+        """A follower whose next record was compacted away re-bootstraps."""
+        leader_art = _copy(source, tmp_path, "leader")
+        follower_art = _copy(source, tmp_path, "follower")
+        leader = TipService([leader_art])
+        ReplicationCoordinator(
+            leader, role="leader", log_path=tmp_path / "l.replog",
+            log_compact_threshold=2)
+        leader_srv, leader_url = _serve(leader)
+        try:
+            for batch in BATCHES:
+                leader.handle("/update", {}, dict(batch))
+            follower = TipService([follower_art])
+            fcoord = ReplicationCoordinator(
+                follower, role="follower", leader_url=leader_url)
+            synced = fcoord.sync_once()
+            assert synced["lag"] == 0
+            assert fcoord.resyncs == 1
+            name = leader.artifact_names[0]
+            probe = np.arange(40)
+            assert (follower.index_for(name).theta_batch(probe).tolist()
+                    == leader.index_for(name).theta_batch(probe).tolist())
         finally:
             leader_srv.shutdown()
             leader_srv.server_close()

@@ -204,3 +204,141 @@ class TestServedSharding:
         fresh = TipIndex.from_artifact(load_artifact(copy))
         assert np.array_equal(np.asarray(after["thetas"]),
                               fresh.theta_batch(np.arange(40)))
+
+
+class TestDegradedGather:
+    """Deadline-bounded scatter/gather: exact, partial, or honest 503."""
+
+    def _router(self, index, n_shards=3):
+        return ShardRouter.from_index(index, n_shards)
+
+    def test_no_deadline_is_byte_identical(self, index):
+        router = self._router(index)
+        vertices = np.arange(index.n_vertices)
+        thetas, unresolved = router.theta_batch_degraded(vertices)
+        assert unresolved == []
+        assert isinstance(thetas, np.ndarray)
+        assert np.array_equal(thetas, index.theta_batch(vertices))
+
+    def test_generous_deadline_is_byte_identical(self, index):
+        from repro.service.resilience import Deadline
+
+        router = self._router(index)
+        vertices = np.arange(index.n_vertices)
+        thetas, unresolved = router.theta_batch_degraded(
+            vertices, deadline=Deadline(30.0))
+        assert unresolved == []
+        assert np.array_equal(thetas, index.theta_batch(vertices))
+
+    def test_expired_deadline_skips_remaining_shards(self, index):
+        from repro.service.resilience import Deadline
+
+        clock_value = [0.0]
+        deadline = Deadline(0.05, clock=lambda: clock_value[0])
+        clock_value[0] = 1.0  # budget already spent before the first shard
+        router = self._router(index)
+        vertices = np.arange(index.n_vertices)
+        thetas, unresolved = router.theta_batch_degraded(
+            vertices, deadline=deadline)
+        assert unresolved == list(range(router.n_shards))
+        assert thetas == [None] * index.n_vertices
+
+    def test_injected_shard_fault_yields_partial_answer(self, index):
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultRule
+
+        router = self._router(index)
+        vertices = np.arange(index.n_vertices)
+        want = index.theta_batch(vertices)
+        plan = FaultPlan(
+            [FaultRule(site="shard.gather", action="error", count=1)], seed=2)
+        with faults.armed(plan):
+            thetas, unresolved = router.theta_batch_degraded(vertices)
+        assert len(unresolved) == 1
+        owners = router._routing[vertices]
+        for vertex, theta in zip(vertices, thetas):
+            if int(owners[vertex]) in unresolved:
+                assert theta is None
+            else:
+                assert theta == int(want[vertex])
+
+    def test_single_shard_is_all_or_nothing(self, index):
+        from repro.errors import FaultInjectedError
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultRule
+
+        router = self._router(index, n_shards=1)
+        vertices = np.arange(index.n_vertices)
+        plan = FaultPlan(
+            [FaultRule(site="shard.gather", action="error", count=1)], seed=2)
+        with faults.armed(plan):
+            with pytest.raises(FaultInjectedError):
+                router.theta_batch_degraded(vertices)
+        thetas, unresolved = router.theta_batch_degraded(vertices)
+        assert unresolved == []
+        assert np.array_equal(thetas, index.theta_batch(vertices))
+
+
+class TestServedDeadlines:
+    """The /theta/batch deadline surface over a sharded TipService."""
+
+    def _service(self, artifact, tmp_path, shards=3):
+        import shutil
+
+        copy = tmp_path / "served.tipidx"
+        shutil.copytree(artifact, copy)
+        return TipService([copy], shards=shards)
+
+    def test_deadline_param_with_time_left_is_exact(self, artifact, tmp_path):
+        service = self._service(artifact, tmp_path)
+        probe = {"vertices": ",".join(map(str, range(40)))}
+        want = service.handle("/theta/batch", dict(probe))
+        got = service.handle("/theta/batch",
+                             dict(probe, deadline_ms="30000"))
+        assert json.dumps(got, sort_keys=True, default=str) == \
+            json.dumps(want, sort_keys=True, default=str)
+        assert "degraded" not in got
+
+    def test_shard_fault_with_deadline_degrades(self, artifact, tmp_path):
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultRule
+
+        service = self._service(artifact, tmp_path)
+        probe = {"vertices": ",".join(map(str, range(40))),
+                 "deadline_ms": "30000"}
+        plan = FaultPlan(
+            [FaultRule(site="shard.gather", action="error", count=1)], seed=2)
+        with faults.armed(plan):
+            payload = service.handle("/theta/batch", dict(probe))
+        assert payload["degraded"] is True
+        assert payload["unresolved_shards"]
+        assert payload["resolved"] < 40
+        assert any(theta is None for theta in payload["thetas"])
+        assert service.handle("/stats")["resilience"]["degraded_total"] == 1
+
+    def test_all_shards_failing_is_a_503(self, artifact, tmp_path):
+        from repro.errors import DeadlineExceededError
+        from repro.service import faults
+        from repro.service.faults import FaultPlan, FaultRule
+
+        service = self._service(artifact, tmp_path)
+        probe = {"vertices": ",".join(map(str, range(40))),
+                 "deadline_ms": "30000"}
+        plan = FaultPlan(
+            [FaultRule(site="shard.gather", action="error")], seed=2)
+        with faults.armed(plan):
+            with pytest.raises(DeadlineExceededError) as excinfo:
+                service.handle("/theta/batch", dict(probe))
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after > 0
+        stats = service.handle("/stats")["resilience"]
+        assert stats["deadline_exceeded_total"] == 1
+
+    def test_bad_deadline_is_a_400(self, artifact, tmp_path):
+        service = self._service(artifact, tmp_path)
+        for bad in ("soon", "0", "-10"):
+            with pytest.raises(ServiceError) as excinfo:
+                service.handle(
+                    "/theta/batch",
+                    {"vertices": "0,1", "deadline_ms": bad})
+            assert excinfo.value.status == 400
